@@ -1,0 +1,10 @@
+"""Ablation: ingest vector (block) size of the real sort operator."""
+
+from repro.bench import ablation_block_size
+
+
+def test_block_size(report):
+    result = report(ablation_block_size, num_rows=100_000)
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row["seconds"] > 0

@@ -1,0 +1,15 @@
+"""Ablation: fixed algorithm rule vs the cost-based chooser (Section IX)."""
+
+from repro.bench import ablation_heuristic_chooser
+
+
+def test_heuristic_chooser(report):
+    result = report(ablation_heuristic_chooser, num_rows=50_000)
+    chosen = {
+        (r["workload"], r["policy"]): r["algorithm_used"]
+        for r in result.rows
+    }
+    # The chooser adapts: radix for narrow duplicate-heavy keys, pdqsort
+    # for wide nearly-unique keys on a small input.
+    assert chosen[("narrow-dups", "heuristic")] == "radix"
+    assert chosen[("wide-unique", "heuristic")] == "pdqsort"

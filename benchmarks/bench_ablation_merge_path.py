@@ -1,0 +1,10 @@
+"""Ablation: Merge Path vs naive cascaded merge (parallel makespan)."""
+
+from repro.bench import ablation_merge_path
+
+
+def test_merge_path(report):
+    result = report(ablation_merge_path)
+    for row in result.rows:
+        assert row["speedup"] >= 1.0
+    assert result.rows[-1]["speedup"] > 4.0

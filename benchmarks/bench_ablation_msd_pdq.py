@@ -1,0 +1,8 @@
+"""Ablation: pdqsort inside MSD radix recursion (Section IX)."""
+
+from repro.bench import ablation_msd_pdq_fallback
+
+
+def test_msd_pdq_fallback(report):
+    result = report(ablation_msd_pdq_fallback, num_rows=30_000)
+    assert len(result.rows) == 2

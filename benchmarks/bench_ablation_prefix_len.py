@@ -1,0 +1,8 @@
+"""Ablation: normalized-key string prefix length (DuckDB caps at 12)."""
+
+from repro.bench import ablation_string_prefix
+
+
+def test_prefix_length(report):
+    result = report(ablation_string_prefix, num_rows=10_000)
+    assert {r["prefix_bytes"] for r in result.rows} == {2, 4, 8, 12}

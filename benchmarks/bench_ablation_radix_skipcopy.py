@@ -1,0 +1,12 @@
+"""Ablation: the radix skip-copy optimization on low-entropy bytes."""
+
+from repro.bench import ablation_radix_skip_copy
+
+
+def test_skip_copy(report):
+    result = report(ablation_radix_skip_copy, num_rows=1 << 10)
+    by_variant = {r["variant"]: r for r in result.rows}
+    assert (
+        by_variant["skip-copy"]["cycles"]
+        < by_variant["always-copy"]["cycles"]
+    )

@@ -1,0 +1,11 @@
+"""Ablation: LSD vs MSD radix across key widths (switch at 4 bytes)."""
+
+from repro.bench import ablation_radix_switch
+
+
+def test_radix_switch(report):
+    result = report(ablation_radix_switch, num_rows=1 << 10)
+    narrow = result.rows[0]
+    wide = result.rows[-1]
+    # MSD's relative advantage grows with the key width.
+    assert wide["msd_over_lsd"] > narrow["msd_over_lsd"]

@@ -1,0 +1,12 @@
+"""Section V framing: Volcano vs vectorized vs compiled overhead."""
+
+from repro.bench import ablation_engine_paradigms
+
+
+def test_engine_paradigms(report):
+    result = report(ablation_engine_paradigms, num_rows=8192)
+    rel = {r["paradigm"]: r["relative"] for r in result.rows}
+    # Volcano pays per-tuple interpretation; vectorization amortizes it
+    # to within a few percent of compiled execution.
+    assert rel["volcano"] > 4.0
+    assert rel["vectorized"] < 1.1

@@ -1,0 +1,17 @@
+"""Figure 10: cumulative counters, radix vs pdqsort."""
+
+from repro.bench import figure10_counters_radix_pdq
+
+
+def test_figure10(report):
+    result = report(figure10_counters_radix_pdq, num_rows=1 << 12)
+    by_algo = {r["algorithm"]: r for r in result.rows}
+    # Paper: radix has worse cache behaviour but is mostly branchless.
+    assert (
+        by_algo["radix"]["l1_misses"]
+        > by_algo["pdqsort+memcmp"]["l1_misses"]
+    )
+    assert (
+        by_algo["radix"]["branch_mispredictions"] * 4
+        < by_algo["pdqsort+memcmp"]["branch_mispredictions"]
+    )

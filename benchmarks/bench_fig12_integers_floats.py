@@ -1,0 +1,16 @@
+"""Figure 12: end-to-end sorting of random integers and floats."""
+
+from repro.bench import figure12_integers_floats
+
+
+def test_figure12(report):
+    result = report(figure12_integers_floats)
+    for row in result.rows:
+        # Paper: MonetDB is far slower than every parallel system.
+        parallel = [
+            row[f"{name}_s"]
+            for name in ("DuckDB", "ClickHouse", "HyPer", "Umbra")
+        ]
+        assert row["MonetDB_s"] > 4 * max(parallel)
+        # Paper: DuckDB's row-based radix sort leads the field.
+        assert row["DuckDB_s"] <= min(parallel) * 1.05

@@ -1,0 +1,18 @@
+"""Figure 13: TPC-DS catalog_sales sorted by 1-4 key columns."""
+
+from repro.bench import figure13_catalog_sales
+
+
+def test_figure13(report):
+    result = report(figure13_catalog_sales)
+    sf10 = [r for r in result.rows if r["workload"].startswith("SF10 ")]
+    one_key, four_key = sf10[0], sf10[3]
+    # Paper: ClickHouse slows ~4x beyond one key; DuckDB/HyPer degrade
+    # far less; MonetDB ~3x.
+    click = four_key["ClickHouse_s"] / one_key["ClickHouse_s"]
+    duck = four_key["DuckDB_s"] / one_key["DuckDB_s"]
+    hyper = four_key["HyPer_s"] / one_key["HyPer_s"]
+    monet = four_key["MonetDB_s"] / one_key["MonetDB_s"]
+    assert click > 2 * duck
+    assert click > 2 * hyper
+    assert 1.5 < monet < 4.0

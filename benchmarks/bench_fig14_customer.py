@@ -1,0 +1,18 @@
+"""Figure 14: TPC-DS customer sorted by integer vs string keys."""
+
+from repro.bench import figure14_customer
+
+
+def test_figure14(report):
+    result = report(figure14_customer)
+    by_workload = {r["workload"]: r for r in result.rows}
+    for sf in (100, 300):
+        ints = by_workload[
+            next(k for k in by_workload if k.startswith(f"SF{sf} integer"))
+        ]
+        strings = by_workload[
+            next(k for k in by_workload if k.startswith(f"SF{sf} string"))
+        ]
+        # Paper: strings are slower than integers for all five systems.
+        for name in ("DuckDB", "ClickHouse", "MonetDB", "HyPer", "Umbra"):
+            assert strings[f"{name}_s"] > ints[f"{name}_s"]

@@ -1,0 +1,20 @@
+"""Figure 2: subsort vs tuple-at-a-time on columnar data, std::sort."""
+
+from conftest import BENCH_DISTS, BENCH_KEYS, BENCH_SIZES
+from repro.bench import figure2_subsort_columnar
+
+
+def test_figure2(report):
+    result = report(
+        figure2_subsort_columnar, BENCH_SIZES, BENCH_KEYS, BENCH_DISTS
+    )
+    # Paper: ~1.0 for one key column; > 1 for correlated multi-key data
+    # at the larger sizes.
+    big_correlated = [
+        r["relative"]
+        for r in result.rows
+        if r["distribution"] != "Random"
+        and r["keys"] == 4
+        and r["rows"] >= 1024
+    ]
+    assert all(rel > 1.0 for rel in big_correlated)

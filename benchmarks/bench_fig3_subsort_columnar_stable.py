@@ -1,0 +1,16 @@
+"""Figure 3: subsort vs tuple-at-a-time, columnar, std::stable_sort."""
+
+from conftest import BENCH_DISTS, BENCH_KEYS
+from repro.bench import figure3_subsort_columnar_stable
+
+SIZES = (64, 256, 1024)  # merge sort is the slowest instrumented algorithm
+
+
+def test_figure3(report):
+    result = report(
+        figure3_subsort_columnar_stable, SIZES, BENCH_KEYS, BENCH_DISTS
+    )
+    # Paper: with merge sort the approaches are much closer; subsort is
+    # often slightly slower.
+    relatives = result.column_values("relative")
+    assert min(relatives) > 0.5 and max(relatives) < 2.5

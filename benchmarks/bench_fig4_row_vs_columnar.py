@@ -1,0 +1,20 @@
+"""Figure 4: row tuple/subsort vs columnar subsort, std::sort."""
+
+from conftest import BENCH_DISTS, BENCH_KEYS, BENCH_SIZES
+from repro.bench import figure4_row_vs_columnar
+
+
+def test_figure4(report):
+    result = report(
+        figure4_row_vs_columnar, BENCH_SIZES, BENCH_KEYS, BENCH_DISTS
+    )
+    # Paper: rows win once the data no longer fits the cache, for every
+    # correlated distribution.
+    large = [
+        r
+        for r in result.rows
+        if r["rows"] == max(BENCH_SIZES)
+        and r["keys"] == 4
+        and r["distribution"] != "Random"
+    ]
+    assert all(r["row_tuple_relative"] > 1.0 for r in large)

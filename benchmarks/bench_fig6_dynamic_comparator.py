@@ -1,0 +1,13 @@
+"""Figure 6: dynamic vs static tuple-at-a-time comparator on rows."""
+
+from conftest import BENCH_DISTS, BENCH_KEYS, BENCH_SIZES
+from repro.bench import figure6_dynamic_comparator
+
+
+def test_figure6(report):
+    result = report(
+        figure6_dynamic_comparator, BENCH_SIZES, BENCH_KEYS, BENCH_DISTS
+    )
+    # Paper: dynamic calls cost roughly a factor of 2.
+    for row in result.rows:
+        assert 0.25 < row["relative"] < 0.9

@@ -1,0 +1,21 @@
+"""Figure 8: normalized keys + dynamic memcmp vs static comparator."""
+
+from conftest import BENCH_DISTS, BENCH_KEYS, BENCH_SIZES
+from repro.bench import figure8_normalized_keys
+
+
+def test_figure8(report):
+    result = report(
+        figure8_normalized_keys, BENCH_SIZES, BENCH_KEYS, BENCH_DISTS
+    )
+    # Paper: normalized keys match or outperform the static comparator,
+    # especially with more key columns and higher correlation.
+    for row in result.rows:
+        assert row["relative"] > 0.7
+    multi_key_correlated = [
+        r["relative"]
+        for r in result.rows
+        if r["keys"] == 4 and r["distribution"] != "Random"
+        and r["rows"] >= 1024
+    ]
+    assert max(multi_key_correlated) > 1.0

@@ -1,0 +1,20 @@
+"""Figure 9: radix sort vs pdqsort with dynamic memcmp, normalized keys."""
+
+from conftest import BENCH_DISTS, BENCH_KEYS, BENCH_SIZES
+from repro.bench import figure9_radix_vs_pdqsort
+
+
+def test_figure9(report):
+    result = report(
+        figure9_radix_vs_pdqsort, BENCH_SIZES, BENCH_KEYS, BENCH_DISTS
+    )
+    # Paper: radix wins on Random everywhere (we reproduce that for all
+    # but the tiniest inputs, where fixed pass overhead dominates).
+    random_rows = [
+        r for r in result.rows if r["distribution"] == "Random"
+        and r["rows"] >= 256
+    ]
+    assert all(r["relative"] > 1.0 for r in random_rows)
+    # And radix wins most cells overall across distributions.
+    wins = sum(r["relative"] > 1.0 for r in result.rows)
+    assert wins >= 0.8 * len(result.rows)

@@ -1,0 +1,79 @@
+"""Real wall-clock of the sort-consuming operators: joins, window, group-by."""
+
+import numpy as np
+import pytest
+
+from repro.aggregate import Aggregate, group_by
+from repro.join import ie_join, merge_join
+from repro.table.table import Table
+from repro.window import WindowFunction, WindowSpec, window
+
+N = 30_000
+
+
+@pytest.fixture(scope="module")
+def fact():
+    rng = np.random.default_rng(0)
+    return Table.from_numpy(
+        {
+            "key": rng.integers(0, 2000, N).astype(np.int32),
+            "value": rng.integers(0, 1000, N).astype(np.int32),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def dim():
+    rng = np.random.default_rng(1)
+    return Table.from_numpy(
+        {
+            "key": np.arange(2000, dtype=np.int32),
+            "weight": rng.integers(0, 100, 2000).astype(np.int32),
+        }
+    )
+
+
+def test_merge_join(benchmark, fact, dim):
+    result = benchmark.pedantic(
+        lambda: merge_join(fact, dim, ["key"], ["key"]),
+        rounds=1, iterations=1,
+    )
+    assert result.num_rows == N  # every fact key hits exactly one dim row
+
+
+def test_ie_join(benchmark):
+    rng = np.random.default_rng(2)
+    left = Table.from_numpy(
+        {
+            "a": rng.integers(0, 1000, 1000).astype(np.int32),
+            "b": rng.integers(0, 1000, 1000).astype(np.int32),
+        }
+    )
+    right = Table.from_numpy(
+        {
+            "a": rng.integers(0, 1000, 1000).astype(np.int32),
+            "b": rng.integers(0, 1000, 1000).astype(np.int32),
+        }
+    )
+    result = benchmark.pedantic(
+        lambda: ie_join(left, right, "a < a", "b > b"),
+        rounds=1, iterations=1,
+    )
+    assert result.num_rows > 0
+
+
+def test_window_functions(benchmark, fact):
+    spec = WindowSpec.of(partition_by=["key"], order_by=["value DESC"])
+    functions = [WindowFunction("row_number"), WindowFunction("rank")]
+    result = benchmark.pedantic(
+        lambda: window(fact, spec, functions), rounds=1, iterations=1
+    )
+    assert result.num_rows == N
+
+
+def test_group_by(benchmark, fact):
+    aggregates = [Aggregate("count"), Aggregate("sum", "value")]
+    result = benchmark.pedantic(
+        lambda: group_by(fact, ["key"], aggregates), rounds=1, iterations=1
+    )
+    assert result.num_rows == 2000

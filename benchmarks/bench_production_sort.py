@@ -1,0 +1,77 @@
+"""Real wall-clock benchmarks of the production sort operator itself.
+
+Unlike the figure benchmarks (which time the simulation harness), these
+time the actual numpy-backed sort: radix vs pdqsort run generation,
+multi-run merging, top-N, and external sort.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sort.external import external_sort_table
+from repro.sort.operator import SortConfig, sort_table
+from repro.sort.topn import top_n
+from repro.table.table import Table
+from repro.types.sortspec import SortSpec
+from repro.workloads.tpcds import catalog_sales, customer
+
+N = 100_000
+
+
+@pytest.fixture(scope="module")
+def int_table():
+    rng = np.random.default_rng(0)
+    return Table.from_numpy(
+        {
+            "a": rng.integers(0, 1000, N).astype(np.int32),
+            "b": rng.integers(0, 1 << 30, N).astype(np.int32),
+        }
+    )
+
+
+def test_radix_sort_two_int_keys(benchmark, int_table):
+    spec = SortSpec.of("a", "b")
+    result = benchmark(lambda: sort_table(int_table, spec))
+    assert result.is_sorted_by(spec)
+
+
+def test_multi_run_merge(benchmark, int_table):
+    spec = SortSpec.of("a", "b")
+    config = SortConfig(run_threshold=N // 8)
+    result = benchmark(lambda: sort_table(int_table, spec, config))
+    assert result.is_sorted_by(spec)
+
+
+def test_string_sort_pdq(benchmark):
+    table = customer(20_000, 100, seed=4)
+    spec = SortSpec.of("c_last_name", "c_first_name")
+    result = benchmark(lambda: sort_table(table, spec))
+    assert result.is_sorted_by(spec)
+
+
+def test_catalog_sales_four_keys(benchmark):
+    table = catalog_sales(50_000, 10, seed=4)
+    spec = SortSpec.of(
+        "cs_warehouse_sk", "cs_ship_mode_sk", "cs_promo_sk", "cs_quantity"
+    )
+    result = benchmark(lambda: sort_table(table, spec))
+    assert result.is_sorted_by(spec)
+
+
+def test_top_100(benchmark, int_table):
+    spec = SortSpec.of("a", "b")
+    result = benchmark(lambda: top_n(int_table, spec, 100))
+    assert result.num_rows == 100
+
+
+def test_external_sort(benchmark, int_table, tmp_path):
+    spec = SortSpec.of("a", "b")
+    config = SortConfig(run_threshold=N // 4)
+    result = benchmark.pedantic(
+        lambda: external_sort_table(
+            int_table, spec, config, spill_directory=str(tmp_path)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.is_sorted_by(spec)

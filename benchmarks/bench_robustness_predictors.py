@@ -1,0 +1,11 @@
+"""Robustness: branch-miss ordering under a smarter predictor model."""
+
+from repro.bench import robustness_predictors
+
+
+def test_predictor_robustness(report):
+    result = report(robustness_predictors, num_rows=1 << 11)
+    for row in result.rows:
+        # The qualitative ordering must hold under both predictor models.
+        assert row["columnar_tuple"] > row["columnar_subsort"]
+        assert row["columnar_subsort"] > 4 * row["radix"]

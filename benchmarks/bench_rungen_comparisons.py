@@ -1,0 +1,17 @@
+"""Section II: run-generation vs merge comparison counts."""
+
+import pytest
+
+from repro.bench import rungen_comparison_budget
+
+
+def test_rungen_budget(report):
+    result = report(
+        rungen_comparison_budget,
+        sizes=(1 << 14, 1 << 17, 1_000_000),
+        thread_counts=(2, 16, 48),
+    )
+    paper_example = [
+        r for r in result.rows if r["rows"] == 1_000_000 and r["runs"] == 16
+    ]
+    assert paper_example[0]["rungen_share"] == pytest.approx(0.8, abs=0.01)

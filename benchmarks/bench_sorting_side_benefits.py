@@ -1,0 +1,10 @@
+"""Section II's implicit sorting benefits: RLE and zone maps."""
+
+from repro.bench import ablation_sorting_side_benefits
+
+
+def test_side_benefits(report):
+    result = report(ablation_sorting_side_benefits, num_rows=50_000)
+    for row in result.rows:
+        assert row["rle_sorted"] >= row["rle_unsorted"]
+        assert row["zone_sorted"] <= row["zone_unsorted"]

@@ -1,0 +1,8 @@
+"""Table I: the (simulated) hardware specification."""
+
+from repro.bench import table1_hardware
+
+
+def test_table1_hardware(report):
+    result = report(table1_hardware)
+    assert result.rows

@@ -1,0 +1,17 @@
+"""Table II: perf counters of columnar tuple-at-a-time vs subsort."""
+
+from repro.bench import table2_counters_columnar
+
+
+def test_table2_counters(report):
+    result = report(table2_counters_columnar, num_rows=1 << 12)
+    by_approach = {r["approach"]: r for r in result.rows}
+    # Paper: subsort incurs fewer cache misses and branch mispredictions.
+    assert (
+        by_approach["subsort"]["l1_misses"]
+        < by_approach["tuple"]["l1_misses"]
+    )
+    assert (
+        by_approach["subsort"]["branch_mispredictions"]
+        < by_approach["tuple"]["branch_mispredictions"]
+    )

@@ -1,0 +1,10 @@
+"""Table III: perf counters on the row format (vs Table II's columnar)."""
+
+from repro.bench import table2_counters_columnar, table3_counters_row
+
+
+def test_table3_counters(report):
+    result = report(table3_counters_row, num_rows=1 << 12)
+    columnar = table2_counters_columnar(num_rows=1 << 12)
+    # Paper: the row format incurs far fewer cache misses than columnar.
+    assert result.rows[0]["l1_misses"] * 2 < columnar.rows[0]["l1_misses"]

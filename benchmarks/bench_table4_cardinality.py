@@ -1,0 +1,8 @@
+"""Table IV: TPC-DS table cardinalities (paper vs reproduction scale)."""
+
+from repro.bench import table4_cardinalities
+
+
+def test_table4(report):
+    result = report(table4_cardinalities)
+    assert len(result.rows) == 4

@@ -1,0 +1,11 @@
+"""Thread scalability of the DuckDB pipeline (virtual-time model)."""
+
+from repro.bench import thread_scalability
+
+
+def test_thread_scalability(report):
+    result = report(thread_scalability, num_rows=200_000)
+    by_threads = {r["threads"]: r for r in result.rows}
+    # Run generation + Merge Path keep the pipeline near-linear.
+    assert by_threads[16]["speedup"] > 10
+    assert by_threads[48]["speedup"] > 24

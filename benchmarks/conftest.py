@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+reproduced rows (the same series the paper reports) alongside the
+pytest-benchmark timing of the harness itself.  Scales are reduced from
+the paper's (see DESIGN.md); EXPERIMENTS.md records the measured outcomes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.report import FigureResult  # noqa: E402
+from repro.workloads.distributions import (  # noqa: E402
+    correlated_distribution,
+    random_distribution,
+)
+
+BENCH_SIZES = (64, 256, 1024, 2048)
+"""Micro-benchmark row counts (paper: 2^12..2^24; see DESIGN.md)."""
+
+BENCH_KEYS = (1, 2, 4)
+
+BENCH_DISTS = (random_distribution(), correlated_distribution(0.5))
+
+
+def run_and_report(benchmark, capsys, fn, *args, **kwargs) -> FigureResult:
+    """Run one experiment once under pytest-benchmark and print its rows."""
+    result = benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    return result
+
+
+@pytest.fixture
+def report(benchmark, capsys):
+    def runner(fn, *args, **kwargs):
+        return run_and_report(benchmark, capsys, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,64 @@
+"""Reproduce the paper's micro-benchmark study on the simulated machine.
+
+Run with::
+
+    python examples/microbench_repro.py [--full]
+
+Executes the core micro-benchmarks (Tables II/III, Figures 4/6/8/9/10) at
+a small scale and prints the same series the paper reports: DSM vs NSM,
+static vs dynamic comparators, normalized keys, and radix vs pdqsort --
+with simulated L1 misses and branch mispredictions standing in for the
+paper's ``perf`` counters.
+"""
+
+import sys
+
+from repro.bench import (
+    figure4_row_vs_columnar,
+    figure6_dynamic_comparator,
+    figure8_normalized_keys,
+    figure9_radix_vs_pdqsort,
+    figure10_counters_radix_pdq,
+    table2_counters_columnar,
+    table3_counters_row,
+)
+from repro.workloads.distributions import (
+    correlated_distribution,
+    random_distribution,
+)
+
+
+def main(full: bool = False) -> None:
+    if full:
+        sizes = (64, 256, 1024, 4096)
+        keys = (1, 2, 3, 4)
+        dists = (
+            random_distribution(),
+            correlated_distribution(0.0),
+            correlated_distribution(0.5),
+            correlated_distribution(1.0),
+        )
+        counter_rows = 1 << 12
+    else:
+        sizes = (64, 256, 1024)
+        keys = (1, 4)
+        dists = (random_distribution(), correlated_distribution(0.5))
+        counter_rows = 1 << 10
+
+    print(table2_counters_columnar(num_rows=counter_rows).render())
+    print()
+    print(table3_counters_row(num_rows=counter_rows).render())
+    print()
+    print(figure4_row_vs_columnar(sizes, keys, dists).render())
+    print()
+    print(figure6_dynamic_comparator(sizes, keys, dists).render())
+    print()
+    print(figure8_normalized_keys(sizes, keys, dists).render())
+    print()
+    print(figure9_radix_vs_pdqsort(sizes, keys, dists).render())
+    print()
+    print(figure10_counters_radix_pdq(num_rows=counter_rows).render())
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv)

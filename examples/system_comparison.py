@@ -1,0 +1,44 @@
+"""Compare the five systems of Section VII on the paper's workloads.
+
+Run with::
+
+    python examples/system_comparison.py
+
+Models DuckDB, ClickHouse, MonetDB, HyPer, and Umbra sorting random
+integers/floats (Figure 12), TPC-DS catalog_sales by 1-4 keys (Figure 13),
+and TPC-DS customer by integer vs string keys (Figure 14), printing
+modelled execution times and one phase breakdown.
+"""
+
+from repro.bench import (
+    figure12_integers_floats,
+    figure13_catalog_sales,
+    figure14_customer,
+)
+from repro.systems import HardwareProfile, make_system
+from repro.types.sortspec import SortSpec
+from repro.workloads.tpcds import catalog_sales
+
+
+def main() -> None:
+    print(figure12_integers_floats().render())
+    print()
+    print(figure13_catalog_sales(scale_factors=(10,)).render())
+    print()
+    print(figure14_customer().render())
+
+    # Peek inside one run: DuckDB's pipeline phases on catalog_sales.
+    profile = HardwareProfile().scaled(100)
+    table = catalog_sales(100_000, 10)
+    spec = SortSpec.of("cs_warehouse_sk", "cs_ship_mode_sk")
+    run = make_system("DuckDB", profile).benchmark_query(
+        table, spec, ("cs_item_sk",)
+    )
+    print("\nDuckDB phase breakdown (Figure 11 pipeline), "
+          f"total {run.seconds * 1000:.2f} ms:")
+    for name, cycles in run.phases:
+        print(f"  {name:>16s}: {profile.seconds(cycles) * 1000:8.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so ``pip install -e .``
+works on environments whose setuptools lacks PEP 660 editable-wheel support
+(legacy develop-mode installs go through setup.py).
+"""
+
+from setuptools import setup
+
+setup()

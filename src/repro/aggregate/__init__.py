@@ -1,0 +1,5 @@
+"""Sort-based aggregation (GROUP BY)."""
+
+from repro.aggregate.groupby import Aggregate, group_by
+
+__all__ = ["Aggregate", "group_by"]

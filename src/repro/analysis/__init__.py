@@ -1,0 +1,21 @@
+"""Analyses of sorting's implicit benefits: RLE and zone maps."""
+
+from repro.analysis.compression import (
+    SortingBenefit,
+    ZoneMap,
+    rle_compression_ratio,
+    rle_runs,
+    sorting_benefit,
+    zone_map_selectivity,
+    zone_map_stats,
+)
+
+__all__ = [
+    "SortingBenefit",
+    "ZoneMap",
+    "rle_compression_ratio",
+    "rle_runs",
+    "sorting_benefit",
+    "zone_map_selectivity",
+    "zone_map_stats",
+]

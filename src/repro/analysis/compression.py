@@ -1,0 +1,188 @@
+"""Why systems sort implicitly: RLE compression and zone-map pruning.
+
+Section II lists two implicit consumers of sorting besides joins:
+"improving run-length encoding compression [17] and zone map [18]
+effectiveness".  This module quantifies both for a column, so the benefit
+of sorting a table can be *measured*:
+
+* :func:`rle_runs` / :func:`rle_compression_ratio` -- run-length encoding
+  statistics: a sorted column collapses equal neighbours into runs.
+* :func:`zone_map_stats` / :func:`zone_map_selectivity` -- per-block
+  min/max "small materialized aggregates" (Moerkotte): on sorted data the
+  zones are disjoint, so a point or range predicate prunes almost all
+  blocks.
+
+The ``sorting_benefit`` helper compares both metrics before and after
+sorting -- used by `examples/` and the ablation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.table.column import ColumnVector
+
+__all__ = [
+    "rle_runs",
+    "rle_compression_ratio",
+    "ZoneMap",
+    "zone_map_stats",
+    "zone_map_selectivity",
+    "SortingBenefit",
+    "sorting_benefit",
+]
+
+
+def rle_runs(column: ColumnVector) -> int:
+    """Number of runs of equal values (NULLs form runs too)."""
+    n = len(column)
+    if n == 0:
+        return 0
+    data = column.data
+    validity = column.validity
+    if column.dtype.is_variable_width:
+        changes = sum(
+            1
+            for i in range(1, n)
+            if (validity[i] != validity[i - 1])
+            or (validity[i] and data[i] != data[i - 1])
+        )
+        return changes + 1
+    value_change = data[1:] != data[:-1]
+    validity_change = validity[1:] != validity[:-1]
+    both_valid = validity[1:] & validity[:-1]
+    changed = validity_change | (both_valid & value_change)
+    return int(changed.sum()) + 1
+
+
+def rle_compression_ratio(column: ColumnVector) -> float:
+    """rows / runs: how much RLE would shrink the column (higher=better)."""
+    n = len(column)
+    if n == 0:
+        return 1.0
+    return n / rle_runs(column)
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-block min/max (NULL-free blocks only carry values)."""
+
+    block_size: int
+    mins: tuple
+    maxs: tuple
+    has_value: tuple  # block contains at least one non-NULL value
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.mins)
+
+    def blocks_matching(self, low, high) -> int:
+        """Blocks whose [min, max] intersects the query range [low, high]."""
+        count = 0
+        for block_min, block_max, present in zip(
+            self.mins, self.maxs, self.has_value
+        ):
+            if not present:
+                continue
+            if block_max >= low and block_min <= high:
+                count += 1
+        return count
+
+
+def zone_map_stats(column: ColumnVector, block_size: int = 1024) -> ZoneMap:
+    """Build the zone map (per-block min/max) of a column."""
+    if block_size <= 0:
+        raise ReproError("block_size must be positive")
+    n = len(column)
+    mins, maxs, present = [], [], []
+    for start in range(0, max(n, 1), block_size):
+        stop = min(start + block_size, n)
+        if start >= n:
+            break
+        validity = column.validity[start:stop]
+        if not validity.any():
+            mins.append(None)
+            maxs.append(None)
+            present.append(False)
+            continue
+        if column.dtype.is_variable_width:
+            values = [
+                column.value(i)
+                for i in range(start, stop)
+                if column.validity[i]
+            ]
+            mins.append(min(values))
+            maxs.append(max(values))
+        else:
+            values = column.data[start:stop][validity]
+            mins.append(values.min())
+            maxs.append(values.max())
+        present.append(True)
+    return ZoneMap(block_size, tuple(mins), tuple(maxs), tuple(present))
+
+
+def zone_map_selectivity(
+    column: ColumnVector, low, high, block_size: int = 1024
+) -> float:
+    """Fraction of blocks a range scan must read (lower = better pruning)."""
+    zone_map = zone_map_stats(column, block_size)
+    if zone_map.num_blocks == 0:
+        return 0.0
+    return zone_map.blocks_matching(low, high) / zone_map.num_blocks
+
+
+@dataclass(frozen=True)
+class SortingBenefit:
+    """Before/after-sorting comparison of both metrics for one column."""
+
+    rle_ratio_unsorted: float
+    rle_ratio_sorted: float
+    zone_selectivity_unsorted: float
+    zone_selectivity_sorted: float
+
+    @property
+    def rle_improvement(self) -> float:
+        return self.rle_ratio_sorted / max(self.rle_ratio_unsorted, 1e-12)
+
+    @property
+    def pruning_improvement(self) -> float:
+        return self.zone_selectivity_unsorted / max(
+            self.zone_selectivity_sorted, 1e-12
+        )
+
+
+def sorting_benefit(
+    column: ColumnVector,
+    probe_low,
+    probe_high,
+    block_size: int = 1024,
+) -> SortingBenefit:
+    """Measure RLE and zone-map gains of sorting one column.
+
+    ``probe_low``/``probe_high`` define the range predicate used for the
+    zone-map selectivity comparison.
+    """
+    order = np.argsort(
+        np.where(column.validity, column.data, column.data.max(initial=0)),
+        kind="stable",
+    ) if not column.dtype.is_variable_width else np.array(
+        sorted(
+            range(len(column)),
+            key=lambda i: (not column.validity[i], column.value(i) or ""),
+        ),
+        dtype=np.int64,
+    )
+    sorted_column = column.take(order)
+    return SortingBenefit(
+        rle_ratio_unsorted=rle_compression_ratio(column),
+        rle_ratio_sorted=rle_compression_ratio(sorted_column),
+        zone_selectivity_unsorted=zone_map_selectivity(
+            column, probe_low, probe_high, block_size
+        ),
+        zone_selectivity_sorted=zone_map_selectivity(
+            sorted_column, probe_low, probe_high, block_size
+        ),
+    )

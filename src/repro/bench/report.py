@@ -1,0 +1,71 @@
+"""Result containers and text rendering for the experiment harness.
+
+Each experiment function in :mod:`repro.bench.figures` returns a
+:class:`FigureResult` whose ``render()`` prints the same rows/series the
+paper's table or figure reports, so a benchmark run reads like the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["FigureResult"]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class FigureResult:
+    """Rows reproducing one table or figure of the paper.
+
+    Attributes:
+        experiment: identifier, e.g. ``"figure-2"`` or ``"table-iii"``.
+        title: what the paper's caption says this shows.
+        columns: column order for rendering.
+        rows: one dict per rendered row.
+        notes: scale substitutions or caveats worth printing.
+    """
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def column_values(self, name: str) -> list[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        """A fixed-width text table with header and notes."""
+        widths = {
+            c: max(len(c), *(len(_format_value(r.get(c, ""))) for r in self.rows))
+            if self.rows
+            else len(c)
+            for c in self.columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in self.columns)
+        rule = "-" * len(header)
+        lines = [f"== {self.experiment}: {self.title} ==", header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _format_value(row.get(c, "")).ljust(widths[c])
+                    for c in self.columns
+                )
+            )
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)

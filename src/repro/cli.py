@@ -1,0 +1,256 @@
+"""Command-line interface: sort CSVs, run SQL, regenerate paper exhibits.
+
+Usage::
+
+    python -m repro sort data.csv --by "country DESC, year" -o sorted.csv
+    python -m repro sql "SELECT a, count(*) FROM t GROUP BY a" --table t=data.csv
+    python -m repro bench figure-9
+    python -m repro bench --list
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import __version__
+from repro.bench import (
+    ablation_block_size,
+    ablation_engine_paradigms,
+    ablation_heuristic_chooser,
+    ablation_merge_path,
+    ablation_msd_pdq_fallback,
+    ablation_radix_skip_copy,
+    ablation_radix_switch,
+    ablation_sorting_side_benefits,
+    ablation_string_prefix,
+    figure2_subsort_columnar,
+    figure3_subsort_columnar_stable,
+    figure4_row_vs_columnar,
+    figure5_row_vs_columnar_stable,
+    figure6_dynamic_comparator,
+    figure8_normalized_keys,
+    figure9_radix_vs_pdqsort,
+    figure10_counters_radix_pdq,
+    figure12_integers_floats,
+    figure13_catalog_sales,
+    figure14_customer,
+    robustness_predictors,
+    rungen_comparison_budget,
+    table1_hardware,
+    thread_scalability,
+    table2_counters_columnar,
+    table3_counters_row,
+    table4_cardinalities,
+)
+from repro.engine import Database
+from repro.errors import ReproError
+from repro.sort.external import external_sort_table
+from repro.sort.operator import SortConfig, sort_table
+from repro.table.io import read_csv, table_to_csv_string, write_csv
+from repro.table.table import Table
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table-1": table1_hardware,
+    "table-2": table2_counters_columnar,
+    "table-3": table3_counters_row,
+    "table-4": table4_cardinalities,
+    "figure-2": figure2_subsort_columnar,
+    "figure-3": figure3_subsort_columnar_stable,
+    "figure-4": figure4_row_vs_columnar,
+    "figure-5": figure5_row_vs_columnar_stable,
+    "figure-6": figure6_dynamic_comparator,
+    "figure-8": figure8_normalized_keys,
+    "figure-9": figure9_radix_vs_pdqsort,
+    "figure-10": figure10_counters_radix_pdq,
+    "figure-12": figure12_integers_floats,
+    "figure-13": figure13_catalog_sales,
+    "figure-14": figure14_customer,
+    "section-2": rungen_comparison_budget,
+    "robustness-predictors": robustness_predictors,
+    "thread-scalability": thread_scalability,
+    "ablation-prefix": ablation_string_prefix,
+    "ablation-radix-switch": ablation_radix_switch,
+    "ablation-merge-path": ablation_merge_path,
+    "ablation-skip-copy": ablation_radix_skip_copy,
+    "ablation-block-size": ablation_block_size,
+    "ablation-heuristic": ablation_heuristic_chooser,
+    "ablation-msd-pdq": ablation_msd_pdq_fallback,
+    "ablation-paradigms": ablation_engine_paradigms,
+    "ablation-side-benefits": ablation_sorting_side_benefits,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Row-based relational sorting (reproduction of Kuiper & "
+            "Mühleisen, ICDE 2023)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sort_cmd = commands.add_parser("sort", help="sort a CSV file")
+    sort_cmd.add_argument("input", help="input CSV path (with header)")
+    sort_cmd.add_argument(
+        "--by",
+        required=True,
+        help='ORDER BY spec, e.g. "country DESC NULLS LAST, year"',
+    )
+    sort_cmd.add_argument(
+        "-o", "--output", help="output CSV path (default: stdout)"
+    )
+    sort_cmd.add_argument(
+        "--algorithm",
+        choices=["radix", "pdqsort", "heuristic"],
+        help="override the run-sort algorithm choice",
+    )
+    sort_cmd.add_argument(
+        "--external",
+        action="store_true",
+        help="spill sorted runs to disk (out-of-core sort)",
+    )
+    sort_cmd.add_argument(
+        "--run-threshold",
+        type=int,
+        default=None,
+        help="rows per sorted run (forces multi-run merging when small)",
+    )
+
+    sql_cmd = commands.add_parser("sql", help="run a SQL query over CSVs")
+    sql_cmd.add_argument("query", help="the SELECT statement")
+    sql_cmd.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register a CSV file as a table (repeatable)",
+    )
+    sql_cmd.add_argument(
+        "-o", "--output", help="output CSV path (default: stdout)"
+    )
+    sql_cmd.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the query plan instead of executing",
+    )
+
+    bench_cmd = commands.add_parser(
+        "bench", help="regenerate a paper table/figure or ablation"
+    )
+    bench_cmd.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment id, one of: {', '.join(EXPERIMENTS)}",
+    )
+    bench_cmd.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+
+    commands.add_parser("info", help="print version and simulator config")
+    return parser
+
+
+def _emit(table: Table, output: str | None) -> None:
+    if output:
+        write_csv(table, output)
+    else:
+        sys.stdout.write(table_to_csv_string(table))
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    table = read_csv(args.input)
+    kwargs = {}
+    if args.algorithm:
+        kwargs["force_algorithm"] = args.algorithm
+    if args.run_threshold:
+        kwargs["run_threshold"] = args.run_threshold
+    config = SortConfig(**kwargs)
+    if args.external:
+        result = external_sort_table(table, args.by, config)
+    else:
+        result = sort_table(table, args.by, config)
+    _emit(result, args.output)
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    database = Database()
+    for spec in args.table:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise ReproError(
+                f"--table expects NAME=PATH, got {spec!r}"
+            )
+        database.register(name, read_csv(path))
+    if args.explain:
+        print(database.explain(args.query))
+        return 0
+    _emit(database.execute(args.query), args.output)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.list or not args.experiment:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    try:
+        experiment = EXPERIMENTS[args.experiment]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {args.experiment!r}; "
+            "use --list to see the available ids"
+        ) from None
+    print(experiment().render())
+    return 0
+
+
+def _cmd_info() -> int:
+    from repro.sim.machine import Machine
+    from repro.systems import HardwareProfile
+
+    machine = Machine()
+    profile = HardwareProfile()
+    print(f"repro {__version__}")
+    print(f"micro-benchmark simulator: {machine.caches}")
+    print(
+        "end-to-end model: "
+        f"L1 {profile.l1_bytes // 1024} KiB, "
+        f"L2 {profile.l2_bytes // 1024} KiB, "
+        f"L3 {profile.l3_bytes // (1024 * 1024)} MiB, "
+        f"{profile.threads} threads @ {profile.frequency_hz / 1e9:.1f} GHz"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "sort":
+            return _cmd_sort(args)
+        if args.command == "sql":
+            return _cmd_sql(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        return _cmd_info()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `head`) closed the pipe: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

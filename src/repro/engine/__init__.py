@@ -1,0 +1,50 @@
+"""The mini vectorized SQL engine and the virtual-time parallel model."""
+
+from repro.engine.ast_nodes import (
+    CountStar,
+    OrderItem,
+    SelectStatement,
+    StarSelection,
+    SubqueryRef,
+    TableRef,
+)
+from repro.engine.database import Database
+from repro.engine.parallel import PhaseModel, makespan, merge_tree_makespan
+from repro.engine.parser import parse, tokenize
+from repro.engine.plan import (
+    LogicalAggregate,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalTopN,
+    bind,
+    explain,
+    optimize,
+)
+
+__all__ = [
+    "CountStar",
+    "OrderItem",
+    "SelectStatement",
+    "StarSelection",
+    "SubqueryRef",
+    "TableRef",
+    "Database",
+    "PhaseModel",
+    "makespan",
+    "merge_tree_makespan",
+    "parse",
+    "tokenize",
+    "LogicalAggregate",
+    "LogicalLimit",
+    "LogicalPlan",
+    "LogicalProject",
+    "LogicalScan",
+    "LogicalSort",
+    "LogicalTopN",
+    "bind",
+    "explain",
+    "optimize",
+]

@@ -1,0 +1,93 @@
+"""AST for the SQL subset the mini engine executes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.types.sortspec import NullOrder, Order, SortKey, SortSpec
+
+__all__ = [
+    "StarSelection",
+    "CountStar",
+    "AggregateItem",
+    "OrderItem",
+    "TableRef",
+    "SubqueryRef",
+    "SelectStatement",
+    "Selection",
+    "FromItem",
+]
+
+
+@dataclass(frozen=True)
+class StarSelection:
+    """``SELECT *``"""
+
+
+@dataclass(frozen=True)
+class CountStar:
+    """``SELECT count(*)``"""
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """An aggregate in the select list: ``sum(x)``, ``count(y)``, ...
+
+    ``column`` is ``None`` for ``count(*)`` inside a GROUP BY query.
+    """
+
+    function: str
+    column: str | None
+
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY entry."""
+
+    column: str
+    order: Order = Order.ASCENDING
+    null_order: NullOrder | None = None
+
+    def to_sort_key(self) -> SortKey:
+        return SortKey(self.column, self.order, self.null_order)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """FROM <table>"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    """FROM ( <select> ) [AS alias]"""
+
+    query: "SelectStatement"
+    alias: str | None = None
+
+
+Selection = Union[StarSelection, CountStar, tuple]
+FromItem = Union[TableRef, SubqueryRef]
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """One SELECT with optional GROUP BY / ORDER BY / LIMIT / OFFSET."""
+
+    selection: Selection
+    source: FromItem
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    group_by: tuple[str, ...] = ()
+    where: object | None = None  # engine.expressions.Conjunction
+
+    @property
+    def has_order(self) -> bool:
+        return bool(self.order_by)
+
+    def sort_spec(self) -> SortSpec:
+        return SortSpec(tuple(item.to_sort_key() for item in self.order_by))

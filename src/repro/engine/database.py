@@ -1,0 +1,116 @@
+"""The mini database: catalog + parse/bind/optimize/execute.
+
+A deliberately small vectorized-interpreted engine around the sort
+operator, sufficient to run the paper's end-to-end benchmark queries::
+
+    db = Database()
+    db.register("t", table)
+    db.execute("SELECT count(*) FROM (SELECT a FROM t ORDER BY b OFFSET 1) q")
+"""
+
+from __future__ import annotations
+
+from repro.errors import BindError, EngineError
+from repro.engine import plan as planmod
+from repro.engine.operators import (
+    CountAggregateOperator,
+    FilterOperator,
+    GroupByOperator,
+    LimitOperator,
+    PhysicalOperator,
+    ProjectOperator,
+    ScanOperator,
+    SortExecOperator,
+    TopNExecOperator,
+    collect,
+)
+from repro.engine.parser import parse
+from repro.sort.operator import SortConfig
+from repro.table.table import Table
+from repro.types.schema import Schema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-process catalog of tables plus a query executor."""
+
+    def __init__(self, sort_config: SortConfig | None = None) -> None:
+        self._tables: dict[str, Table] = {}
+        self.sort_config = sort_config or SortConfig()
+
+    # -- catalog ---------------------------------------------------------- #
+
+    def register(self, name: str, table: Table) -> None:
+        """Register (or replace) a named table."""
+        if not name or not name.isidentifier():
+            raise EngineError(f"invalid table name {name!r}")
+        self._tables[name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise BindError(
+                f"unknown table {name!r} (have {sorted(self._tables)})"
+            ) from None
+
+    def _schema_of(self, name: str) -> Schema:
+        return self.table(name).schema
+
+    # -- planning ---------------------------------------------------------- #
+
+    def plan(self, sql: str, optimize: bool = True) -> planmod.LogicalPlan:
+        """Parse and bind ``sql``; optionally run the optimizer rewrites."""
+        logical = planmod.bind(parse(sql), self._schema_of)
+        if optimize:
+            logical = planmod.optimize(logical)
+        return logical
+
+    def explain(self, sql: str, optimize: bool = True) -> str:
+        """The textual plan the query would execute."""
+        return planmod.explain(self.plan(sql, optimize))
+
+    def _physical(self, logical: planmod.LogicalPlan) -> PhysicalOperator:
+        if isinstance(logical, planmod.LogicalScan):
+            return ScanOperator(self.table(logical.table_name))
+        if isinstance(logical, planmod.LogicalProject):
+            return ProjectOperator(
+                self._physical(logical.child), logical.columns
+            )
+        if isinstance(logical, planmod.LogicalFilter):
+            return FilterOperator(
+                self._physical(logical.child), logical.condition
+            )
+        if isinstance(logical, planmod.LogicalSort):
+            return SortExecOperator(
+                self._physical(logical.child), logical.spec, self.sort_config
+            )
+        if isinstance(logical, planmod.LogicalLimit):
+            return LimitOperator(
+                self._physical(logical.child), logical.limit, logical.offset
+            )
+        if isinstance(logical, planmod.LogicalAggregate):
+            return CountAggregateOperator(self._physical(logical.child))
+        if isinstance(logical, planmod.LogicalGroupBy):
+            return GroupByOperator(
+                self._physical(logical.child),
+                logical.schema,
+                logical.keys,
+                logical.aggregates,
+                self.sort_config,
+            )
+        if isinstance(logical, planmod.LogicalTopN):
+            return TopNExecOperator(
+                self._physical(logical.child),
+                logical.spec,
+                logical.limit,
+                logical.offset,
+            )
+        raise EngineError(f"no physical operator for {logical!r}")
+
+    # -- execution ---------------------------------------------------------- #
+
+    def execute(self, sql: str, optimize: bool = True) -> Table:
+        """Run a query and return the full result table."""
+        return collect(self._physical(self.plan(sql, optimize)))

@@ -1,0 +1,148 @@
+"""WHERE-clause predicates: comparisons against literals, AND-combined.
+
+The mini engine's filter expressions::
+
+    WHERE a < 10 AND name = 'GERMANY' AND b IS NOT NULL
+
+Grammar (AND-conjunctions of simple comparisons; enough for a usable
+engine without turning this into an expression-compiler project)::
+
+    condition  := comparison (AND comparison)*
+    comparison := column op literal | column IS [NOT] NULL
+    op         := = | <> | < | <= | > | >=
+    literal    := number | 'string' | TRUE | FALSE
+
+Evaluation is vectorized per DataChunk: each comparison produces a boolean
+mask over the vector (NULL comparisons are false, SQL three-valued logic
+collapsed to filter semantics), masks are AND-ed, and the chunk is
+filtered with one gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import BindError, EngineError
+from repro.table.chunk import DataChunk
+from repro.types.datatypes import TypeId
+from repro.types.schema import Schema
+
+__all__ = ["Comparison", "Conjunction", "evaluate_mask", "filter_chunk"]
+
+_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column op literal`` or an IS [NOT] NULL test (op = "is null" /
+    "is not null", literal ignored)."""
+
+    column: str
+    op: str
+    literal: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS + ("is null", "is not null"):
+            raise EngineError(f"unsupported operator {self.op!r}")
+
+    def validate(self, schema: Schema) -> None:
+        if self.column not in schema:
+            raise BindError(
+                f"WHERE column {self.column!r} not found in "
+                f"{list(schema.names)}"
+            )
+        column = schema.column(self.column)
+        if self.op in ("is null", "is not null"):
+            return
+        dtype = column.dtype
+        if dtype.type_id is TypeId.VARCHAR:
+            if not isinstance(self.literal, str):
+                raise BindError(
+                    f"column {self.column!r} is VARCHAR but literal is "
+                    f"{type(self.literal).__name__}"
+                )
+        elif isinstance(self.literal, str):
+            raise BindError(
+                f"column {self.column!r} is {dtype.name} but literal is a "
+                "string"
+            )
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """AND of one or more comparisons."""
+
+    comparisons: tuple[Comparison, ...]
+
+    def __post_init__(self) -> None:
+        if not self.comparisons:
+            raise EngineError("a conjunction needs at least one comparison")
+
+    def validate(self, schema: Schema) -> None:
+        for comparison in self.comparisons:
+            comparison.validate(schema)
+
+
+def _comparison_mask(chunk: DataChunk, comparison: Comparison) -> np.ndarray:
+    vector = chunk.vector(comparison.column)
+    if comparison.op == "is null":
+        return ~vector.validity
+    if comparison.op == "is not null":
+        return vector.validity.copy()
+    data = vector.data
+    literal = comparison.literal
+    if vector.dtype.type_id is TypeId.VARCHAR:
+        values = np.array([str(v) for v in data], dtype=object)
+        raw = _object_compare(values, comparison.op, literal)
+    else:
+        raw = _numeric_compare(data, comparison.op, literal)
+    return raw & vector.validity  # NULL never satisfies a comparison
+
+
+def _numeric_compare(data: np.ndarray, op: str, literal: Any) -> np.ndarray:
+    if op == "=":
+        return data == literal
+    if op == "<>":
+        return data != literal
+    if op == "<":
+        return data < literal
+    if op == "<=":
+        return data <= literal
+    if op == ">":
+        return data > literal
+    return data >= literal
+
+
+def _object_compare(values: np.ndarray, op: str, literal: str) -> np.ndarray:
+    if op == "=":
+        return np.array([v == literal for v in values], dtype=bool)
+    if op == "<>":
+        return np.array([v != literal for v in values], dtype=bool)
+    if op == "<":
+        return np.array([v < literal for v in values], dtype=bool)
+    if op == "<=":
+        return np.array([v <= literal for v in values], dtype=bool)
+    if op == ">":
+        return np.array([v > literal for v in values], dtype=bool)
+    return np.array([v >= literal for v in values], dtype=bool)
+
+
+def evaluate_mask(chunk: DataChunk, condition: Conjunction) -> np.ndarray:
+    """Boolean keep-mask of a conjunction over one chunk."""
+    mask = _comparison_mask(chunk, condition.comparisons[0])
+    for comparison in condition.comparisons[1:]:
+        mask &= _comparison_mask(chunk, comparison)
+    return mask
+
+
+def filter_chunk(chunk: DataChunk, condition: Conjunction) -> DataChunk:
+    """The chunk restricted to rows satisfying the condition."""
+    mask = evaluate_mask(chunk, condition)
+    if mask.all():
+        return chunk
+    indices = np.flatnonzero(mask)
+    vectors = [v.take(indices) for v in chunk.vectors]
+    return DataChunk(chunk.schema, vectors)

@@ -1,0 +1,354 @@
+"""Logical plans, binding, and the two optimizer rules that matter here.
+
+The paper's benchmarking methodology (Section VII-A) hinges on optimizer
+behaviour: a full sort is dropped when its order cannot affect the result
+(aggregate over a sorted subquery), and ``ORDER BY ... LIMIT`` becomes a
+specialized top-N operator.  We implement exactly those rules so the
+paper's counter-measure -- adding ``OFFSET 1`` -- is observable in this
+engine too.
+
+Plan shape::
+
+    Scan -> [Project] -> [Sort] -> [Limit] -> [Aggregate]
+
+built from the AST by :func:`bind`, rewritten by :func:`optimize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.aggregate.groupby import Aggregate
+from repro.errors import BindError
+from repro.engine.ast_nodes import (
+    AggregateItem,
+    CountStar,
+    SelectStatement,
+    StarSelection,
+    SubqueryRef,
+    TableRef,
+)
+from repro.types.datatypes import BIGINT, DOUBLE
+from repro.types.schema import ColumnDef, Schema
+from repro.types.sortspec import SortSpec
+
+__all__ = [
+    "LogicalPlan",
+    "LogicalScan",
+    "LogicalProject",
+    "LogicalFilter",
+    "LogicalSort",
+    "LogicalLimit",
+    "LogicalAggregate",
+    "LogicalGroupBy",
+    "LogicalTopN",
+    "bind",
+    "optimize",
+    "explain",
+]
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """Base class: every node knows its output schema."""
+
+    schema: Schema
+
+
+@dataclass(frozen=True)
+class LogicalScan(LogicalPlan):
+    table_name: str
+
+
+@dataclass(frozen=True)
+class LogicalProject(LogicalPlan):
+    child: LogicalPlan
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LogicalFilter(LogicalPlan):
+    """WHERE: an AND-conjunction of simple comparisons (streaming)."""
+
+    child: LogicalPlan
+    condition: object  # engine.expressions.Conjunction
+
+
+@dataclass(frozen=True)
+class LogicalSort(LogicalPlan):
+    child: LogicalPlan
+    spec: SortSpec
+
+
+@dataclass(frozen=True)
+class LogicalLimit(LogicalPlan):
+    child: LogicalPlan
+    limit: int | None
+    offset: int
+
+
+@dataclass(frozen=True)
+class LogicalAggregate(LogicalPlan):
+    """Global count(*) -- the benchmark queries' bracketing aggregate."""
+
+    child: LogicalPlan
+
+
+@dataclass(frozen=True)
+class LogicalGroupBy(LogicalPlan):
+    """Sort-based GROUP BY with aggregate expressions."""
+
+    child: LogicalPlan
+    keys: tuple[str, ...]
+    aggregates: tuple[Aggregate, ...]
+
+
+@dataclass(frozen=True)
+class LogicalTopN(LogicalPlan):
+    """Fused Sort + Limit produced by the optimizer."""
+
+    child: LogicalPlan
+    spec: SortSpec
+    limit: int
+    offset: int
+
+
+# ---------------------------------------------------------------------- #
+# Binding
+# ---------------------------------------------------------------------- #
+
+CatalogLookup = Callable[[str], Schema]
+
+
+def bind(statement: SelectStatement, catalog: CatalogLookup) -> LogicalPlan:
+    """Resolve names and produce the canonical logical plan."""
+    source = statement.source
+    if isinstance(source, TableRef):
+        schema = catalog(source.name)
+        plan: LogicalPlan = LogicalScan(schema, source.name)
+    elif isinstance(source, SubqueryRef):
+        plan = bind(source.query, catalog)
+    else:  # pragma: no cover - parser only produces the two above
+        raise BindError(f"unsupported FROM item {source!r}")
+
+    if statement.where is not None:
+        statement.where.validate(plan.schema)
+        plan = LogicalFilter(plan.schema, plan, statement.where)
+
+    selection = statement.selection
+    has_aggregate_items = isinstance(selection, tuple) and any(
+        isinstance(item, AggregateItem) for item in selection
+    )
+    if statement.group_by or has_aggregate_items and not isinstance(
+        selection, CountStar
+    ):
+        plan = _bind_group_by(statement, plan)
+        selection = tuple(
+            _select_item_name(item)
+            for item in (
+                statement.selection
+                if isinstance(statement.selection, tuple)
+                else (AggregateItem("count", None),)
+            )
+        )
+    elif isinstance(selection, CountStar) and statement.group_by:
+        plan = _bind_group_by(statement, plan)
+        selection = ("count_star",)
+    elif isinstance(selection, tuple):
+        for name in selection:
+            if name not in plan.schema:
+                raise BindError(
+                    f"column {name!r} not found in {list(plan.schema.names)}"
+                )
+
+    # ORDER BY binds against the columns below the projection (the
+    # source, or the GROUP BY output), like real engines.
+    if statement.has_order:
+        spec = statement.sort_spec()
+        for key in spec.keys:
+            if key.column not in plan.schema:
+                raise BindError(
+                    f"ORDER BY column {key.column!r} not found in "
+                    f"{list(plan.schema.names)}"
+                )
+        plan = LogicalSort(plan.schema, plan, spec)
+
+    if statement.limit is not None or statement.offset is not None:
+        plan = LogicalLimit(
+            plan.schema, plan, statement.limit, statement.offset or 0
+        )
+
+    if isinstance(selection, tuple):
+        projected = plan.schema.select(selection)
+        plan = LogicalProject(projected, plan, tuple(selection))
+    elif isinstance(selection, CountStar):
+        count_schema = Schema((ColumnDef("count_star", BIGINT, False),))
+        plan = LogicalAggregate(count_schema, plan)
+    elif not isinstance(selection, StarSelection):  # pragma: no cover
+        raise BindError(f"unsupported selection {selection!r}")
+    return plan
+
+
+def _select_item_name(item) -> str:
+    if isinstance(item, AggregateItem):
+        return Aggregate(item.function, item.column).output_name
+    return item
+
+
+def _aggregate_output_type(aggregate: Aggregate, child: LogicalPlan):
+    if aggregate.name == "count":
+        return BIGINT
+    if aggregate.name in ("sum", "avg"):
+        return DOUBLE
+    # min/max of strings keeps the type; numerics widen to DOUBLE.
+    dtype = child.schema.column(aggregate.column).dtype
+    return dtype if dtype.is_variable_width else DOUBLE
+
+
+def _bind_group_by(
+    statement: SelectStatement, child: LogicalPlan
+) -> LogicalPlan:
+    """Validate and plan a GROUP BY + aggregates block."""
+    selection = statement.selection
+    items = (
+        selection
+        if isinstance(selection, tuple)
+        else (AggregateItem("count", None),)
+    )
+    keys = statement.group_by
+    if not keys:
+        raise BindError(
+            "aggregates other than a lone count(*) require GROUP BY"
+        )
+    for key in keys:
+        if key not in child.schema:
+            raise BindError(
+                f"GROUP BY column {key!r} not found in "
+                f"{list(child.schema.names)}"
+            )
+    aggregates: list[Aggregate] = []
+    for item in items:
+        if isinstance(item, AggregateItem):
+            if item.column is not None and item.column not in child.schema:
+                raise BindError(
+                    f"aggregate column {item.column!r} not found in "
+                    f"{list(child.schema.names)}"
+                )
+            aggregates.append(Aggregate(item.function, item.column))
+        elif item not in keys:
+            raise BindError(
+                f"column {item!r} must appear in GROUP BY or inside an "
+                "aggregate"
+            )
+    if not aggregates:
+        # Pure grouping (SELECT k FROM t GROUP BY k): count(*) is
+        # computed and projected away, giving DISTINCT semantics.
+        aggregates.append(Aggregate("count", None))
+    defs = [ColumnDef(k, child.schema.column(k).dtype) for k in keys]
+    for aggregate in aggregates:
+        nullable = aggregate.name != "count"
+        defs.append(
+            ColumnDef(
+                aggregate.output_name,
+                _aggregate_output_type(aggregate, child),
+                nullable,
+            )
+        )
+    return LogicalGroupBy(
+        Schema(tuple(defs)), child, tuple(keys), tuple(aggregates)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Optimizer
+# ---------------------------------------------------------------------- #
+
+
+def optimize(plan: LogicalPlan) -> LogicalPlan:
+    """Apply the sort-elision and top-N rewrites bottom-up."""
+    plan = _rewrite_children(plan)
+    if isinstance(plan, LogicalAggregate):
+        plan = replace(plan, child=_drop_irrelevant_sort(plan.child))
+    if isinstance(plan, LogicalLimit) and isinstance(plan.child, LogicalSort):
+        # ORDER BY ... LIMIT n [OFFSET m] -> top-N (paper, Section VII-A).
+        if plan.limit is not None:
+            sort = plan.child
+            return LogicalTopN(
+                plan.schema, sort.child, sort.spec, plan.limit, plan.offset
+            )
+    return plan
+
+
+def _rewrite_children(plan: LogicalPlan) -> LogicalPlan:
+    if isinstance(
+        plan,
+        (
+            LogicalProject,
+            LogicalFilter,
+            LogicalSort,
+            LogicalLimit,
+            LogicalAggregate,
+            LogicalGroupBy,
+        ),
+    ):
+        return replace(plan, child=optimize(plan.child))
+    return plan
+
+
+def _drop_irrelevant_sort(plan: LogicalPlan) -> LogicalPlan:
+    """Remove a Sort whose order cannot affect a count(*) above it.
+
+    Descends through projections.  Stops at Limit/Offset: with OFFSET 1
+    *which* rows survive depends on the order, so the sort must stay --
+    this is exactly why the paper's benchmark query adds OFFSET 1.
+    """
+    if isinstance(plan, LogicalSort):
+        return _drop_irrelevant_sort(plan.child)
+    if isinstance(plan, LogicalProject):
+        return replace(plan, child=_drop_irrelevant_sort(plan.child))
+    return plan
+
+
+# ---------------------------------------------------------------------- #
+# Explain
+# ---------------------------------------------------------------------- #
+
+
+def explain(plan: LogicalPlan, indent: int = 0) -> str:
+    """A compact textual plan tree (for tests and debugging)."""
+    pad = "  " * indent
+    if isinstance(plan, LogicalScan):
+        return f"{pad}Scan({plan.table_name})"
+    if isinstance(plan, LogicalProject):
+        cols = ", ".join(plan.columns)
+        return f"{pad}Project({cols})\n" + explain(plan.child, indent + 1)
+    if isinstance(plan, LogicalFilter):
+        parts = " AND ".join(
+            f"{c.column} {c.op}"
+            + ("" if c.op.startswith("is") else f" {c.literal!r}")
+            for c in plan.condition.comparisons
+        )
+        return f"{pad}Filter({parts})\n" + explain(plan.child, indent + 1)
+    if isinstance(plan, LogicalSort):
+        return f"{pad}Sort({plan.spec})\n" + explain(plan.child, indent + 1)
+    if isinstance(plan, LogicalLimit):
+        return (
+            f"{pad}Limit(limit={plan.limit}, offset={plan.offset})\n"
+            + explain(plan.child, indent + 1)
+        )
+    if isinstance(plan, LogicalAggregate):
+        return f"{pad}Aggregate(count_star)\n" + explain(plan.child, indent + 1)
+    if isinstance(plan, LogicalGroupBy):
+        aggs = ", ".join(a.output_name for a in plan.aggregates)
+        keys = ", ".join(plan.keys)
+        return (
+            f"{pad}GroupBy(keys=[{keys}], aggregates=[{aggs}])\n"
+            + explain(plan.child, indent + 1)
+        )
+    if isinstance(plan, LogicalTopN):
+        return (
+            f"{pad}TopN({plan.spec}, limit={plan.limit}, offset={plan.offset})\n"
+            + explain(plan.child, indent + 1)
+        )
+    raise BindError(f"cannot explain {plan!r}")  # pragma: no cover

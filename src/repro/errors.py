@@ -1,0 +1,55 @@
+"""Exception hierarchy for the rowsort reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  The hierarchy mirrors where in the stack the failure happened:
+type system, storage, sorting, simulator, or the mini SQL engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeError_(ReproError):
+    """A value or column does not match its declared logical type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a referenced column does not exist."""
+
+
+class ConversionError(ReproError):
+    """A value cannot be converted between representations (e.g. DSM/NSM)."""
+
+
+class SortError(ReproError):
+    """A sort operator was configured or driven incorrectly."""
+
+
+class KeyEncodingError(ReproError):
+    """Key normalization failed (unsupported type, bad prefix length, ...)."""
+
+
+class SimulationError(ReproError):
+    """The hardware simulator was misconfigured or misused."""
+
+
+class OutOfMemoryError(SimulationError):
+    """The simulated arena ran out of address space."""
+
+
+class EngineError(ReproError):
+    """The mini query engine failed to plan or execute a query."""
+
+
+class ParseError(EngineError):
+    """The SQL subset parser rejected a query string."""
+
+
+class BindError(EngineError):
+    """A query referenced an unknown table or column."""

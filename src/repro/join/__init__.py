@@ -1,0 +1,6 @@
+"""Join operators built on the sort: merge join and inequality joins."""
+
+from repro.join.iejoin import Predicate, ie_join, inequality_join
+from repro.join.merge_join import merge_join
+
+__all__ = ["Predicate", "ie_join", "inequality_join", "merge_join"]

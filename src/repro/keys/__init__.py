@@ -1,0 +1,44 @@
+"""Key normalization: order-preserving binary key encoding and decoding."""
+
+from repro.keys.decoder import decode_key_row, decode_segment
+from repro.keys.encoding import (
+    encode_fixed_column,
+    encode_float,
+    encode_scalar,
+    encode_signed,
+    encode_string,
+    encode_string_column,
+    encode_unsigned,
+    invert_bytes,
+)
+from repro.keys.normalizer import (
+    DEFAULT_STRING_PREFIX,
+    MAX_STRING_PREFIX,
+    KeyLayout,
+    KeySegment,
+    NormalizedKeys,
+    build_layout,
+    normalize_keys,
+    normalized_key_for_row,
+)
+
+__all__ = [
+    "decode_key_row",
+    "decode_segment",
+    "encode_fixed_column",
+    "encode_float",
+    "encode_scalar",
+    "encode_signed",
+    "encode_string",
+    "encode_string_column",
+    "encode_unsigned",
+    "invert_bytes",
+    "DEFAULT_STRING_PREFIX",
+    "MAX_STRING_PREFIX",
+    "KeyLayout",
+    "KeySegment",
+    "NormalizedKeys",
+    "build_layout",
+    "normalize_keys",
+    "normalized_key_for_row",
+]

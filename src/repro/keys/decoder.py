@@ -1,0 +1,95 @@
+"""Decoding normalized keys back into values.
+
+Decoding is the inverse of :mod:`repro.keys.normalizer` for fixed-width
+types and recovers the stored *prefix* for VARCHAR (the full string is not
+in the key).  It exists for verification: round-trip property tests, and the
+sort operator's debug assertions.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.errors import KeyEncodingError
+from repro.keys.normalizer import KeyLayout, KeySegment
+from repro.types.datatypes import TypeId
+
+__all__ = ["decode_segment", "decode_key_row"]
+
+
+def _decode_unsigned(raw: bytes) -> int:
+    return int.from_bytes(raw, "big")
+
+
+def _decode_signed(raw: bytes) -> int:
+    bits = 8 * len(raw)
+    return int.from_bytes(raw, "big") - (1 << (bits - 1))
+
+
+def _decode_float(raw: bytes) -> float:
+    width = len(raw)
+    bits = int.from_bytes(raw, "big")
+    if width == 4:
+        sign_bit, all_ones, fmt_i, fmt_f = 0x80000000, 0xFFFFFFFF, ">I", ">f"
+    elif width == 8:
+        sign_bit = 0x8000000000000000
+        all_ones = 0xFFFFFFFFFFFFFFFF
+        fmt_i, fmt_f = ">Q", ">d"
+    else:
+        raise KeyEncodingError(f"floats are 4 or 8 bytes, not {width}")
+    if bits & sign_bit:
+        bits = bits & ~sign_bit  # was non-negative: clear the sign bit
+    else:
+        bits = bits ^ all_ones  # was negative: undo full inversion
+    (value,) = struct.unpack(fmt_f, struct.pack(fmt_i, bits))
+    return value
+
+
+def decode_segment(raw: bytes, segment: KeySegment) -> Any:
+    """Decode one segment's bytes (NULL byte + value bytes) to a value.
+
+    Returns ``None`` for NULL.  VARCHAR returns the stored prefix with
+    padding stripped (which equals the original string only if it fit).
+    """
+    if len(raw) != segment.total_width:
+        raise KeyEncodingError(
+            f"segment needs {segment.total_width} bytes, got {len(raw)}"
+        )
+    null_byte, value_bytes = raw[0], raw[1:]
+    if null_byte == segment.null_byte_for_null:
+        return None
+    if null_byte != segment.null_byte_for_valid:
+        raise KeyEncodingError(f"invalid NULL indicator byte {null_byte:#x}")
+    if segment.key.descending:
+        value_bytes = bytes(0xFF - b for b in value_bytes)
+    dtype = segment.dtype
+    if dtype.type_id is TypeId.VARCHAR:
+        return value_bytes.rstrip(b"\x00").decode("utf-8", errors="replace")
+    if dtype.is_float:
+        return _decode_float(value_bytes)
+    if dtype.is_signed:
+        return _decode_signed(value_bytes)
+    value = _decode_unsigned(value_bytes)
+    if dtype.type_id is TypeId.BOOLEAN:
+        return bool(value)
+    return value
+
+
+def decode_key_row(
+    raw: bytes | np.ndarray, layout: KeyLayout
+) -> tuple[Any, ...]:
+    """Decode one full normalized-key row into its tuple of values.
+
+    The row-id suffix, if present, is ignored; use
+    :meth:`~repro.keys.normalizer.NormalizedKeys.row_ids` for those.
+    """
+    if isinstance(raw, np.ndarray):
+        raw = raw.tobytes()
+    values = []
+    for segment in layout.segments:
+        chunk = raw[segment.offset : segment.offset + segment.total_width]
+        values.append(decode_segment(chunk, segment))
+    return tuple(values)

@@ -1,0 +1,303 @@
+"""Building whole normalized keys from tables and sort specs.
+
+A normalized key concatenates, for each ORDER BY column in order:
+
+* one NULL indicator byte, chosen so the requested NULLS FIRST/LAST
+  placement falls out of plain byte comparison, then
+* the order-preserving encoding of the value (see
+  :mod:`repro.keys.encoding`), inverted byte-wise for DESC.
+
+Optionally a big-endian row-id suffix is appended.  The suffix makes any
+sort of the keys stable with respect to the input order and doubles as the
+gather index used to re-order the payload afterwards -- the "pointer packed
+within the row" of the paper's ``OrderKey`` struct.
+
+The result is a dense ``(n, width)`` uint8 matrix.  Comparing two rows of
+the matrix with memcmp is exactly ``tuple_compare`` on the original values,
+except when a VARCHAR key exceeds its prefix; then the key is "inexact" and
+ties must be broken on the full strings (``NormalizedKeys.prefix_exact``
+tells the sort operator whether that pass is needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KeyEncodingError
+from repro.keys.encoding import (
+    encode_fixed_column,
+    encode_scalar,
+    encode_string_column,
+)
+from repro.table.table import Table
+from repro.types.datatypes import DataType, TypeId
+from repro.types.sortspec import SortKey, SortSpec
+
+__all__ = [
+    "DEFAULT_STRING_PREFIX",
+    "MAX_STRING_PREFIX",
+    "KeySegment",
+    "KeyLayout",
+    "NormalizedKeys",
+    "build_layout",
+    "normalize_keys",
+    "normalized_key_for_row",
+]
+
+DEFAULT_STRING_PREFIX = 12
+"""Default VARCHAR prefix length; the paper's DuckDB uses at most 12 bytes."""
+
+MAX_STRING_PREFIX = 12
+"""Upper bound DuckDB places on the runtime-chosen string prefix."""
+
+
+@dataclass(frozen=True)
+class KeySegment:
+    """Where one sort key lives inside the normalized key row.
+
+    Attributes:
+        key: the sort key (column, direction, null placement).
+        dtype: the column's logical type.
+        offset: byte offset of this segment's NULL byte within the key row.
+        value_width: bytes used by the encoded value (excludes the NULL byte).
+    """
+
+    key: SortKey
+    dtype: DataType
+    offset: int
+    value_width: int
+
+    @property
+    def total_width(self) -> int:
+        return 1 + self.value_width
+
+    @property
+    def null_byte_for_null(self) -> int:
+        """NULL indicator byte used for NULL values."""
+        return 0x00 if self.key.nulls_first else 0x01
+
+    @property
+    def null_byte_for_valid(self) -> int:
+        """NULL indicator byte used for present values."""
+        return 0x01 if self.key.nulls_first else 0x00
+
+
+@dataclass(frozen=True)
+class KeyLayout:
+    """The full normalized-key row layout for a sort spec.
+
+    Attributes:
+        segments: one :class:`KeySegment` per sort key, in spec order.
+        key_width: bytes covered by the key segments (before any row id).
+        row_id_width: bytes of the trailing row-id suffix (0 if none).
+    """
+
+    segments: tuple[KeySegment, ...]
+    key_width: int
+    row_id_width: int
+
+    @property
+    def total_width(self) -> int:
+        return self.key_width + self.row_id_width
+
+    @property
+    def has_row_id(self) -> bool:
+        return self.row_id_width > 0
+
+
+def _string_prefix_for(
+    values: np.ndarray, requested: int | None
+) -> tuple[int, bool]:
+    """Choose a VARCHAR prefix length and report whether it is exact.
+
+    DuckDB chooses the prefix at runtime from string-length statistics,
+    capped at 12 bytes.  We do the same: use the maximum UTF-8 length if it
+    is <= MAX_STRING_PREFIX (making prefix comparison exact), else the cap.
+    """
+    max_len = 1
+    for value in values:
+        max_len = max(max_len, len(str(value).encode("utf-8")))
+    if requested is not None:
+        width = requested
+    else:
+        width = min(max_len, MAX_STRING_PREFIX)
+    return width, max_len <= width
+
+
+def build_layout(
+    table: Table,
+    spec: SortSpec,
+    string_prefix: int | None = None,
+    include_row_id: bool = True,
+    row_id_width: int | None = None,
+) -> KeyLayout:
+    """Compute the key layout for sorting ``table`` by ``spec``.
+
+    ``string_prefix`` forces a fixed VARCHAR prefix length; by default the
+    prefix is chosen per column from the data (capped at 12, like DuckDB).
+    ``row_id_width`` (4 or 8) overrides the automatic row-id width, which
+    the sort operator uses so every run shares one layout.
+    """
+    segments = []
+    offset = 0
+    for key in spec.keys:
+        col_def = table.schema.column(key.column)
+        dtype = col_def.dtype
+        if dtype.type_id is TypeId.VARCHAR:
+            width, _ = _string_prefix_for(
+                table.column(key.column).data, string_prefix
+            )
+        else:
+            assert dtype.fixed_width is not None
+            width = dtype.fixed_width
+        segments.append(KeySegment(key, dtype, offset, width))
+        offset += 1 + width
+    n = table.num_rows
+    suffix_width = 0
+    if include_row_id:
+        if row_id_width is not None:
+            if row_id_width not in (4, 8):
+                raise KeyEncodingError(
+                    f"row_id_width must be 4 or 8, got {row_id_width}"
+                )
+            suffix_width = row_id_width
+        else:
+            suffix_width = 4 if n <= 0xFFFFFFFF else 8
+    return KeyLayout(tuple(segments), offset, suffix_width)
+
+
+class NormalizedKeys:
+    """The normalized keys of a table: an ``(n, width)`` uint8 matrix.
+
+    Attributes:
+        layout: byte layout of each key row.
+        matrix: the key bytes; ``matrix[i]`` is row ``i``'s key.
+        prefix_exact: True when memcmp order on ``matrix`` equals the exact
+            tuple order (no VARCHAR value was truncated by its prefix).
+    """
+
+    __slots__ = ("layout", "matrix", "prefix_exact")
+
+    def __init__(
+        self, layout: KeyLayout, matrix: np.ndarray, prefix_exact: bool
+    ) -> None:
+        if matrix.dtype != np.uint8 or matrix.ndim != 2:
+            raise KeyEncodingError("key matrix must be 2-D uint8")
+        if matrix.shape[1] != layout.total_width:
+            raise KeyEncodingError(
+                f"matrix width {matrix.shape[1]} != layout width "
+                f"{layout.total_width}"
+            )
+        self.layout = layout
+        self.matrix = matrix
+        self.prefix_exact = prefix_exact
+
+    def __len__(self) -> int:
+        return len(self.matrix)
+
+    @property
+    def width(self) -> int:
+        return self.layout.total_width
+
+    def row_bytes(self, index: int) -> bytes:
+        """Row ``index``'s key, including any row-id suffix."""
+        return self.matrix[index].tobytes()
+
+    def key_bytes(self, index: int) -> bytes:
+        """Row ``index``'s key *without* the row-id suffix."""
+        return self.matrix[index, : self.layout.key_width].tobytes()
+
+    def row_ids(self) -> np.ndarray:
+        """Decode the row-id suffix of every key (in current matrix order)."""
+        layout = self.layout
+        if not layout.has_row_id:
+            raise KeyEncodingError("keys were built without a row id")
+        suffix = self.matrix[:, layout.key_width :]
+        unsigned = np.uint32 if layout.row_id_width == 4 else np.uint64
+        big_endian = np.dtype(unsigned).newbyteorder(">")
+        flat = np.ascontiguousarray(suffix).view(big_endian).reshape(-1)
+        return flat.astype(np.int64)
+
+
+def normalize_keys(
+    table: Table,
+    spec: SortSpec,
+    string_prefix: int | None = None,
+    include_row_id: bool = True,
+    row_id_base: int = 0,
+    row_id_width: int | None = None,
+) -> NormalizedKeys:
+    """Encode the sort-key columns of ``table`` into normalized keys.
+
+    This is the paper's Figure 7 applied column-by-column, vectorized with
+    numpy: each key column contributes a NULL byte and its value encoding
+    (inverted for DESC), and an optional big-endian row-id suffix follows.
+    ``row_id_base`` offsets the generated row ids (the sort operator gives
+    each run a distinct base so ids are globally unique and stable).
+    """
+    layout = build_layout(table, spec, string_prefix, include_row_id, row_id_width)
+    n = table.num_rows
+    matrix = np.zeros((n, layout.total_width), dtype=np.uint8)
+    prefix_exact = True
+    for segment in layout.segments:
+        column = table.column(segment.key.column)
+        start = segment.offset
+        # NULL indicator byte.
+        valid = column.validity
+        matrix[:, start] = np.where(
+            valid,
+            segment.null_byte_for_valid,
+            segment.null_byte_for_null,
+        )
+        # Value bytes.
+        if segment.dtype.type_id is TypeId.VARCHAR:
+            encoded = encode_string_column(column.data, segment.value_width)
+            _, exact = _string_prefix_for(column.data, segment.value_width)
+            prefix_exact = prefix_exact and exact
+        else:
+            encoded = encode_fixed_column(column.data, segment.dtype)
+        if segment.key.descending:
+            encoded = 0xFF - encoded
+        matrix[:, start + 1 : start + 1 + segment.value_width] = encoded
+        # NULL rows get constant (zero) value bytes so all NULLs tie.
+        if column.has_nulls:
+            matrix[~valid, start + 1 : start + 1 + segment.value_width] = 0
+    if layout.has_row_id:
+        unsigned = np.uint32 if layout.row_id_width == 4 else np.uint64
+        limit = 1 << (8 * layout.row_id_width)
+        if row_id_base + n > limit:
+            raise KeyEncodingError(
+                f"row ids {row_id_base}..{row_id_base + n} overflow "
+                f"{layout.row_id_width}-byte suffix"
+            )
+        ids = np.arange(row_id_base, row_id_base + n, dtype=unsigned)
+        big_endian = ids.astype(np.dtype(unsigned).newbyteorder(">"))
+        matrix[:, layout.key_width :] = (
+            big_endian.view(np.uint8).reshape(n, layout.row_id_width)
+        )
+    return NormalizedKeys(layout, matrix, prefix_exact)
+
+
+def normalized_key_for_row(
+    row: tuple, spec: SortSpec, layout: KeyLayout
+) -> bytes:
+    """Scalar reference encoder: the normalized key of one Python tuple.
+
+    ``row`` holds the key-column values in spec order (``None`` for NULL).
+    Used by tests to cross-check the vectorized path, and by the paper's
+    Figure 7 worked example.
+    """
+    out = bytearray()
+    for value, segment in zip(row, layout.segments):
+        if value is None:
+            out.append(segment.null_byte_for_null)
+            out.extend(b"\x00" * segment.value_width)
+            continue
+        out.append(segment.null_byte_for_valid)
+        encoded = encode_scalar(value, segment.dtype, segment.value_width)
+        if segment.key.descending:
+            encoded = bytes(0xFF - b for b in encoded)
+        out.extend(encoded)
+    return bytes(out)

@@ -1,0 +1,12 @@
+"""NSM (row) storage: fixed-width aligned rows with a string heap."""
+
+from repro.rows.block import RowBlock
+from repro.rows.layout import ROW_ALIGNMENT, STRING_SLOT_WIDTH, RowLayout, RowSlot
+
+__all__ = [
+    "RowBlock",
+    "ROW_ALIGNMENT",
+    "STRING_SLOT_WIDTH",
+    "RowLayout",
+    "RowSlot",
+]

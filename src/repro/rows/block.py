@@ -1,0 +1,185 @@
+"""RowBlock: relational data materialized in NSM (row) form.
+
+A :class:`RowBlock` holds ``n`` fixed-width rows as an ``(n, row_width)``
+uint8 matrix plus a string heap, per the layout in
+:mod:`repro.rows.layout`.  It provides the two conversions the paper's
+Figure 1 shows -- DSM (vectors) to NSM (rows) and back -- and the gather
+operation used to retrieve payload in sorted order.
+
+The scatter/gather is vectorized per column: each column's values are
+written into a strided view of the row matrix in one numpy operation, which
+is the programmatic equivalent of converting "one vector at a time".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConversionError
+from repro.rows.layout import RowLayout
+from repro.table.column import ColumnVector
+from repro.table.table import Table
+from repro.types.datatypes import TypeId
+from repro.types.schema import Schema
+
+__all__ = ["RowBlock"]
+
+
+class RowBlock:
+    """Rows of a table in the fixed-width NSM format plus a string heap."""
+
+    __slots__ = ("layout", "rows", "heap")
+
+    def __init__(
+        self, layout: RowLayout, rows: np.ndarray, heap: bytes
+    ) -> None:
+        if rows.dtype != np.uint8 or rows.ndim != 2:
+            raise ConversionError("row matrix must be 2-D uint8")
+        if rows.shape[1] != layout.row_width:
+            raise ConversionError(
+                f"row width {rows.shape[1]} != layout width {layout.row_width}"
+            )
+        self.layout = layout
+        self.rows = rows
+        self.heap = heap
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def schema(self) -> Schema:
+        return self.layout.schema
+
+    @property
+    def row_width(self) -> int:
+        return self.layout.row_width
+
+    # ------------------------------------------------------------------ #
+    # DSM -> NSM (scatter)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_table(cls, table: Table) -> "RowBlock":
+        """Convert a columnar table to rows (the paper's 'columns to rows')."""
+        layout = RowLayout.for_schema(table.schema)
+        n = table.num_rows
+        rows = np.zeros((n, layout.row_width), dtype=np.uint8)
+        heap = bytearray()
+        for col_index, slot in enumerate(layout.slots):
+            column = table.column_at(col_index)
+            byte_off, bit = layout.validity_position(col_index)
+            rows[:, byte_off] |= (
+                column.validity.astype(np.uint8) << np.uint8(bit)
+            )
+            if slot.is_string:
+                offsets = np.zeros(n, dtype=np.uint32)
+                lengths = np.zeros(n, dtype=np.uint32)
+                for i in np.flatnonzero(column.validity):
+                    raw = str(column.data[i]).encode("utf-8")
+                    offsets[i] = len(heap)
+                    lengths[i] = len(raw)
+                    heap.extend(raw)
+                view = rows[:, slot.offset : slot.offset + 8]
+                view[:, :4] = offsets.view(np.uint8).reshape(n, 4)
+                view[:, 4:] = lengths.view(np.uint8).reshape(n, 4)
+            else:
+                width = slot.width
+                data = np.ascontiguousarray(column.data)
+                raw = data.view(np.uint8).reshape(n, width)
+                rows[:, slot.offset : slot.offset + width] = raw
+        return cls(layout, rows, bytes(heap))
+
+    # ------------------------------------------------------------------ #
+    # NSM -> DSM (gather)
+    # ------------------------------------------------------------------ #
+
+    def to_table(self) -> Table:
+        """Convert rows back to a columnar table ('rows to columns')."""
+        n = len(self.rows)
+        columns = []
+        for col_index, slot in enumerate(self.layout.slots):
+            byte_off, bit = self.layout.validity_position(col_index)
+            validity = (self.rows[:, byte_off] >> np.uint8(bit)) & 1
+            validity = validity.astype(bool)
+            if slot.is_string:
+                view = self.rows[:, slot.offset : slot.offset + 8]
+                offsets = np.ascontiguousarray(view[:, :4]).view(np.uint32)
+                lengths = np.ascontiguousarray(view[:, 4:]).view(np.uint32)
+                offsets = offsets.reshape(-1)
+                lengths = lengths.reshape(-1)
+                data = np.empty(n, dtype=object)
+                for i in range(n):
+                    if validity[i]:
+                        start = int(offsets[i])
+                        data[i] = self.heap[start : start + int(lengths[i])].decode(
+                            "utf-8"
+                        )
+                    else:
+                        data[i] = ""
+            else:
+                raw = np.ascontiguousarray(
+                    self.rows[:, slot.offset : slot.offset + slot.width]
+                )
+                data = raw.view(slot.dtype.numpy_dtype).reshape(-1).copy()
+            columns.append(ColumnVector(slot.dtype, data, validity))
+        return Table(self.schema, columns)
+
+    # ------------------------------------------------------------------ #
+    # Reordering
+    # ------------------------------------------------------------------ #
+
+    def take(self, indices: np.ndarray) -> "RowBlock":
+        """Gather rows by position: one contiguous memcpy per output row.
+
+        This is why NSM payload retrieval has the better access pattern the
+        paper describes -- each gathered row is a single contiguous copy
+        instead of one random access per column.
+        """
+        return RowBlock(self.layout, self.rows[indices], self.heap)
+
+    def concat(self, other: "RowBlock") -> "RowBlock":
+        """This block's rows followed by ``other``'s (re-basing its heap)."""
+        if other.schema.names != self.schema.names:
+            raise ConversionError("cannot concat row blocks of different schemas")
+        shifted = other.rows.copy()
+        heap_base = len(self.heap)
+        for col_index, slot in enumerate(self.layout.slots):
+            if not slot.is_string:
+                continue
+            byte_off, bit = self.layout.validity_position(col_index)
+            valid = ((shifted[:, byte_off] >> np.uint8(bit)) & 1).astype(bool)
+            view = shifted[:, slot.offset : slot.offset + 4]
+            offsets = np.ascontiguousarray(view).view(np.uint32).reshape(-1)
+            offsets = offsets + np.uint32(heap_base)
+            raw = offsets.astype(np.uint32).view(np.uint8).reshape(-1, 4)
+            shifted[valid, slot.offset : slot.offset + 4] = raw[valid]
+        return RowBlock(
+            self.layout,
+            np.concatenate([self.rows, shifted]),
+            self.heap + other.heap,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Point access (tests, debugging)
+    # ------------------------------------------------------------------ #
+
+    def value(self, row: int, column: str) -> Any:
+        """The Python value of one field (``None`` for NULL)."""
+        slot = self.layout.slot(column)
+        col_index = self.schema.index_of(column)
+        byte_off, bit = self.layout.validity_position(col_index)
+        if not (int(self.rows[row, byte_off]) >> bit) & 1:
+            return None
+        raw = self.rows[row, slot.offset : slot.offset + slot.width]
+        if slot.is_string:
+            offset = int(np.ascontiguousarray(raw[:4]).view(np.uint32)[0])
+            length = int(np.ascontiguousarray(raw[4:]).view(np.uint32)[0])
+            return self.heap[offset : offset + length].decode("utf-8")
+        value = np.ascontiguousarray(raw).view(slot.dtype.numpy_dtype)[0]
+        if slot.dtype.is_float:
+            return float(value)
+        if slot.dtype.type_id is TypeId.BOOLEAN:
+            return bool(value)
+        return int(value)

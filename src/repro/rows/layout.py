@@ -1,0 +1,87 @@
+"""The NSM (row) layout: where each column lives inside a fixed-width row.
+
+DuckDB's unified row format, as described in the paper's Figure 11, stores
+rows with a fixed size and 8-byte alignment; variable-sized types (strings)
+are stored separately in a heap and the row holds a fixed-width reference.
+This module computes that layout for a schema:
+
+* a leading validity bitmask (one bit per column, rounded up to whole bytes),
+* one naturally-aligned slot per column -- fixed-width types store the value,
+  VARCHAR stores ``(heap offset: uint32, byte length: uint32)``,
+* the row size padded to a multiple of 8 bytes, because the paper found
+  8-byte alignment "improves the performance of memcpy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types.datatypes import DataType, TypeId
+from repro.types.schema import Schema
+
+__all__ = ["ROW_ALIGNMENT", "STRING_SLOT_WIDTH", "RowSlot", "RowLayout"]
+
+ROW_ALIGNMENT = 8
+"""Rows are padded to a multiple of this many bytes (paper, Section VII)."""
+
+STRING_SLOT_WIDTH = 8
+"""In-row width of a VARCHAR slot: uint32 heap offset + uint32 length."""
+
+
+def _align(offset: int, alignment: int) -> int:
+    """Round ``offset`` up to the next multiple of ``alignment``."""
+    remainder = offset % alignment
+    return offset if remainder == 0 else offset + alignment - remainder
+
+
+@dataclass(frozen=True)
+class RowSlot:
+    """One column's slot inside the row."""
+
+    name: str
+    dtype: DataType
+    offset: int
+    width: int
+
+    @property
+    def is_string(self) -> bool:
+        return self.dtype.type_id is TypeId.VARCHAR
+
+
+@dataclass(frozen=True)
+class RowLayout:
+    """Byte layout of one fixed-width row for a schema."""
+
+    schema: Schema
+    validity_bytes: int
+    slots: tuple[RowSlot, ...]
+    row_width: int
+
+    @classmethod
+    def for_schema(cls, schema: Schema) -> "RowLayout":
+        """Compute the aligned row layout for ``schema``."""
+        validity_bytes = (len(schema) + 7) // 8
+        offset = validity_bytes
+        slots = []
+        for col in schema:
+            if col.dtype.is_variable_width:
+                width = STRING_SLOT_WIDTH
+                alignment = 4
+            else:
+                width = col.dtype.fixed_width
+                alignment = width
+            offset = _align(offset, alignment)
+            slots.append(RowSlot(col.name, col.dtype, offset, width))
+            offset += width
+        row_width = _align(offset, ROW_ALIGNMENT)
+        return cls(schema, validity_bytes, tuple(slots), row_width)
+
+    def slot(self, name: str) -> RowSlot:
+        for s in self.slots:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def validity_position(self, column_index: int) -> tuple[int, int]:
+        """(byte offset, bit) of a column's validity bit within the row."""
+        return column_index // 8, column_index % 8

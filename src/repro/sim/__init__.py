@@ -1,0 +1,27 @@
+"""The simulated machine: caches, branch predictors, arena, cost model."""
+
+from repro.sim.branch import (
+    AlwaysTakenPredictor,
+    BranchPredictor,
+    GShareBranchPredictor,
+    TwoBitPredictor,
+)
+from repro.sim.cache import CacheConfig, CacheHierarchy, CacheLevel
+from repro.sim.counters import PerfCounters
+from repro.sim.machine import CostModel, Machine
+from repro.sim.memory import Arena, Region
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BranchPredictor",
+    "GShareBranchPredictor",
+    "TwoBitPredictor",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevel",
+    "PerfCounters",
+    "CostModel",
+    "Machine",
+    "Arena",
+    "Region",
+]

@@ -1,0 +1,166 @@
+"""Set-associative cache simulation with LRU replacement.
+
+The paper's central explanation for NSM beating DSM is cache behaviour:
+random accesses across separate column arrays miss the L1 data cache, while
+co-located row keys hit it.  This module models exactly that mechanism: a
+configurable set-associative, write-allocate, LRU cache hierarchy that
+classifies each byte-addressed access as hit or miss per level.
+
+Geometry defaults are scaled down from the paper's Xeon (32 KiB 8-way L1,
+64-byte lines) in proportion to the scaled-down workloads, so the
+working-set-vs-capacity crossovers land at the same *relative* input sizes
+as the paper's Figures 2-5 (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["CacheConfig", "CacheLevel", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_size: int = 64
+    associativity: int = 8
+    name: str = "L1"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_size <= 0 or self.associativity <= 0:
+            raise SimulationError("cache geometry must be positive")
+        if self.size_bytes % (self.line_size * self.associativity):
+            raise SimulationError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line*ways = {self.line_size * self.associativity}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_size * self.associativity)
+
+
+class CacheLevel:
+    """One level of set-associative cache with true-LRU replacement."""
+
+    __slots__ = (
+        "config",
+        "_sets",
+        "_num_sets",
+        "_line_bits",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._num_sets = config.num_sets
+        line = config.line_size
+        if line & (line - 1):
+            raise SimulationError("line size must be a power of two")
+        self._line_bits = line.bit_length() - 1
+        # Each set is an ordered list of tags; index 0 = most recent.
+        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access_line(self, line_address: int) -> bool:
+        """Access one line (already address >> line_bits); True on hit."""
+        set_index = line_address % self._num_sets
+        ways = self._sets[set_index]
+        try:
+            position = ways.index(line_address)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, line_address)
+            if len(ways) > self.config.associativity:
+                ways.pop()
+                self.evictions += 1
+            return False
+        self.hits += 1
+        if position:
+            ways.pop(position)
+            ways.insert(0, line_address)
+        return True
+
+    def line_of(self, address: int) -> int:
+        return address >> self._line_bits
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class CacheHierarchy:
+    """An inclusive multi-level hierarchy (L1 [+ L2 ...] + memory).
+
+    ``access(address, size)`` touches every line the byte range covers;
+    a line that misses level i is looked up in level i+1.  Returns the
+    number of L1 misses the access caused (the paper's headline counter).
+    """
+
+    __slots__ = ("levels", "_line_bits")
+
+    def __init__(self, configs: list[CacheConfig]) -> None:
+        if not configs:
+            raise SimulationError("need at least one cache level")
+        line_sizes = {c.line_size for c in configs}
+        if len(line_sizes) != 1:
+            raise SimulationError("all levels must share one line size")
+        self.levels = [CacheLevel(c) for c in configs]
+        self._line_bits = self.levels[0]._line_bits
+
+    @classmethod
+    def scaled_default(cls) -> "CacheHierarchy":
+        """The default scaled geometry: 4 KiB 8-way L1 + 32 KiB 8-way L2.
+
+        The paper's Xeon has a 32 KiB L1; our micro-benchmarks run inputs
+        scaled down ~8x in bytes, so an ~8x smaller L1 preserves where
+        "data no longer fits in cache" happens relative to input size.
+        """
+        return cls(
+            [
+                CacheConfig(4 * 1024, line_size=64, associativity=8, name="L1"),
+                CacheConfig(32 * 1024, line_size=64, associativity=8, name="L2"),
+            ]
+        )
+
+    def access(self, address: int, size: int = 1) -> int:
+        """Access ``size`` bytes at ``address``; returns L1 line misses."""
+        if size <= 0:
+            raise SimulationError(f"access size must be positive, got {size}")
+        first = address >> self._line_bits
+        last = (address + size - 1) >> self._line_bits
+        l1_misses = 0
+        for line in range(first, last + 1):
+            missed_l1 = not self.levels[0].access_line(line)
+            if missed_l1:
+                l1_misses += 1
+                for level in self.levels[1:]:
+                    if level.access_line(line):
+                        break
+        return l1_misses
+
+    def reset(self) -> None:
+        for level in self.levels:
+            level.reset()
+
+    @property
+    def l1(self) -> CacheLevel:
+        return self.levels[0]
+
+    def __str__(self) -> str:
+        parts = [
+            f"{lvl.config.name}: {lvl.config.size_bytes // 1024} KiB "
+            f"{lvl.config.associativity}-way, {lvl.config.line_size} B lines"
+            for lvl in self.levels
+        ]
+        return "; ".join(parts)

@@ -1,0 +1,98 @@
+"""Performance counters: the simulator's answer to ``perf``.
+
+The paper measures ``branch-misses`` and ``L1-dcache-load-misses`` with
+Linux ``perf`` on a bare-metal Xeon.  Our simulated machine exposes the
+same quantities (plus the instruction/overhead counts the cost model needs)
+through a :class:`PerfCounters` record that supports snapshot arithmetic,
+so experiments can report deltas over a region of interest exactly like
+wrapping a region with ``perf stat``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Event counts accumulated by a simulated machine.
+
+    Attributes:
+        instructions: abstract executed operations (address arithmetic,
+            ALU work); each memory access and branch also counts one.
+        reads / writes: memory accesses issued.
+        l1_hits / l1_misses: L1 data-cache line outcomes.
+        l2_hits / l2_misses: L2 outcomes (zero when no L2 is configured).
+        branches / branch_mispredictions: conditional branches executed and
+            how many the predictor got wrong.
+        function_calls: dynamic (indirect) calls -- the "function call
+            overhead" of interpreted engines the paper discusses.
+        interpretation_ops: per-value interpretation steps (type/order
+            dispatch) -- the other interpreted-engine overhead.
+        comparisons / swaps: algorithm-level events, for sanity checks
+            against the analytic comparison counts of Section II.
+    """
+
+    instructions: int = 0
+    reads: int = 0
+    writes: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    branches: int = 0
+    branch_mispredictions: int = 0
+    function_calls: int = 0
+    interpretation_ops: int = 0
+    comparisons: int = 0
+    swaps: int = 0
+
+    def copy(self) -> "PerfCounters":
+        return PerfCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def __sub__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __add__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def l1_miss_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_misses / total if total else 0.0
+
+    @property
+    def branch_miss_rate(self) -> float:
+        return (
+            self.branch_mispredictions / self.branches if self.branches else 0.0
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:
+        return (
+            f"instructions={self.instructions} accesses={self.accesses} "
+            f"L1-miss={self.l1_misses} ({self.l1_miss_rate:.1%}) "
+            f"branch-miss={self.branch_mispredictions} "
+            f"({self.branch_miss_rate:.1%}) calls={self.function_calls} "
+            f"interp={self.interpretation_ops}"
+        )

@@ -1,0 +1,81 @@
+"""The simulated address space: an arena allocator.
+
+Instrumented data structures (the DSM and NSM layouts of
+:mod:`repro.simsort`) need *addresses* so the cache simulator can classify
+their accesses.  The arena hands out disjoint, aligned address ranges; the
+actual values live in ordinary numpy arrays owned by the layouts -- the
+arena only models where they would sit in memory.
+
+Regions are padded apart by a line so that distinct allocations never
+share a cache line (matching ``malloc``-ed arrays in the C++ benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfMemoryError, SimulationError
+
+__all__ = ["Region", "Arena"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One allocated address range."""
+
+    base: int
+    size: int
+    label: str
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def address_of(self, offset: int) -> int:
+        """Byte address of ``offset`` within the region, bounds-checked."""
+        if not 0 <= offset < self.size:
+            raise SimulationError(
+                f"offset {offset} out of bounds for region {self.label!r} "
+                f"of {self.size} bytes"
+            )
+        return self.base + offset
+
+
+class Arena:
+    """Bump allocator over a bounded simulated address space."""
+
+    __slots__ = ("capacity", "alignment", "_cursor", "regions")
+
+    def __init__(
+        self, capacity: int = 1 << 32, alignment: int = 64
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError("arena capacity must be positive")
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise SimulationError("alignment must be a positive power of two")
+        self.capacity = capacity
+        self.alignment = alignment
+        self._cursor = alignment  # keep address 0 unused
+        self.regions: list[Region] = []
+
+    def alloc(self, size: int, label: str = "") -> Region:
+        """Allocate ``size`` bytes aligned to the arena alignment."""
+        if size <= 0:
+            raise SimulationError(f"allocation size must be positive: {size}")
+        base = self._cursor
+        end = base + size
+        if end > self.capacity:
+            raise OutOfMemoryError(
+                f"arena exhausted: need {size} bytes at {base}, "
+                f"capacity {self.capacity}"
+            )
+        # Advance past the region, re-aligning so regions never share lines.
+        step = self.alignment
+        self._cursor = ((end + step - 1) // step) * step
+        region = Region(base, size, label)
+        self.regions.append(region)
+        return region
+
+    @property
+    def bytes_allocated(self) -> int:
+        return sum(r.size for r in self.regions)

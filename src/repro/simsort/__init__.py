@@ -1,0 +1,48 @@
+"""Instrumented sorting: the paper's micro-benchmark suite on the simulator."""
+
+from repro.simsort.adapters import (
+    ColumnarAdapter,
+    NormalizedKeyAdapter,
+    RowAdapter,
+)
+from repro.simsort.algorithms import (
+    duckdb_radix_sort,
+    insertion_sort_adapter,
+    introsort_adapter,
+    lsd_radix_sort,
+    merge_sort_adapter,
+    msd_radix_sort,
+    pdqsort_adapter,
+)
+from repro.simsort.engines import PARADIGMS, EngineRun, run_pipeline
+from repro.simsort.harness import ALGORITHMS, APPROACHES, MicroResult, run_micro
+from repro.simsort.layouts import (
+    ColumnarLayout,
+    NormalizedKeyLayout,
+    RowLayout,
+)
+from repro.simsort.subsort import subsort
+
+__all__ = [
+    "ColumnarAdapter",
+    "NormalizedKeyAdapter",
+    "RowAdapter",
+    "duckdb_radix_sort",
+    "insertion_sort_adapter",
+    "introsort_adapter",
+    "lsd_radix_sort",
+    "merge_sort_adapter",
+    "msd_radix_sort",
+    "pdqsort_adapter",
+    "PARADIGMS",
+    "EngineRun",
+    "run_pipeline",
+    "ALGORITHMS",
+    "APPROACHES",
+    "MicroResult",
+    "run_micro",
+    "ColumnarLayout",
+    "NormalizedKeyLayout",
+    "RowLayout",
+    "subsort",
+]

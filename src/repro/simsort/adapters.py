@@ -1,0 +1,345 @@
+"""Sortable-sequence adapters: layouts + comparison strategies.
+
+An adapter exposes the element interface the instrumented algorithms in
+:mod:`repro.simsort.algorithms` sort through::
+
+    less(i, j, site)   a[i] < a[j]; charges the comparator's accesses,
+                       its internal tie branches, any dynamic-call
+                       overhead, and (if site is given) the algorithm's
+                       data-dependent branch on the outcome
+    swap(i, j)         exchange elements (charged per layout physics)
+    move(dst, src)     a[dst] = a[src]
+    save_temp(i) / store_temp(i) / temp_less(i) / less_temp(i)
+                       the insertion-sort / partition temporary
+    less_between / move_between
+                       buffer-aware variants for merge sort (False = main
+                       buffer, True = auxiliary buffer)
+
+The three comparator dimensions of the paper map to constructor arguments:
+
+* *layout* -- columnar (DSM), row (NSM), or normalized keys;
+* *columns* -- all key columns (tuple-at-a-time) or one (subsort pass);
+* *dynamic* -- charge a function-pointer call per value comparison, the
+  interpreted-engine overhead of Section V-B.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.simsort.layouts import (
+    ColumnarLayout,
+    NormalizedKeyLayout,
+    RowLayout,
+)
+
+__all__ = ["ColumnarAdapter", "RowAdapter", "NormalizedKeyAdapter"]
+
+
+class _AdapterBase:
+    """Shared branch/compare bookkeeping."""
+
+    def __init__(self, machine, num_rows: int) -> None:
+        self.machine = machine
+        self.n = num_rows
+
+    def _outcome_branch(self, site: object, result: bool) -> bool:
+        """The algorithm's branch on a comparison result (if any)."""
+        self.machine.compare()
+        if site is not None:
+            self.machine.branch(site, result)
+        return result
+
+
+class ColumnarAdapter(_AdapterBase):
+    """Sorts DSM data by permuting the row-index array.
+
+    Elements are positions in ``idxs``; comparing two elements loads both
+    indices and then the referenced column values -- the random access
+    pattern of the paper's drawback 1.
+    """
+
+    def __init__(
+        self,
+        layout: ColumnarLayout,
+        columns: Sequence[int] | None = None,
+        dynamic: bool = False,
+    ) -> None:
+        super().__init__(layout.machine, layout.num_rows)
+        self.layout = layout
+        self.columns = tuple(
+            columns if columns is not None else range(layout.num_columns)
+        )
+        if not self.columns:
+            raise SimulationError("need at least one comparison column")
+        self.dynamic = dynamic
+        self._temp_row: int | None = None
+
+    # -- comparisons ---------------------------------------------------- #
+
+    def _compare_rows(self, row_a: int, row_b: int) -> bool:
+        """a < b over the configured columns, charging tie branches."""
+        layout = self.layout
+        multi = len(self.columns) > 1
+        for column in self.columns:
+            if self.dynamic:
+                layout.machine.call()
+            value_a = layout.read_value(column, row_a)
+            value_b = layout.read_value(column, row_b)
+            if value_a != value_b:
+                if multi:
+                    layout.machine.branch(("tie", column), False)
+                return value_a < value_b
+            if multi:
+                layout.machine.branch(("tie", column), True)
+        return False
+
+    def less(self, i: int, j: int, site: object = None) -> bool:
+        row_a = self.layout.read_index(i)
+        row_b = self.layout.read_index(j)
+        return self._outcome_branch(site, self._compare_rows(row_a, row_b))
+
+    # -- movement -------------------------------------------------------- #
+
+    def swap(self, i: int, j: int) -> None:
+        layout = self.layout
+        row_i = layout.read_index(i)
+        row_j = layout.read_index(j)
+        layout.write_index(i, row_j)
+        layout.write_index(j, row_i)
+        self.machine.swap()
+
+    def move(self, dst: int, src: int) -> None:
+        row = self.layout.read_index(src)
+        self.layout.write_index(dst, row)
+        self.machine.swap()
+
+    # -- temp (register-resident index) ---------------------------------- #
+
+    def save_temp(self, position: int) -> None:
+        self._temp_row = self.layout.read_index(position)
+
+    def store_temp(self, position: int) -> None:
+        if self._temp_row is None:
+            raise SimulationError("no temp saved")
+        self.layout.write_index(position, self._temp_row)
+        self.machine.swap()
+
+    def temp_less(self, position: int, site: object = None) -> bool:
+        row_b = self.layout.read_index(position)
+        return self._outcome_branch(
+            site, self._compare_rows(self._temp_row, row_b)
+        )
+
+    def less_temp(self, position: int, site: object = None) -> bool:
+        row_a = self.layout.read_index(position)
+        return self._outcome_branch(
+            site, self._compare_rows(row_a, self._temp_row)
+        )
+
+    # -- merge-sort buffer interface -------------------------------------- #
+
+    def ensure_aux(self) -> None:
+        self.layout.ensure_aux()
+
+    def less_between(
+        self, aux_a: bool, i: int, aux_b: bool, j: int, site: object = None
+    ) -> bool:
+        row_a = self.layout.read_index_from(aux_a, i)
+        row_b = self.layout.read_index_from(aux_b, j)
+        return self._outcome_branch(site, self._compare_rows(row_a, row_b))
+
+    def move_between(
+        self, dst_aux: bool, dst: int, src_aux: bool, src: int
+    ) -> None:
+        row = self.layout.read_index_from(src_aux, src)
+        self.layout.write_index_to(dst_aux, dst, row)
+        self.machine.swap()
+
+
+class RowAdapter(_AdapterBase):
+    """Sorts NSM rows: comparisons are cache-local, movement is physical."""
+
+    def __init__(
+        self,
+        layout: RowLayout,
+        columns: Sequence[int] | None = None,
+        dynamic: bool = False,
+    ) -> None:
+        super().__init__(layout.machine, layout.num_rows)
+        self.layout = layout
+        self.columns = tuple(
+            columns if columns is not None else range(layout.num_columns)
+        )
+        if not self.columns:
+            raise SimulationError("need at least one comparison column")
+        self.dynamic = dynamic
+
+    # -- comparisons ---------------------------------------------------- #
+
+    def less(self, i: int, j: int, site: object = None) -> bool:
+        layout = self.layout
+        multi = len(self.columns) > 1
+        result = False
+        for column in self.columns:
+            if self.dynamic:
+                layout.machine.call()
+            value_a = layout.read_value(column, i)
+            value_b = layout.read_value(column, j)
+            if value_a != value_b:
+                if multi:
+                    layout.machine.branch(("tie", column), False)
+                result = value_a < value_b
+                break
+            if multi:
+                layout.machine.branch(("tie", column), True)
+        return self._outcome_branch(site, result)
+
+    # -- movement -------------------------------------------------------- #
+
+    def swap(self, i: int, j: int) -> None:
+        self.layout.swap_rows(i, j)
+        self.machine.swap()
+
+    def move(self, dst: int, src: int) -> None:
+        self.layout.copy_row(dst, src)
+        self.machine.swap()
+
+    # -- temp ------------------------------------------------------------- #
+
+    def save_temp(self, position: int) -> None:
+        self.layout.save_temp(position)
+
+    def store_temp(self, position: int) -> None:
+        self.layout.store_temp(position)
+        self.machine.swap()
+
+    def _compare_temp(self, position: int, temp_first: bool) -> bool:
+        layout = self.layout
+        multi = len(self.columns) > 1
+        for column in self.columns:
+            if self.dynamic:
+                layout.machine.call()
+            temp_value = layout.temp_value(column)
+            elem_value = layout.read_value(column, position)
+            value_a, value_b = (
+                (temp_value, elem_value)
+                if temp_first
+                else (elem_value, temp_value)
+            )
+            if value_a != value_b:
+                if multi:
+                    layout.machine.branch(("tie", column), False)
+                return value_a < value_b
+            if multi:
+                layout.machine.branch(("tie", column), True)
+        return False
+
+    def temp_less(self, position: int, site: object = None) -> bool:
+        return self._outcome_branch(
+            site, self._compare_temp(position, temp_first=True)
+        )
+
+    def less_temp(self, position: int, site: object = None) -> bool:
+        return self._outcome_branch(
+            site, self._compare_temp(position, temp_first=False)
+        )
+
+    # -- merge-sort buffer interface -------------------------------------- #
+
+    def ensure_aux(self) -> None:
+        self.layout.ensure_aux()
+
+    def less_between(
+        self, aux_a: bool, i: int, aux_b: bool, j: int, site: object = None
+    ) -> bool:
+        layout = self.layout
+        multi = len(self.columns) > 1
+        result = False
+        for column in self.columns:
+            if self.dynamic:
+                layout.machine.call()
+            value_a = layout.read_value_from(aux_a, column, i)
+            value_b = layout.read_value_from(aux_b, column, j)
+            if value_a != value_b:
+                if multi:
+                    layout.machine.branch(("tie", column), False)
+                result = value_a < value_b
+                break
+            if multi:
+                layout.machine.branch(("tie", column), True)
+        return self._outcome_branch(site, result)
+
+    def move_between(
+        self, dst_aux: bool, dst: int, src_aux: bool, src: int
+    ) -> None:
+        self.layout.copy_row_between(dst_aux, dst, src_aux, src)
+        self.machine.swap()
+
+
+class NormalizedKeyAdapter(_AdapterBase):
+    """Sorts normalized keys with memcmp comparisons.
+
+    There is no per-column interpretation and no tie branch: the entire
+    multi-column comparison is one branch-free byte comparison, which is
+    precisely why the paper proposes normalized keys for interpreted
+    engines (Section VI-A).
+    """
+
+    def __init__(self, layout: NormalizedKeyLayout) -> None:
+        super().__init__(layout.machine, layout.num_rows)
+        self.layout = layout
+
+    def less(self, i: int, j: int, site: object = None) -> bool:
+        return self._outcome_branch(site, self.layout.memcmp_less(i, j))
+
+    def swap(self, i: int, j: int) -> None:
+        self.layout.swap_keys(i, j)
+        self.machine.swap()
+
+    def move(self, dst: int, src: int) -> None:
+        self.layout.copy_key(dst, src)
+        self.machine.swap()
+
+    def save_temp(self, position: int) -> None:
+        self.layout.save_temp(position)
+
+    def store_temp(self, position: int) -> None:
+        self.layout.store_temp(position)
+        self.machine.swap()
+
+    def temp_less(self, position: int, site: object = None) -> bool:
+        self.machine.instr(3)
+        result = self.layout.temp_bytes() < self.layout.key_bytes(position)
+        return self._outcome_branch(site, result)
+
+    def less_temp(self, position: int, site: object = None) -> bool:
+        self.machine.instr(3)
+        result = self.layout.key_bytes(position) < self.layout.temp_bytes()
+        return self._outcome_branch(site, result)
+
+    # -- merge-sort buffer interface -------------------------------------- #
+
+    def ensure_aux(self) -> None:
+        self.layout.ensure_aux()
+
+    def _bytes_from(self, aux: bool, position: int) -> bytes:
+        layout = self.layout
+        if aux:
+            self.machine.read(layout.aux_address(position), layout.key_width)
+            return layout.aux[position].tobytes()
+        return layout.key_bytes(position)
+
+    def less_between(
+        self, aux_a: bool, i: int, aux_b: bool, j: int, site: object = None
+    ) -> bool:
+        self.machine.instr(3)
+        result = self._bytes_from(aux_a, i) < self._bytes_from(aux_b, j)
+        return self._outcome_branch(site, result)
+
+    def move_between(
+        self, dst_aux: bool, dst: int, src_aux: bool, src: int
+    ) -> None:
+        self.layout.copy_key_between(dst_aux, dst, src_aux, src)
+        self.machine.swap()

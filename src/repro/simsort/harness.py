@@ -1,0 +1,192 @@
+"""The micro-benchmark harness: run one configuration, get perf counters.
+
+This is the reproduction's equivalent of the paper's C++ micro-benchmark
+binary plus ``perf stat``: pick a layout (columnar / row / normalized),
+an approach (tuple-at-a-time / subsort / memcmp / radix), a sorting
+algorithm (introsort / merge sort / pdqsort / radix), and a comparator
+binding (static / dynamic); run it on a fresh simulated machine; and get
+back the counter deltas and simulated cycles.
+
+Every run verifies the produced order against numpy before returning, so a
+result can never come from a broken sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.cache import CacheHierarchy
+from repro.sim.counters import PerfCounters
+from repro.sim.machine import CostModel, Machine
+from repro.simsort.adapters import (
+    ColumnarAdapter,
+    NormalizedKeyAdapter,
+    RowAdapter,
+)
+from repro.simsort.algorithms import (
+    duckdb_radix_sort,
+    introsort_adapter,
+    lsd_radix_sort,
+    merge_sort_adapter,
+    msd_radix_sort,
+    pdqsort_adapter,
+)
+from repro.simsort.layouts import (
+    ColumnarLayout,
+    NormalizedKeyLayout,
+    RowLayout,
+)
+from repro.simsort.subsort import subsort
+
+__all__ = ["MicroResult", "run_micro", "APPROACHES", "ALGORITHMS"]
+
+APPROACHES = ("tuple", "subsort", "memcmp", "radix", "radix-lsd", "radix-msd")
+ALGORITHMS = ("introsort", "mergesort", "pdqsort")
+
+_ALGORITHM_FNS = {
+    "introsort": introsort_adapter,
+    "mergesort": merge_sort_adapter,
+    "pdqsort": pdqsort_adapter,
+}
+
+
+@dataclass
+class MicroResult:
+    """Outcome of one micro-benchmark run."""
+
+    layout: str
+    approach: str
+    algorithm: str
+    dynamic: bool
+    num_rows: int
+    num_columns: int
+    counters: PerfCounters
+    cycles: float
+    order: np.ndarray
+
+    @property
+    def label(self) -> str:
+        binding = "dynamic" if self.dynamic else "static"
+        return (
+            f"{self.layout}/{self.approach}/{self.algorithm}[{binding}] "
+            f"n={self.num_rows} k={self.num_columns}"
+        )
+
+
+def _expected_stable_order(values: np.ndarray) -> np.ndarray:
+    """numpy's ground truth: stable lexicographic argsort of the rows."""
+    # np.lexsort sorts by the *last* key first; reverse column order.
+    return np.lexsort(tuple(values[:, c] for c in range(values.shape[1] - 1, -1, -1)))
+
+
+def _verify(values: np.ndarray, order: np.ndarray, stable: bool) -> None:
+    n = values.shape[0]
+    if sorted(order.tolist()) != list(range(n)):
+        raise SimulationError("sort produced an invalid permutation")
+    permuted = values[order]
+    rows = [tuple(int(v) for v in permuted[i]) for i in range(n)]
+    for a, b in zip(rows, rows[1:]):
+        if b < a:
+            raise SimulationError("sort produced an unsorted order")
+    if stable:
+        expected = _expected_stable_order(values)
+        if not np.array_equal(order, expected):
+            raise SimulationError("stable sort did not preserve input order")
+
+
+def run_micro(
+    values: np.ndarray,
+    layout: str,
+    approach: str,
+    algorithm: str = "introsort",
+    dynamic: bool = False,
+    machine: Machine | None = None,
+    cache: CacheHierarchy | None = None,
+    cost_model: CostModel | None = None,
+    verify: bool = True,
+) -> MicroResult:
+    """Run one (layout, approach, algorithm) configuration.
+
+    Args:
+        values: ``(n, k)`` uint32 key matrix (see
+            :func:`repro.workloads.distributions.generate_key_columns`).
+        layout: ``"columnar"``, ``"row"``, or ``"normalized"``.
+        approach: ``"tuple"`` (tuple-at-a-time comparator), ``"subsort"``,
+            ``"memcmp"`` (normalized keys + comparison sort), ``"radix"``
+            (DuckDB's LSD/MSD choice), ``"radix-lsd"``, ``"radix-msd"``.
+        algorithm: comparison sort to use where applicable.
+        dynamic: bind the comparator through a per-comparison function
+            call (the interpreted-engine overhead of Section V-B).
+        machine: reuse an existing machine (default: fresh scaled machine).
+        verify: check the resulting order against numpy (on by default).
+    """
+    values = np.ascontiguousarray(values, dtype=np.uint32)
+    if values.ndim != 2:
+        raise SimulationError("values must be (n, k)")
+    if algorithm not in _ALGORITHM_FNS:
+        raise SimulationError(f"unknown algorithm {algorithm!r}")
+    machine = machine or Machine(caches=cache, cost_model=cost_model)
+    algorithm_fn = _ALGORITHM_FNS[algorithm]
+    stable = False
+
+    if layout == "columnar":
+        data = ColumnarLayout(machine, values)
+        with machine.measure() as region:
+            if approach == "tuple":
+                algorithm_fn(ColumnarAdapter(data, dynamic=dynamic))
+            elif approach == "subsort":
+                subsort(data, algorithm_fn, dynamic=dynamic)
+            else:
+                raise SimulationError(
+                    f"columnar layout does not support approach {approach!r}"
+                )
+    elif layout == "row":
+        data = RowLayout(machine, values)
+        with machine.measure() as region:
+            if approach == "tuple":
+                algorithm_fn(RowAdapter(data, dynamic=dynamic))
+            elif approach == "subsort":
+                subsort(data, algorithm_fn, dynamic=dynamic)
+            else:
+                raise SimulationError(
+                    f"row layout does not support approach {approach!r}"
+                )
+    elif layout == "normalized":
+        data = NormalizedKeyLayout(machine, values)
+        stable = approach.startswith("radix")
+        with machine.measure() as region:
+            if approach == "memcmp":
+                algorithm_fn(NormalizedKeyAdapter(data))
+                stable = True  # row-id suffix makes memcmp order stable
+            elif approach == "radix":
+                duckdb_radix_sort(data)
+            elif approach == "radix-lsd":
+                lsd_radix_sort(data)
+            elif approach == "radix-msd":
+                msd_radix_sort(data)
+            else:
+                raise SimulationError(
+                    f"normalized layout does not support approach {approach!r}"
+                )
+    else:
+        raise SimulationError(f"unknown layout {layout!r}")
+
+    order = data.extract_order()
+    if verify and len(values):
+        # Merge sort is stable on every layout.
+        _verify(values, order, stable or algorithm == "mergesort")
+    assert region.counters is not None
+    return MicroResult(
+        layout=layout,
+        approach=approach,
+        algorithm=algorithm,
+        dynamic=dynamic,
+        num_rows=values.shape[0],
+        num_columns=values.shape[1],
+        counters=region.counters,
+        cycles=float(region.cycles),
+        order=order,
+    )

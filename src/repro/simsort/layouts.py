@@ -1,0 +1,381 @@
+"""Instrumented data layouts for the micro-benchmarks.
+
+These are the three physical representations the paper's micro-benchmarks
+sort, each backed by the simulated machine so that every value access is
+classified by the cache simulator:
+
+* :class:`ColumnarLayout` (DSM) -- one array per key column plus an array
+  of row indices; sorting permutes the *indices*, the column data never
+  moves (the paper's drawback 3).
+* :class:`RowLayout` (NSM) -- an array of ``OrderKey``-style structs: the
+  key values of a row plus its row id, contiguous in memory; sorting moves
+  whole rows.
+* :class:`NormalizedKeyLayout` -- fixed-width order-preserving byte strings
+  (big-endian u32 concatenation plus a row-id suffix, the no-NULL special
+  case of :mod:`repro.keys`); compared with memcmp, sortable by radix.
+
+Each layout verifies its final order against numpy's argsort via
+``extract_order`` in the tests, so the instrumentation cannot silently
+corrupt the sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.machine import Machine
+
+__all__ = ["ColumnarLayout", "RowLayout", "NormalizedKeyLayout"]
+
+VALUE_WIDTH = 4
+"""Micro-benchmark keys are unsigned 32-bit integers (paper, Section III)."""
+
+INDEX_WIDTH = 4
+"""Row indices / row ids are 32-bit (inputs are < 2^32 rows)."""
+
+
+def _as_u32_matrix(values: np.ndarray) -> np.ndarray:
+    if values.ndim != 2:
+        raise SimulationError("key values must be an (n, columns) matrix")
+    return np.ascontiguousarray(values, dtype=np.uint32)
+
+
+class ColumnarLayout:
+    """DSM: per-column value arrays, sorted through an index array."""
+
+    def __init__(self, machine: Machine, values: np.ndarray) -> None:
+        values = _as_u32_matrix(values)
+        self.machine = machine
+        self.num_rows, self.num_columns = values.shape
+        self.columns = [values[:, c].copy() for c in range(self.num_columns)]
+        self.indices = np.arange(self.num_rows, dtype=np.int64)
+        n = max(self.num_rows, 1)
+        self.column_regions = [
+            machine.arena.alloc(n * VALUE_WIDTH, f"col{c}")
+            for c in range(self.num_columns)
+        ]
+        self.index_region = machine.arena.alloc(n * INDEX_WIDTH, "idxs")
+        self._aux_indices: np.ndarray | None = None
+        self._aux_region = None
+
+    def ensure_aux(self) -> None:
+        """Allocate the merge-sort auxiliary index array."""
+        if self._aux_indices is None:
+            self._aux_indices = np.zeros(self.num_rows, dtype=np.int64)
+            self._aux_region = self.machine.arena.alloc(
+                max(self.num_rows, 1) * INDEX_WIDTH, "idxs-aux"
+            )
+
+    def _buffer(self, aux: bool) -> tuple[np.ndarray, int]:
+        if aux:
+            if self._aux_indices is None:
+                raise SimulationError("call ensure_aux() first")
+            return self._aux_indices, self._aux_region.base
+        return self.indices, self.index_region.base
+
+    def read_index_from(self, aux: bool, position: int) -> int:
+        array, base = self._buffer(aux)
+        self.machine.read(base + position * INDEX_WIDTH, INDEX_WIDTH)
+        return int(array[position])
+
+    def write_index_to(self, aux: bool, position: int, row: int) -> None:
+        array, base = self._buffer(aux)
+        self.machine.write(base + position * INDEX_WIDTH, INDEX_WIDTH)
+        array[position] = row
+
+    # -- machine-charged primitives ------------------------------------ #
+
+    def read_index(self, position: int) -> int:
+        """Load idxs[position]."""
+        self.machine.read(
+            self.index_region.base + position * INDEX_WIDTH, INDEX_WIDTH
+        )
+        return int(self.indices[position])
+
+    def write_index(self, position: int, row: int) -> None:
+        """Store idxs[position] = row."""
+        self.machine.write(
+            self.index_region.base + position * INDEX_WIDTH, INDEX_WIDTH
+        )
+        self.indices[position] = row
+
+    def read_value(self, column: int, row: int) -> int:
+        """Load cols[column][row] -- the random access DSM sorting causes."""
+        self.machine.read(
+            self.column_regions[column].base + row * VALUE_WIDTH, VALUE_WIDTH
+        )
+        return int(self.columns[column][row])
+
+    # -- verification helpers (not charged) ----------------------------- #
+
+    def extract_order(self) -> np.ndarray:
+        return self.indices.copy()
+
+    def key_tuple(self, position: int) -> tuple[int, ...]:
+        row = int(self.indices[position])
+        return tuple(int(col[row]) for col in self.columns)
+
+
+class RowLayout:
+    """NSM: contiguous (key columns + row id) structs that physically move."""
+
+    def __init__(self, machine: Machine, values: np.ndarray) -> None:
+        values = _as_u32_matrix(values)
+        self.machine = machine
+        self.num_rows, self.num_columns = values.shape
+        # rows[:, :k] = key values, rows[:, k] = row id (the paper's idx).
+        self.rows = np.empty(
+            (self.num_rows, self.num_columns + 1), dtype=np.uint32
+        )
+        self.rows[:, : self.num_columns] = values
+        self.rows[:, self.num_columns] = np.arange(
+            self.num_rows, dtype=np.uint32
+        )
+        self.row_width = (self.num_columns + 1) * VALUE_WIDTH
+        n = max(self.num_rows, 1)
+        self.row_region = machine.arena.alloc(n * self.row_width, "rows")
+        # A stack slot for the temporary row used by swaps / insertion sort.
+        self.temp_region = machine.arena.alloc(self.row_width, "row-temp")
+        self._temp = np.zeros(self.num_columns + 1, dtype=np.uint32)
+        # Separate scratch slot for swaps, so a swap cannot clobber a
+        # pivot/insertion value the algorithm holds in the temp slot.
+        self.scratch_region = machine.arena.alloc(self.row_width, "row-scratch")
+        self._aux_rows: np.ndarray | None = None
+        self._aux_region = None
+
+    def swap_rows(self, i: int, j: int) -> None:
+        """Exchange two rows through the scratch slot (3 memcpys)."""
+        machine = self.machine
+        machine.read(self.row_address(i), self.row_width)
+        machine.write(self.scratch_region.base, self.row_width)
+        machine.read(self.row_address(j), self.row_width)
+        machine.write(self.row_address(i), self.row_width)
+        machine.read(self.scratch_region.base, self.row_width)
+        machine.write(self.row_address(j), self.row_width)
+        self.rows[[i, j]] = self.rows[[j, i]]
+
+    def row_address(self, position: int) -> int:
+        return self.row_region.base + position * self.row_width
+
+    def ensure_aux(self) -> None:
+        """Allocate the merge-sort auxiliary row array."""
+        if self._aux_rows is None:
+            self._aux_rows = np.zeros_like(self.rows)
+            self._aux_region = self.machine.arena.alloc(
+                max(self.num_rows, 1) * self.row_width, "rows-aux"
+            )
+
+    def _buffer(self, aux: bool) -> tuple[np.ndarray, int]:
+        if aux:
+            if self._aux_rows is None:
+                raise SimulationError("call ensure_aux() first")
+            return self._aux_rows, self._aux_region.base
+        return self.rows, self.row_region.base
+
+    def read_value_from(self, aux: bool, column: int, position: int) -> int:
+        array, base = self._buffer(aux)
+        self.machine.read(
+            base + position * self.row_width + column * VALUE_WIDTH,
+            VALUE_WIDTH,
+        )
+        return int(array[position, column])
+
+    def copy_row_between(
+        self, dst_aux: bool, dst: int, src_aux: bool, src: int
+    ) -> None:
+        dst_array, dst_base = self._buffer(dst_aux)
+        src_array, src_base = self._buffer(src_aux)
+        self.machine.read(src_base + src * self.row_width, self.row_width)
+        self.machine.write(dst_base + dst * self.row_width, self.row_width)
+        dst_array[dst] = src_array[src]
+
+    # -- machine-charged primitives ------------------------------------ #
+
+    def read_value(self, column: int, position: int) -> int:
+        """Load one key field of the row at ``position``."""
+        self.machine.read(
+            self.row_address(position) + column * VALUE_WIDTH, VALUE_WIDTH
+        )
+        return int(self.rows[position, column])
+
+    def copy_row(self, dst: int, src: int) -> None:
+        """rows[dst] = rows[src]: one contiguous read + write."""
+        self.machine.read(self.row_address(src), self.row_width)
+        self.machine.write(self.row_address(dst), self.row_width)
+        self.rows[dst] = self.rows[src]
+
+    def save_temp(self, position: int) -> None:
+        self.machine.read(self.row_address(position), self.row_width)
+        self.machine.write(self.temp_region.base, self.row_width)
+        self._temp[:] = self.rows[position]
+
+    def store_temp(self, position: int) -> None:
+        self.machine.read(self.temp_region.base, self.row_width)
+        self.machine.write(self.row_address(position), self.row_width)
+        self.rows[position] = self._temp
+
+    def temp_value(self, column: int) -> int:
+        self.machine.read(
+            self.temp_region.base + column * VALUE_WIDTH, VALUE_WIDTH
+        )
+        return int(self._temp[column])
+
+    # -- verification helpers (not charged) ----------------------------- #
+
+    def extract_order(self) -> np.ndarray:
+        return self.rows[:, self.num_columns].astype(np.int64)
+
+    def key_tuple(self, position: int) -> tuple[int, ...]:
+        return tuple(int(v) for v in self.rows[position, : self.num_columns])
+
+
+class NormalizedKeyLayout:
+    """Fixed-width normalized keys: big-endian values + row-id suffix.
+
+    The micro-benchmark special case of :mod:`repro.keys`: all columns are
+    unsigned 32-bit, ascending, non-NULL, so each column contributes its
+    4 big-endian bytes and no NULL indicator.  memcmp order over the
+    resulting bytes equals tuple order, and the row-id suffix makes keys
+    unique (and sorts ties by input position).
+    """
+
+    def __init__(self, machine: Machine, values: np.ndarray) -> None:
+        values = _as_u32_matrix(values)
+        self.machine = machine
+        self.num_rows, self.num_columns = values.shape
+        self.key_width = self.num_columns * VALUE_WIDTH + INDEX_WIDTH
+        matrix = np.empty((self.num_rows, self.key_width), dtype=np.uint8)
+        big_endian = values.astype(">u4").view(np.uint8)
+        matrix[:, : self.num_columns * VALUE_WIDTH] = big_endian.reshape(
+            self.num_rows, self.num_columns * VALUE_WIDTH
+        )
+        ids = np.arange(self.num_rows, dtype=np.uint32).astype(">u4")
+        matrix[:, self.num_columns * VALUE_WIDTH :] = ids.view(
+            np.uint8
+        ).reshape(self.num_rows, INDEX_WIDTH)
+        self.keys = matrix
+        n = max(self.num_rows, 1)
+        self.key_region = machine.arena.alloc(n * self.key_width, "keys")
+        self.temp_region = machine.arena.alloc(self.key_width, "key-temp")
+        self._temp = np.zeros(self.key_width, dtype=np.uint8)
+        self.scratch_region = machine.arena.alloc(self.key_width, "key-scratch")
+        # Auxiliary buffer for radix scatter / merge sort, lazily allocated.
+        self._aux: np.ndarray | None = None
+        self._aux_region = None
+
+    def key_address(self, position: int) -> int:
+        return self.key_region.base + position * self.key_width
+
+    def ensure_aux(self) -> None:
+        """Allocate the radix/merge auxiliary buffer (same size as keys)."""
+        if self._aux is None:
+            self._aux = np.zeros_like(self.keys)
+            self._aux_region = self.machine.arena.alloc(
+                max(self.num_rows, 1) * self.key_width, "keys-aux"
+            )
+
+    @property
+    def aux(self) -> np.ndarray:
+        if self._aux is None:
+            raise SimulationError("call ensure_aux() first")
+        return self._aux
+
+    def aux_address(self, position: int) -> int:
+        if self._aux_region is None:
+            raise SimulationError("call ensure_aux() first")
+        return self._aux_region.base + position * self.key_width
+
+    # -- machine-charged primitives ------------------------------------ #
+
+    def memcmp_less(self, i: int, j: int) -> bool:
+        """keys[i] < keys[j] byte-wise, reading 8-byte words until decided.
+
+        Models glibc memcmp: word-at-a-time loads of both operands; no
+        per-column interpretation or callbacks (the paper's point).  A
+        small fixed instruction charge stands in for the runtime-size call
+        overhead of a *dynamic* memcmp.
+        """
+        machine = self.machine
+        machine.instr(3)
+        a = self.keys[i]
+        b = self.keys[j]
+        base_a = self.key_address(i)
+        base_b = self.key_address(j)
+        for word_start in range(0, self.key_width, 8):
+            word_end = min(word_start + 8, self.key_width)
+            width = word_end - word_start
+            machine.read(base_a + word_start, width)
+            machine.read(base_b + word_start, width)
+            chunk_a = a[word_start:word_end].tobytes()
+            chunk_b = b[word_start:word_end].tobytes()
+            if chunk_a != chunk_b:
+                return chunk_a < chunk_b
+        return False
+
+    def read_byte(self, position: int, byte_index: int) -> int:
+        self.machine.read(self.key_address(position) + byte_index, 1)
+        return int(self.keys[position, byte_index])
+
+    def copy_key(self, dst: int, src: int) -> None:
+        self.machine.read(self.key_address(src), self.key_width)
+        self.machine.write(self.key_address(dst), self.key_width)
+        self.keys[dst] = self.keys[src]
+
+    def swap_keys(self, i: int, j: int) -> None:
+        """Exchange two key rows through the scratch slot (3 memcpys)."""
+        machine = self.machine
+        machine.read(self.key_address(i), self.key_width)
+        machine.write(self.scratch_region.base, self.key_width)
+        machine.read(self.key_address(j), self.key_width)
+        machine.write(self.key_address(i), self.key_width)
+        machine.read(self.scratch_region.base, self.key_width)
+        machine.write(self.key_address(j), self.key_width)
+        self.keys[[i, j]] = self.keys[[j, i]]
+
+    def copy_key_between(
+        self, dst_aux: bool, dst: int, src_aux: bool, src: int
+    ) -> None:
+        """Copy one key row between the main and auxiliary buffers."""
+        dst_array = self.aux if dst_aux else self.keys
+        src_array = self.aux if src_aux else self.keys
+        dst_base = self.aux_address(dst) if dst_aux else self.key_address(dst)
+        src_base = self.aux_address(src) if src_aux else self.key_address(src)
+        self.machine.read(src_base, self.key_width)
+        self.machine.write(dst_base, self.key_width)
+        dst_array[dst] = src_array[src]
+
+    def read_aux_byte(self, position: int, byte_index: int) -> int:
+        self.machine.read(self.aux_address(position) + byte_index, 1)
+        return int(self.aux[position, byte_index])
+
+    def save_temp(self, position: int) -> None:
+        self.machine.read(self.key_address(position), self.key_width)
+        self.machine.write(self.temp_region.base, self.key_width)
+        self._temp[:] = self.keys[position]
+
+    def store_temp(self, position: int) -> None:
+        self.machine.read(self.temp_region.base, self.key_width)
+        self.machine.write(self.key_address(position), self.key_width)
+        self.keys[position] = self._temp
+
+    def temp_bytes(self) -> bytes:
+        self.machine.read(self.temp_region.base, self.key_width)
+        return self._temp.tobytes()
+
+    def key_bytes(self, position: int) -> bytes:
+        """Charged full-key read (used by temp comparisons)."""
+        self.machine.read(self.key_address(position), self.key_width)
+        return self.keys[position].tobytes()
+
+    # -- verification helpers (not charged) ----------------------------- #
+
+    def extract_order(self) -> np.ndarray:
+        suffix = self.keys[:, self.num_columns * VALUE_WIDTH :]
+        ids = np.ascontiguousarray(suffix).view(">u4").reshape(-1)
+        return ids.astype(np.int64)
+
+    def key_tuple(self, position: int) -> tuple[int, ...]:
+        prefix = self.keys[position, : self.num_columns * VALUE_WIDTH]
+        values = np.ascontiguousarray(prefix).view(">u4")
+        return tuple(int(v) for v in values)

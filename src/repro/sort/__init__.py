@@ -1,0 +1,80 @@
+"""Sorting: algorithms, merge machinery, and the relational sort operator."""
+
+from repro.sort.analysis import (
+    ComparisonBudget,
+    comparison_budget,
+    crossover_runs,
+    merge_comparisons,
+    run_generation_comparisons,
+    run_generation_share,
+)
+from repro.sort.external import ExternalSortOperator, external_sort_table
+from repro.sort.heuristic import KeyStatistics, choose_algorithm, estimate_costs
+from repro.sort.introsort import IntroStats, intro_argsort, introsort
+from repro.sort.kway import KWayStats, cascade_merge, kway_merge
+from repro.sort.merge_path import (
+    merge_partitioned,
+    merge_path_partition,
+    merge_path_partitions,
+)
+from repro.sort.mergesort import MergeStats, merge_argsort, merge_runs, merge_sort
+from repro.sort.operator import (
+    SortConfig,
+    SortOperator,
+    SortStats,
+    SortedRun,
+    sort_table,
+)
+from repro.sort.pdqsort import PdqStats, pdq_argsort, pdqsort
+from repro.sort.radix import (
+    INSERTION_SORT_THRESHOLD,
+    LSD_WIDTH_THRESHOLD,
+    RadixStats,
+    lsd_radix_argsort,
+    msd_radix_argsort,
+    radix_argsort,
+)
+from repro.sort.topn import TopNOperator, top_n
+
+__all__ = [
+    "ComparisonBudget",
+    "comparison_budget",
+    "crossover_runs",
+    "merge_comparisons",
+    "run_generation_comparisons",
+    "run_generation_share",
+    "ExternalSortOperator",
+    "external_sort_table",
+    "KeyStatistics",
+    "choose_algorithm",
+    "estimate_costs",
+    "IntroStats",
+    "intro_argsort",
+    "introsort",
+    "KWayStats",
+    "cascade_merge",
+    "kway_merge",
+    "merge_partitioned",
+    "merge_path_partition",
+    "merge_path_partitions",
+    "MergeStats",
+    "merge_argsort",
+    "merge_runs",
+    "merge_sort",
+    "SortConfig",
+    "SortOperator",
+    "SortStats",
+    "SortedRun",
+    "sort_table",
+    "PdqStats",
+    "pdq_argsort",
+    "pdqsort",
+    "INSERTION_SORT_THRESHOLD",
+    "LSD_WIDTH_THRESHOLD",
+    "RadixStats",
+    "lsd_radix_argsort",
+    "msd_radix_argsort",
+    "radix_argsort",
+    "TopNOperator",
+    "top_n",
+]

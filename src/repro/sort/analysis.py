@@ -1,0 +1,100 @@
+"""The run-generation vs merge comparison-count analysis of Section II.
+
+The paper argues that run generation dominates relational sorting: with k
+sorted runs of n total rows,
+
+* run generation performs  comp_A = n*log2(n) - n*log2(k)  comparisons
+  (k comparison sorts of n/k rows each), and
+* the merge performs       comp_B = n*log2(k)  comparisons
+  (log2(k) per output element),
+
+so comp_A > comp_B whenever k < sqrt(n).  Since k is usually the thread
+count and n the (arbitrarily large) input, run generation takes the bulk of
+the work.  These helpers compute both terms, the crossover, and the
+run-generation share -- the benchmark harness checks measured comparison
+counts against them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SortError
+
+__all__ = [
+    "run_generation_comparisons",
+    "merge_comparisons",
+    "crossover_runs",
+    "run_generation_share",
+    "ComparisonBudget",
+    "comparison_budget",
+]
+
+
+def run_generation_comparisons(n: int, k: int) -> float:
+    """comp_A: average comparisons to sort k runs of n/k rows each."""
+    if n <= 0 or k <= 0 or k > n:
+        raise SortError(f"need 0 < k <= n, got n={n}, k={k}")
+    if n == k:
+        return 0.0
+    return n * math.log2(n) - n * math.log2(k)
+
+
+def merge_comparisons(n: int, k: int) -> float:
+    """comp_B: average comparisons to k-way merge k runs of n total rows."""
+    if n <= 0 or k <= 0 or k > n:
+        raise SortError(f"need 0 < k <= n, got n={n}, k={k}")
+    return n * math.log2(k)
+
+
+def crossover_runs(n: int) -> float:
+    """The k beyond which merging costs more than run generation: sqrt(n)."""
+    if n <= 0:
+        raise SortError(f"need n > 0, got {n}")
+    return math.sqrt(n)
+
+
+def run_generation_share(n: int, k: int) -> float:
+    """Fraction of all comparisons spent in run generation.
+
+    The paper's example: n = 1,000,000 and k = 16 gives about 80%.
+    """
+    comp_a = run_generation_comparisons(n, k)
+    comp_b = merge_comparisons(n, k)
+    total = comp_a + comp_b
+    if total == 0:
+        return 0.0
+    return comp_a / total
+
+
+@dataclass(frozen=True)
+class ComparisonBudget:
+    """comp_A, comp_B, and derived quantities for one (n, k) point."""
+
+    n: int
+    k: int
+    run_generation: float
+    merge: float
+
+    @property
+    def total(self) -> float:
+        return self.run_generation + self.merge
+
+    @property
+    def run_generation_share(self) -> float:
+        return self.run_generation / self.total if self.total else 0.0
+
+    @property
+    def merge_dominates(self) -> bool:
+        return self.merge > self.run_generation
+
+
+def comparison_budget(n: int, k: int) -> ComparisonBudget:
+    """Both §II terms for (n, k) in one record."""
+    return ComparisonBudget(
+        n=n,
+        k=k,
+        run_generation=run_generation_comparisons(n, k),
+        merge=merge_comparisons(n, k),
+    )

@@ -1,0 +1,304 @@
+"""External (out-of-core) sorting: graceful degradation beyond memory.
+
+The paper's future-work section calls for blocking operators whose
+"performance gracefully degrades as the data size exceeds the memory
+limit", using the unified row format "to offload the data to secondary
+storage".  This module implements that design for the sort operator:
+
+* runs are generated exactly as in :mod:`repro.sort.operator` (normalized
+  keys + row-format payload), but once sorted each run is **spilled** to a
+  temporary file instead of held in memory;
+* finalization streams the spilled runs back block-by-block through a k-way
+  merge, so peak memory is O(num_runs * block_rows) instead of O(n).
+
+The spill format per run is a single ``.npz`` with the sorted key matrix,
+the payload row matrix, and the string heap -- the unified row format
+serializes trivially because it is already flat bytes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import SortError
+from repro.keys.normalizer import normalize_keys
+from repro.rows.block import RowBlock
+from repro.rows.layout import RowLayout
+from repro.sort.operator import SortConfig
+from repro.sort.pdqsort import pdqsort
+from repro.sort.radix import radix_argsort
+from repro.table.chunk import DataChunk, chunk_table
+from repro.table.table import Table
+from repro.types.datatypes import TypeId
+from repro.types.schema import Schema
+from repro.types.sortspec import SortSpec
+
+__all__ = ["SpilledRun", "ExternalSortOperator", "external_sort_table"]
+
+
+@dataclass
+class SpilledRun:
+    """A sorted run on disk: path plus enough metadata to stream it back."""
+
+    path: str
+    num_rows: int
+
+    def load(self) -> tuple[np.ndarray, np.ndarray, bytes]:
+        """Read back (keys, rows, heap) of the whole run."""
+        with np.load(self.path, allow_pickle=False) as archive:
+            return (
+                archive["keys"],
+                archive["rows"],
+                archive["heap"].tobytes(),
+            )
+
+    def iter_blocks(
+        self, block_rows: int
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (keys, rows) slices of at most ``block_rows`` rows.
+
+        The heap is not sliced (string offsets are run-relative); callers
+        that need strings load it once per run via :meth:`load`.
+        """
+        keys, rows, _ = self.load()
+        for start in range(0, self.num_rows, block_rows):
+            stop = min(start + block_rows, self.num_rows)
+            yield keys[start:stop], rows[start:stop]
+
+
+class ExternalSortOperator:
+    """Sort that spills sorted runs to disk and streams the merge.
+
+    The public protocol matches :class:`~repro.sort.operator.SortOperator`:
+    ``sink`` chunks, then ``finalize``.  ``spill_directory`` defaults to a
+    fresh temporary directory that is removed on finalize.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        spec: SortSpec,
+        config: SortConfig | None = None,
+        spill_directory: str | None = None,
+        merge_block_rows: int = 4096,
+    ) -> None:
+        if merge_block_rows <= 0:
+            raise SortError("merge_block_rows must be positive")
+        self.schema = schema
+        self.spec = spec
+        self.config = config or SortConfig()
+        self._own_dir = spill_directory is None
+        self._dir = spill_directory or tempfile.mkdtemp(prefix="repro-spill-")
+        self.merge_block_rows = merge_block_rows
+        self._buffer: list[DataChunk] = []
+        self._buffered_rows = 0
+        self._runs: list[SpilledRun] = []
+        self._finalized = False
+        self._has_string_key = any(
+            schema.column(name).dtype.type_id is TypeId.VARCHAR
+            for name in spec.column_names
+        )
+        self._next_row_id = 0
+
+    @property
+    def spilled_runs(self) -> int:
+        return len(self._runs)
+
+    @property
+    def spilled_bytes(self) -> int:
+        return sum(
+            os.path.getsize(run.path)
+            for run in self._runs
+            if os.path.exists(run.path)
+        )
+
+    def sink(self, chunk: DataChunk) -> None:
+        if self._finalized:
+            raise SortError("cannot sink into a finalized sort")
+        if len(chunk) == 0:
+            return
+        self._buffer.append(chunk)
+        self._buffered_rows += len(chunk)
+        if self._buffered_rows >= self.config.run_threshold:
+            self._spill_run()
+
+    def _spill_run(self) -> None:
+        if not self._buffer:
+            return
+        table = self._buffer[0].to_table()
+        for chunk in self._buffer[1:]:
+            table = table.concat(chunk.to_table())
+        self._buffer.clear()
+        self._buffered_rows = 0
+
+        keys = normalize_keys(
+            table,
+            self.spec,
+            string_prefix=self.config.string_prefix,
+            include_row_id=True,
+            row_id_base=self._next_row_id,
+            row_id_width=8,
+        )
+        self._next_row_id += len(table)
+        if not keys.prefix_exact:
+            raise SortError(
+                "external sort requires exact key prefixes; raise "
+                "SortConfig.string_prefix or shorten the strings"
+            )
+        if self._has_string_key and self.config.force_algorithm != "radix":
+            raw = [keys.matrix[i].tobytes() for i in range(len(table))]
+            order_list = list(range(len(table)))
+            pdqsort(order_list, lambda i, j: raw[i] < raw[j])
+            order = np.asarray(order_list, dtype=np.int64)
+        else:
+            # Stable radix over the key bytes only (see SortOperator).
+            order = radix_argsort(keys.matrix[:, : keys.layout.key_width])
+
+        block = RowBlock.from_table(table).take(order)
+        path = os.path.join(self._dir, f"run-{len(self._runs):05d}.npz")
+        np.savez(
+            path,
+            keys=keys.matrix[order],
+            rows=block.rows,
+            heap=np.frombuffer(block.heap, dtype=np.uint8),
+        )
+        self._runs.append(SpilledRun(path, len(table)))
+
+    def finalize(self) -> Table:
+        """Stream-merge the spilled runs into the sorted output table."""
+        if self._finalized:
+            raise SortError("sort already finalized")
+        self._finalized = True
+        if self._buffer:
+            self._spill_run()
+        try:
+            if not self._runs:
+                return Table.empty(self.schema)
+            return self._merge_streams()
+        finally:
+            self._cleanup()
+
+    def _merge_streams(self) -> Table:
+        """K-way merge of spilled runs, reading block_rows rows at a time."""
+        layout = RowLayout.for_schema(self.schema)
+        # Load heaps fully (strings must stay addressable); keys/rows stream.
+        loaded = [run.load() for run in self._runs]
+        heaps = [heap for _, _, heap in loaded]
+        keys_list = [keys for keys, _, _ in loaded]
+        rows_list = [rows for _, rows, _ in loaded]
+
+        # Streaming cursors: (key bytes, run index, position) on a heap.
+        heap: list[tuple[bytes, int, int]] = []
+        for run_index, keys in enumerate(keys_list):
+            if len(keys):
+                heap.append((keys[0].tobytes(), run_index, 0))
+        heapq.heapify(heap)
+
+        has_strings = any(slot.is_string for slot in layout.slots)
+        out_blocks: list[RowBlock] = []
+        pending_rows: list[np.ndarray] = []
+        pending_heap_parts: list[bytes] = []
+        pending_heap_bytes = 0
+
+        def flush_pending() -> None:
+            nonlocal pending_heap_bytes
+            if not pending_rows:
+                return
+            rows = np.stack(pending_rows)
+            block = RowBlock(layout, rows, b"".join(pending_heap_parts))
+            out_blocks.append(block)
+            pending_rows.clear()
+            pending_heap_parts.clear()
+            pending_heap_bytes = 0
+
+        result: Table | None = None
+        while heap:
+            _, run_index, position = heapq.heappop(heap)
+            if has_strings:
+                row = rows_list[run_index][position].copy()
+                row, heap_part = _rebase_strings(
+                    layout, row, heaps[run_index], pending_heap_bytes
+                )
+                pending_heap_parts.append(heap_part)
+                pending_heap_bytes += len(heap_part)
+            else:
+                row = rows_list[run_index][position]
+            pending_rows.append(row)
+            if len(pending_rows) >= self.merge_block_rows:
+                flush_pending()
+            next_position = position + 1
+            if next_position < len(keys_list[run_index]):
+                heapq.heappush(
+                    heap,
+                    (
+                        keys_list[run_index][next_position].tobytes(),
+                        run_index,
+                        next_position,
+                    ),
+                )
+        flush_pending()
+        for block in out_blocks:
+            table = block.to_table()
+            result = table if result is None else result.concat(table)
+        return result if result is not None else Table.empty(self.schema)
+
+    def _cleanup(self) -> None:
+        for run in self._runs:
+            try:
+                os.remove(run.path)
+            except OSError:
+                pass
+        if self._own_dir:
+            try:
+                os.rmdir(self._dir)
+            except OSError:
+                pass
+
+
+def external_sort_table(
+    table: Table,
+    spec: SortSpec | str,
+    config: SortConfig | None = None,
+    spill_directory: str | None = None,
+) -> Table:
+    """One-shot external sort of a table (spills runs to disk)."""
+    if isinstance(spec, str):
+        spec = SortSpec.of(*[part.strip() for part in spec.split(",")])
+    config = config or SortConfig()
+    operator = ExternalSortOperator(
+        table.schema, spec, config, spill_directory
+    )
+    for chunk in chunk_table(table, config.vector_size):
+        operator.sink(chunk)
+    return operator.finalize()
+
+
+def _rebase_strings(
+    layout: RowLayout, row: np.ndarray, source_heap: bytes, heap_base: int
+) -> tuple[np.ndarray, bytes]:
+    """Copy a row's strings out of its run heap into the output heap.
+
+    Returns the adjusted row and the bytes to append to the output heap.
+    """
+    parts: list[bytes] = []
+    cursor = heap_base
+    for col_index, slot in enumerate(layout.slots):
+        if not slot.is_string:
+            continue
+        byte_off, bit = layout.validity_position(col_index)
+        if not (int(row[byte_off]) >> bit) & 1:
+            continue
+        view = row[slot.offset : slot.offset + 8]
+        offset = int(np.ascontiguousarray(view[:4]).view(np.uint32)[0])
+        length = int(np.ascontiguousarray(view[4:]).view(np.uint32)[0])
+        parts.append(source_heap[offset : offset + length])
+        new_offset = np.array([cursor], dtype=np.uint32)
+        row[slot.offset : slot.offset + 4] = new_offset.view(np.uint8)
+        cursor += length
+    return row, b"".join(parts)

@@ -1,0 +1,165 @@
+"""Introsort: the ``std::sort`` analogue used by the micro-benchmarks.
+
+The paper deliberately benchmarks layouts and comparators against
+``std::sort`` -- an introspective sort (Musser 1997): median-of-3 quicksort
+that switches to heapsort past a 2*log2(n) depth limit and finishes small
+partitions with insertion sort.  This port keeps that structure so the
+production face and the instrumented simulator face run the same algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, MutableSequence
+
+__all__ = ["INSERTION_THRESHOLD", "IntroStats", "introsort", "intro_argsort"]
+
+INSERTION_THRESHOLD = 16
+"""libstdc++'s cutoff below which partitions are insertion sorted."""
+
+Less = Callable[[Any, Any], bool]
+
+
+class IntroStats:
+    """Counters describing one introsort run."""
+
+    __slots__ = ("comparisons", "swaps", "heapsort_fallbacks")
+
+    def __init__(self) -> None:
+        self.comparisons = 0
+        self.swaps = 0
+        self.heapsort_fallbacks = 0
+
+
+def _default_less(a: Any, b: Any) -> bool:
+    return a < b
+
+
+def introsort(
+    items: MutableSequence[Any],
+    less: Less | None = None,
+    stats: IntroStats | None = None,
+) -> None:
+    """Sort ``items`` in place with introspective sort."""
+    n = len(items)
+    if n < 2:
+        return
+    worker = _Intro(items, less or _default_less, stats)
+    worker.sort(0, n, 2 * _log2(n))
+    worker.insertion_sort(0, n)
+
+
+def intro_argsort(keys: list[Any], less: Less | None = None) -> list[int]:
+    """Indices that would sort ``keys`` (unstable, like std::sort)."""
+    base_less = less or _default_less
+    order = list(range(len(keys)))
+    introsort(order, lambda i, j: base_less(keys[i], keys[j]))
+    return order
+
+
+def _log2(n: int) -> int:
+    return max(1, n.bit_length() - 1)
+
+
+class _Intro:
+    __slots__ = ("a", "less", "stats")
+
+    def __init__(self, a: MutableSequence[Any], less: Less, stats) -> None:
+        self.a = a
+        self.less = less
+        self.stats = stats
+
+    def _lt(self, x: Any, y: Any) -> bool:
+        if self.stats is not None:
+            self.stats.comparisons += 1
+        return self.less(x, y)
+
+    def _swap(self, i: int, j: int) -> None:
+        if self.stats is not None:
+            self.stats.swaps += 1
+        a = self.a
+        a[i], a[j] = a[j], a[i]
+
+    def _median_to_first(self, first: int, i: int, j: int, k: int) -> None:
+        """Place the median of a[i], a[j], a[k] at a[first]."""
+        a = self.a
+        if self._lt(a[i], a[j]):
+            if self._lt(a[j], a[k]):
+                self._swap(first, j)
+            elif self._lt(a[i], a[k]):
+                self._swap(first, k)
+            else:
+                self._swap(first, i)
+        elif self._lt(a[i], a[k]):
+            self._swap(first, i)
+        elif self._lt(a[j], a[k]):
+            self._swap(first, k)
+        else:
+            self._swap(first, j)
+
+    def _partition(self, begin: int, end: int) -> int:
+        """Hoare partition on the median-of-3 pivot placed at a[begin]."""
+        a = self.a
+        mid = begin + (end - begin) // 2
+        self._median_to_first(begin, begin + 1, mid, end - 1)
+        pivot = a[begin]
+        first, last = begin + 1, end
+        while True:
+            while self._lt(a[first], pivot):
+                first += 1
+            last -= 1
+            while self._lt(pivot, a[last]):
+                last -= 1
+            if first >= last:
+                return first
+            self._swap(first, last)
+            first += 1
+
+    def _heapsort(self, begin: int, end: int) -> None:
+        if self.stats is not None:
+            self.stats.heapsort_fallbacks += 1
+        n = end - begin
+
+        def sift_down(root: int, stop: int) -> None:
+            a = self.a
+            while True:
+                child = 2 * (root - begin) + 1 + begin
+                if child >= stop:
+                    return
+                if child + 1 < stop and self._lt(a[child], a[child + 1]):
+                    child += 1
+                if self._lt(a[root], a[child]):
+                    self._swap(root, child)
+                    root = child
+                else:
+                    return
+
+        for start in range(begin + n // 2 - 1, begin - 1, -1):
+            sift_down(start, end)
+        for stop in range(end - 1, begin, -1):
+            self._swap(begin, stop)
+            sift_down(begin, stop)
+
+    def sort(self, begin: int, end: int, depth_limit: int) -> None:
+        """The introsort loop: quicksort until small or too deep.
+
+        Like libstdc++, partitions below INSERTION_THRESHOLD are left
+        unsorted here and finished by one final insertion-sort sweep.
+        """
+        while end - begin > INSERTION_THRESHOLD:
+            if depth_limit == 0:
+                self._heapsort(begin, end)
+                return
+            depth_limit -= 1
+            cut = self._partition(begin, end)
+            self.sort(cut, end, depth_limit)
+            end = cut
+
+    def insertion_sort(self, begin: int, end: int) -> None:
+        a = self.a
+        for i in range(begin + 1, end):
+            value = a[i]
+            j = i - 1
+            while j >= begin and self._lt(value, a[j]):
+                a[j + 1] = a[j]
+                j -= 1
+            a[j + 1] = value

@@ -1,0 +1,130 @@
+"""K-way merging of sorted runs.
+
+ClickHouse, HyPer, and Umbra merge their thread-local sorted runs with a
+k-way merge (paper, Section VII); DuckDB instead cascades 2-way merges.
+Both are provided here.  The k-way merge uses a binary tournament heap, so
+each output element costs about log2(k) comparisons -- the ``comp_B`` term
+of the paper's Section II analysis.
+
+Stability: runs are merged with run index as the tiebreaker, so the merge
+is stable across runs if each run is internally stable and runs are given
+in input order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["KWayStats", "kway_merge", "cascade_merge"]
+
+Less = Callable[[Any, Any], bool]
+
+
+class KWayStats:
+    """Counters describing a merge phase."""
+
+    __slots__ = ("comparisons", "moves", "rounds")
+
+    def __init__(self) -> None:
+        self.comparisons = 0
+        self.moves = 0
+        self.rounds = 0
+
+
+class _HeapKey:
+    """Adapter making an arbitrary ``less`` usable inside heapq."""
+
+    __slots__ = ("value", "run", "less", "stats")
+
+    def __init__(self, value: Any, run: int, less: Less, stats) -> None:
+        self.value = value
+        self.run = run
+        self.less = less
+        self.stats = stats
+
+    def __lt__(self, other: "_HeapKey") -> bool:
+        if self.stats is not None:
+            self.stats.comparisons += 1
+        if self.less(self.value, other.value):
+            return True
+        if self.less(other.value, self.value):
+            return False
+        return self.run < other.run  # stability across runs
+
+
+def _default_less(a: Any, b: Any) -> bool:
+    return a < b
+
+
+def kway_merge(
+    runs: Sequence[Iterable[Any]],
+    less: Less | None = None,
+    stats: KWayStats | None = None,
+) -> list[Any]:
+    """Merge ``k`` sorted runs into one sorted list with a tournament heap."""
+    less = less or _default_less
+    iterators = [iter(run) for run in runs]
+    heap: list[_HeapKey] = []
+    for run_index, iterator in enumerate(iterators):
+        try:
+            first = next(iterator)
+        except StopIteration:
+            continue
+        heap.append(_HeapKey(first, run_index, less, stats))
+    heapq.heapify(heap)
+    out: list[Any] = []
+    while heap:
+        head = heap[0]
+        out.append(head.value)
+        if stats is not None:
+            stats.moves += 1
+        try:
+            replacement = next(iterators[head.run])
+        except StopIteration:
+            heapq.heappop(heap)
+            continue
+        heapq.heapreplace(
+            heap, _HeapKey(replacement, head.run, less, stats)
+        )
+    return out
+
+
+def cascade_merge(
+    runs: Sequence[list[Any]],
+    less: Less | None = None,
+    stats: KWayStats | None = None,
+) -> list[Any]:
+    """DuckDB-style cascaded 2-way merge: pair up runs until one remains.
+
+    Each round merges adjacent pairs (preserving run order for stability).
+    With r runs there are ceil(log2(r)) rounds; every round streams all n
+    elements once, which is why the cascade is easy to parallelize with
+    Merge Path but does more data movement than one k-way pass.
+    """
+    from repro.sort.mergesort import merge_runs
+
+    base_less = less or _default_less
+    if stats is not None:
+        def counting_less(x: Any, y: Any) -> bool:
+            stats.comparisons += 1
+            return base_less(x, y)
+        effective_less: Less = counting_less
+    else:
+        effective_less = base_less
+    current = [list(run) for run in runs]
+    if not current:
+        return []
+    while len(current) > 1:
+        if stats is not None:
+            stats.rounds += 1
+        paired: list[list[Any]] = []
+        for i in range(0, len(current) - 1, 2):
+            merged = merge_runs(current[i], current[i + 1], effective_less)
+            if stats is not None:
+                stats.moves += len(merged)
+            paired.append(merged)
+        if len(current) % 2 == 1:
+            paired.append(current[-1])
+        current = paired
+    return current[0]

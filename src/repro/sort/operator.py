@@ -1,0 +1,402 @@
+"""The relational sort operator: DuckDB's pipeline from Figure 11.
+
+The operator is a pipeline breaker: it sinks all input as vector chunks,
+then produces the fully sorted table.  The stages mirror the paper:
+
+1. **Materialize** -- incoming vectors are buffered; when a buffer reaches
+   the run threshold it is converted to row formats: the ORDER BY columns
+   become *normalized keys* (one order-preserving byte string per row, with
+   a row-id suffix), all output columns become fixed-width NSM *payload
+   rows* with a string heap.
+2. **Run generation** -- the normalized keys of each buffer are sorted with
+   radix sort, or pdqsort with memcmp if the keys contain strings (DuckDB's
+   rule); the payload is immediately reordered, yielding fully sorted runs.
+3. **Merge** -- sorted runs are merged with a cascaded 2-way merge comparing
+   whole keys with memcmp (full strings break prefix ties), until one run
+   remains.
+4. **Output** -- the final row block is converted back to vectors/columns.
+
+``sort_table`` wraps the operator for one-shot use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import SortError
+from repro.keys.normalizer import MAX_STRING_PREFIX, NormalizedKeys, normalize_keys
+from repro.rows.block import RowBlock
+from repro.sort.pdqsort import pdqsort
+from repro.sort.radix import (
+    LSD_WIDTH_THRESHOLD,
+    RadixStats,
+    radix_argsort,
+)
+from repro.table.chunk import VECTOR_SIZE, DataChunk, chunk_table
+from repro.table.table import Table
+from repro.types.datatypes import TypeId
+from repro.types.schema import Schema
+from repro.types.sortspec import SortSpec, compare_values
+
+__all__ = ["SortConfig", "SortStats", "SortedRun", "SortOperator", "sort_table"]
+
+
+def _segmented_compare(raw_a, raw_b, layout, spec, fetch_a, fetch_b) -> int:
+    """Three-way compare of two normalized keys, segment by segment.
+
+    Fixed-width segments are decided by their bytes.  A VARCHAR segment
+    whose (possibly truncated) prefix bytes tie falls back to comparing
+    the full string values -- fetched lazily via ``fetch_a``/``fetch_b``
+    (called with the key-column ordinal) -- before any later key column is
+    consulted.  This is the order DuckDB's "compare the rest of the string
+    only if the prefixes are equal" implies.
+    """
+    for col, segment in enumerate(layout.segments):
+        start = segment.offset
+        stop = start + segment.total_width
+        seg_a = raw_a[start:stop]
+        seg_b = raw_b[start:stop]
+        if seg_a != seg_b:
+            return -1 if seg_a < seg_b else 1
+        if segment.dtype.type_id is TypeId.VARCHAR:
+            cmp = compare_values(fetch_a(col), fetch_b(col), segment.key)
+            if cmp != 0:
+                return cmp
+    return 0
+
+DEFAULT_RUN_THRESHOLD = 1 << 17
+"""Rows buffered per thread before a sorted run is generated."""
+
+
+@dataclass(frozen=True)
+class SortConfig:
+    """Tuning knobs of the sort operator.
+
+    Attributes:
+        run_threshold: rows accumulated before a sorted run is cut.
+        string_prefix: forced VARCHAR prefix length in normalized keys
+            (default: chosen from the data, capped at 12 like DuckDB).
+        lsd_threshold: key byte width at or below which LSD radix is used.
+        force_algorithm: override DuckDB's algorithm choice; one of None
+            (DuckDB's rule: pdqsort iff strings present), "radix",
+            "pdqsort", or "heuristic" (the cost-based chooser of
+            :mod:`repro.sort.heuristic`, the paper's future-work item).
+        vector_size: chunk granularity used by :func:`sort_table`.
+    """
+
+    run_threshold: int = DEFAULT_RUN_THRESHOLD
+    string_prefix: int | None = None
+    lsd_threshold: int = LSD_WIDTH_THRESHOLD
+    force_algorithm: str | None = None
+    vector_size: int = VECTOR_SIZE
+
+    def __post_init__(self) -> None:
+        if self.run_threshold <= 0:
+            raise SortError("run_threshold must be positive")
+        if self.force_algorithm not in (None, "radix", "pdqsort", "heuristic"):
+            raise SortError(
+                f"force_algorithm must be None, 'radix', 'pdqsort' or "
+                f"'heuristic', got {self.force_algorithm!r}"
+            )
+
+
+@dataclass
+class SortStats:
+    """What the operator did: run counts, algorithm, merge work."""
+
+    rows_sorted: int = 0
+    runs_generated: int = 0
+    algorithm: str = ""
+    merge_rounds: int = 0
+    merge_comparisons: int = 0
+    prefix_exact: bool = True
+    radix: RadixStats = field(default_factory=RadixStats)
+
+
+@dataclass
+class SortedRun:
+    """One fully sorted run: sorted keys plus the payload in key order."""
+
+    keys: np.ndarray  # (n, width) uint8, sorted
+    payload: RowBlock  # rows already in key order
+    key_width: int  # bytes of key before the row-id suffix
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class SortOperator:
+    """Materializing ORDER BY operator (paper Figure 11).
+
+    Use as::
+
+        op = SortOperator(schema, SortSpec.of("a DESC", "b"))
+        for chunk in chunks:
+            op.sink(chunk)
+        result = op.finalize()
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        spec: SortSpec,
+        config: SortConfig | None = None,
+    ) -> None:
+        self.schema = schema
+        self.spec = spec
+        self.config = config or SortConfig()
+        for name in spec.column_names:
+            schema.column(name)  # raises SchemaError on unknown columns
+        self._buffer: list[DataChunk] = []
+        self._buffered_rows = 0
+        self._runs: list[SortedRun] = []
+        self._next_row_id = 0
+        self._finalized = False
+        self._key_layout = None
+        self.stats = SortStats()
+        self._has_string_key = any(
+            schema.column(name).dtype.type_id is TypeId.VARCHAR
+            for name in spec.column_names
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sink
+    # ------------------------------------------------------------------ #
+
+    def sink(self, chunk: DataChunk) -> None:
+        """Accept one vector batch of input."""
+        if self._finalized:
+            raise SortError("cannot sink into a finalized sort")
+        if chunk.schema.names != self.schema.names:
+            raise SortError(
+                f"chunk schema {chunk.schema.names} does not match "
+                f"operator schema {self.schema.names}"
+            )
+        if len(chunk) == 0:
+            return
+        self._buffer.append(chunk)
+        self._buffered_rows += len(chunk)
+        if self._buffered_rows >= self.config.run_threshold:
+            self._generate_run()
+
+    # ------------------------------------------------------------------ #
+    # Run generation
+    # ------------------------------------------------------------------ #
+
+    def _choose_algorithm(self, keys: NormalizedKeys) -> str:
+        forced = self.config.force_algorithm
+        if forced == "heuristic":
+            from repro.sort.heuristic import choose_algorithm
+
+            if not keys.prefix_exact:
+                # Truncated string prefixes need tie-breaking comparisons,
+                # which radix cannot perform.
+                return "pdqsort"
+            return choose_algorithm(keys.matrix, keys.layout.key_width)
+        if forced is not None:
+            return forced
+        # DuckDB's rule: pdqsort when strings are present, radix otherwise.
+        return "pdqsort" if self._has_string_key else "radix"
+
+    def _generate_run(self) -> None:
+        if not self._buffer:
+            return
+        table = self._buffer[0].to_table()
+        for chunk in self._buffer[1:]:
+            table = table.concat(chunk.to_table())
+        self._buffer.clear()
+        self._buffered_rows = 0
+
+        # All runs must share one key layout so the merge can memcmp
+        # across them; with VARCHAR keys and no explicit prefix we lock
+        # the prefix to DuckDB's 12-byte cap rather than letting each
+        # run pick its own width from its data.
+        string_prefix = self.config.string_prefix
+        if string_prefix is None and self._has_string_key:
+            string_prefix = MAX_STRING_PREFIX
+        keys = normalize_keys(
+            table,
+            self.spec,
+            string_prefix=string_prefix,
+            include_row_id=True,
+            row_id_base=self._next_row_id,
+            row_id_width=8,
+        )
+        self._key_layout = keys.layout
+        self._next_row_id += len(table)
+        self.stats.prefix_exact = self.stats.prefix_exact and keys.prefix_exact
+
+        algorithm = self._choose_algorithm(keys)
+        if algorithm == "radix" and not keys.prefix_exact:
+            # Radix cannot tie-break truncated string prefixes; fall back
+            # to pdqsort with full-string comparisons.
+            algorithm = "pdqsort"
+        self.stats.algorithm = algorithm
+        if algorithm == "radix":
+            # Radix sort is stable, so only the key bytes need sorting --
+            # the row-id suffix exists for merge-time tie breaks, and
+            # spending passes on its (unique) bytes would be wasted work.
+            order = radix_argsort(
+                keys.matrix[:, : keys.layout.key_width],
+                self.stats.radix,
+                self.config.lsd_threshold,
+            )
+        else:
+            order = self._pdq_argsort(table, keys)
+
+        sorted_keys = keys.matrix[order]
+        payload = RowBlock.from_table(table).take(np.asarray(order))
+        self._runs.append(
+            SortedRun(sorted_keys, payload, keys.layout.key_width)
+        )
+        self.stats.runs_generated += 1
+        self.stats.rows_sorted += len(table)
+
+    def _pdq_argsort(self, table: Table, keys: NormalizedKeys) -> np.ndarray:
+        """pdqsort on memcmp of key bytes, with full-string tie-breaks.
+
+        When every string fit its prefix the key bytes (which end in the
+        unique row id) order rows exactly.  Otherwise comparison walks the
+        key *segments*: a VARCHAR segment whose truncated prefixes tie is
+        resolved on the full strings before any later key column is
+        consulted -- DuckDB's "compare the rest of the string only if the
+        prefixes are equal".
+        """
+        n = len(keys)
+        matrix = keys.matrix
+        raw = [matrix[i].tobytes() for i in range(n)]
+        if keys.prefix_exact:
+            order = list(range(n))
+            pdqsort(order, lambda i, j: raw[i] < raw[j])
+            return np.asarray(order, dtype=np.int64)
+
+        key_table = table.select(self.spec.column_names)
+        layout = keys.layout
+
+        def less(i: int, j: int) -> bool:
+            cmp = _segmented_compare(
+                raw[i],
+                raw[j],
+                layout,
+                self.spec,
+                lambda col: key_table.column_at(col).value(i),
+                lambda col: key_table.column_at(col).value(j),
+            )
+            if cmp != 0:
+                return cmp < 0
+            return raw[i][layout.key_width:] < raw[j][layout.key_width:]
+
+        order = list(range(n))
+        pdqsort(order, less)
+        return np.asarray(order, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Merge
+    # ------------------------------------------------------------------ #
+
+    def _merge_two(self, left: SortedRun, right: SortedRun) -> SortedRun:
+        """Cascaded-merge step: physically merge two sorted runs.
+
+        Keys are compared with memcmp over the full key row.  Row ids are
+        globally unique and assigned in arrival order, so the suffix makes
+        the merge stable.  When string prefixes were truncated, segment
+        ties are re-resolved on the full values fetched from the payload.
+        """
+        key_width = left.key_width
+        a = [left.keys[i].tobytes() for i in range(len(left))]
+        b = [right.keys[i].tobytes() for i in range(len(right))]
+        exact = self.stats.prefix_exact
+        key_names = self.spec.column_names
+
+        def b_before_a(i: int, j: int) -> bool:
+            if exact:
+                return b[j] < a[i]
+            cmp = _segmented_compare(
+                b[j],
+                a[i],
+                self._key_layout,
+                self.spec,
+                lambda col: right.payload.value(j, key_names[col]),
+                lambda col: left.payload.value(i, key_names[col]),
+            )
+            if cmp != 0:
+                return cmp < 0
+            return b[j][key_width:] < a[i][key_width:]
+
+        n, m = len(a), len(b)
+        take_from_left = np.empty(n + m, dtype=bool)
+        source_index = np.empty(n + m, dtype=np.int64)
+        i = j = 0
+        comparisons = 0
+        for k in range(n + m):
+            if i < n and (j >= m or not b_before_a(i, j)):
+                if j < m:
+                    comparisons += 1
+                take_from_left[k] = True
+                source_index[k] = i
+                i += 1
+            else:
+                if i < n:
+                    comparisons += 1
+                take_from_left[k] = False
+                source_index[k] = j
+                j += 1
+        self.stats.merge_comparisons += comparisons
+
+        merged_keys = np.empty(
+            (n + m, left.keys.shape[1]), dtype=np.uint8
+        )
+        merged_keys[take_from_left] = left.keys[source_index[take_from_left]]
+        merged_keys[~take_from_left] = right.keys[source_index[~take_from_left]]
+
+        combined = left.payload.concat(right.payload)
+        gather = np.where(
+            take_from_left, source_index, source_index + n
+        )
+        payload = combined.take(gather)
+        return SortedRun(merged_keys, payload, key_width)
+
+    # ------------------------------------------------------------------ #
+    # Finalize
+    # ------------------------------------------------------------------ #
+
+    def finalize(self) -> Table:
+        """Sort any remaining buffer, merge all runs, return the table."""
+        if self._finalized:
+            raise SortError("sort already finalized")
+        self._finalized = True
+        if self._buffer:
+            self._generate_run()
+        if not self._runs:
+            return Table.empty(self.schema)
+        runs = self._runs
+        while len(runs) > 1:
+            self.stats.merge_rounds += 1
+            merged = []
+            for i in range(0, len(runs) - 1, 2):
+                merged.append(self._merge_two(runs[i], runs[i + 1]))
+            if len(runs) % 2 == 1:
+                merged.append(runs[-1])
+            runs = merged
+        self._runs = runs
+        return runs[0].payload.to_table()
+
+
+def sort_table(
+    table: Table, spec: SortSpec | str, config: SortConfig | None = None
+) -> Table:
+    """Sort a table by an ORDER BY spec; the one-call public entry point.
+
+    ``spec`` may be a :class:`SortSpec` or text like
+    ``"country DESC NULLS LAST, birth_year"``.
+    """
+    if isinstance(spec, str):
+        spec = SortSpec.of(*[part.strip() for part in spec.split(",")])
+    config = config or SortConfig()
+    operator = SortOperator(table.schema, spec, config)
+    for chunk in chunk_table(table, config.vector_size):
+        operator.sink(chunk)
+    return operator.finalize()

@@ -1,0 +1,352 @@
+"""Pattern-defeating quicksort (pdqsort), ported to Python.
+
+pdqsort (Peters 2021) is the state-of-the-art comparison sort the paper
+benchmarks radix sort against and the algorithm DuckDB uses when keys
+contain strings.  This is a faithful port of its control structure:
+
+* insertion sort for partitions of < 24 elements,
+* median-of-3 pivot selection (pseudo-median of 9 for large partitions),
+* ``partition_left`` fast path for runs of elements equal to the pivot
+  (defeats the many-duplicates worst case),
+* detection of already-partitioned input with an opportunistic partial
+  insertion sort (defeats nearly-sorted inputs),
+* pattern breaking (element shuffles) on highly unbalanced partitions, and
+* a heapsort fallback once ``log2(n)`` bad partitions have been seen, which
+  guarantees O(n log n) worst case.
+
+The port does not reproduce the *branchless block partitioning* of
+BlockQuickSort -- branch behaviour is a hardware property that Python cannot
+express; the instrumented twin in :mod:`repro.simsort` models it instead.
+
+The sort is generic over a ``less(a, b)`` callable so the paper's comparator
+variants (static tuple-at-a-time, dynamic callback, normalized-key memcmp)
+all run through the identical algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, MutableSequence
+
+__all__ = ["INSERTION_SORT_THRESHOLD", "PdqStats", "pdqsort", "pdq_argsort"]
+
+INSERTION_SORT_THRESHOLD = 24
+"""Partitions below this size are insertion sorted (pdqsort's constant)."""
+
+_NINTHER_THRESHOLD = 128
+"""Partitions above this size use the pseudo-median of nine as pivot."""
+
+Less = Callable[[Any, Any], bool]
+
+
+class PdqStats:
+    """Counters describing one pdqsort run (used by tests and benches)."""
+
+    __slots__ = ("comparisons", "swaps", "heapsort_fallbacks", "bad_partitions")
+
+    def __init__(self) -> None:
+        self.comparisons = 0
+        self.swaps = 0
+        self.heapsort_fallbacks = 0
+        self.bad_partitions = 0
+
+
+def _default_less(a: Any, b: Any) -> bool:
+    return a < b
+
+
+def pdqsort(
+    items: MutableSequence[Any],
+    less: Less | None = None,
+    stats: PdqStats | None = None,
+) -> None:
+    """Sort ``items`` in place with pattern-defeating quicksort."""
+    n = len(items)
+    if n < 2:
+        return
+    state = _Pdq(items, less or _default_less, stats)
+    state.sort(0, n, _log2(n), leftmost=True)
+
+
+def pdq_argsort(keys: list[Any], less: Less | None = None) -> list[int]:
+    """Indices that would sort ``keys`` (not stable; pdqsort is unstable)."""
+    base_less = less or _default_less
+    order = list(range(len(keys)))
+    pdqsort(order, lambda i, j: base_less(keys[i], keys[j]))
+    return order
+
+
+def _log2(n: int) -> int:
+    return max(1, n.bit_length() - 1)
+
+
+class _Pdq:
+    """Worker holding the sequence, comparator, and counters."""
+
+    __slots__ = ("a", "less", "stats")
+
+    def __init__(self, a: MutableSequence[Any], less: Less, stats) -> None:
+        self.a = a
+        self.less = less
+        self.stats = stats
+
+    # -------------------------------------------------------------- #
+    # Comparator / swap wrappers (counted when stats are attached)
+    # -------------------------------------------------------------- #
+
+    def _lt(self, x: Any, y: Any) -> bool:
+        if self.stats is not None:
+            self.stats.comparisons += 1
+        return self.less(x, y)
+
+    def _swap(self, i: int, j: int) -> None:
+        if self.stats is not None:
+            self.stats.swaps += 1
+        a = self.a
+        a[i], a[j] = a[j], a[i]
+
+    def _sort3(self, i: int, j: int, k: int) -> None:
+        """Order a[i] <= a[j] <= a[k] (median-of-3 network)."""
+        a = self.a
+        if self._lt(a[j], a[i]):
+            self._swap(i, j)
+        if self._lt(a[k], a[j]):
+            self._swap(j, k)
+            if self._lt(a[j], a[i]):
+                self._swap(i, j)
+
+    # -------------------------------------------------------------- #
+    # Insertion sorts
+    # -------------------------------------------------------------- #
+
+    def _insertion_sort(self, begin: int, end: int) -> None:
+        a = self.a
+        for i in range(begin + 1, end):
+            value = a[i]
+            j = i - 1
+            while j >= begin and self._lt(value, a[j]):
+                a[j + 1] = a[j]
+                j -= 1
+            a[j + 1] = value
+
+    def _unguarded_insertion_sort(self, begin: int, end: int) -> None:
+        """Insertion sort knowing a[begin-1] is a lower sentinel."""
+        a = self.a
+        for i in range(begin + 1, end):
+            value = a[i]
+            j = i - 1
+            while self._lt(value, a[j]):
+                a[j + 1] = a[j]
+                j -= 1
+            a[j + 1] = value
+
+    def _partial_insertion_sort(self, begin: int, end: int) -> bool:
+        """Try to finish with insertion sort; bail after a move budget.
+
+        Returns True if [begin, end) ended up sorted.  This is pdqsort's
+        "already partitioned" opportunism that makes nearly-sorted inputs
+        nearly free.
+        """
+        limit = 8  # pdqsort's partial_insertion_sort move budget
+        a = self.a
+        moves = 0
+        for i in range(begin + 1, end):
+            value = a[i]
+            j = i - 1
+            if self._lt(value, a[j]):
+                while j >= begin and self._lt(value, a[j]):
+                    a[j + 1] = a[j]
+                    j -= 1
+                    moves += 1
+                a[j + 1] = value
+                if moves > limit:
+                    return False
+        return True
+
+    # -------------------------------------------------------------- #
+    # Heapsort fallback
+    # -------------------------------------------------------------- #
+
+    def _heapsort(self, begin: int, end: int) -> None:
+        if self.stats is not None:
+            self.stats.heapsort_fallbacks += 1
+        n = end - begin
+
+        def sift_down(start: int, stop: int) -> None:
+            a = self.a
+            root = start
+            while True:
+                child = 2 * (root - begin) + 1 + begin
+                if child >= stop:
+                    return
+                if child + 1 < stop and self._lt(a[child], a[child + 1]):
+                    child += 1
+                if self._lt(a[root], a[child]):
+                    self._swap(root, child)
+                    root = child
+                else:
+                    return
+
+        for start in range(begin + n // 2 - 1, begin - 1, -1):
+            sift_down(start, end)
+        for stop in range(end - 1, begin, -1):
+            self._swap(begin, stop)
+            sift_down(begin, stop)
+
+    # -------------------------------------------------------------- #
+    # Partitioning
+    # -------------------------------------------------------------- #
+
+    def _choose_pivot(self, begin: int, end: int) -> None:
+        """Place the chosen pivot at a[begin]."""
+        size = end - begin
+        mid = begin + size // 2
+        if size > _NINTHER_THRESHOLD:
+            self._sort3(begin, mid, end - 1)
+            self._sort3(begin + 1, mid - 1, end - 2)
+            self._sort3(begin + 2, mid + 1, end - 3)
+            self._sort3(mid - 1, mid, mid + 1)
+            self._swap(begin, mid)
+        else:
+            self._sort3(mid, begin, end - 1)
+
+    def _partition_right(self, begin: int, end: int) -> tuple[int, bool]:
+        """Partition [begin, end) on pivot a[begin]; pivot ends at result.
+
+        Elements equal to the pivot go right.  Returns (pivot position,
+        already_partitioned), mirroring the reference implementation: the
+        left scan stops at the first element >= pivot (the median-of-3
+        guarantees one exists), the right scan at the first element < pivot.
+        """
+        a = self.a
+        pivot = a[begin]
+        first = begin
+        last = end
+        first += 1
+        while self._lt(a[first], pivot):
+            first += 1
+        if first - 1 == begin:
+            # No smaller element seen yet: guard the right scan.
+            while first < last:
+                last -= 1
+                if self._lt(a[last], pivot):
+                    break
+        else:
+            last -= 1
+            while not self._lt(a[last], pivot):
+                last -= 1
+        already_partitioned = first >= last
+        while first < last:
+            self._swap(first, last)
+            first += 1
+            while self._lt(a[first], pivot):
+                first += 1
+            last -= 1
+            while not self._lt(a[last], pivot):
+                last -= 1
+        pivot_pos = first - 1
+        a[begin] = a[pivot_pos]
+        a[pivot_pos] = pivot
+        return pivot_pos, already_partitioned
+
+    def _partition_left(self, begin: int, end: int) -> int:
+        """Partition putting elements equal to pivot a[begin] on the left.
+
+        Used when the pivot equals the element before the partition, which
+        means a run of equal elements: they are finished in one pass.
+        """
+        a = self.a
+        pivot = a[begin]
+        first = begin
+        last = end
+        last -= 1
+        while self._lt(pivot, a[last]):
+            last -= 1
+        if last + 1 == end:
+            while first < last:
+                first += 1
+                if self._lt(pivot, a[first]):
+                    break
+        else:
+            first += 1
+            while not self._lt(pivot, a[first]):
+                first += 1
+        while first < last:
+            self._swap(first, last)
+            last -= 1
+            while self._lt(pivot, a[last]):
+                last -= 1
+            first += 1
+            while not self._lt(pivot, a[first]):
+                first += 1
+        pivot_pos = last
+        a[begin] = a[pivot_pos]
+        a[pivot_pos] = pivot
+        return pivot_pos
+
+    # -------------------------------------------------------------- #
+    # Main loop
+    # -------------------------------------------------------------- #
+
+    def sort(self, begin: int, end: int, bad_allowed: int, leftmost: bool) -> None:
+        a = self.a
+        while True:
+            size = end - begin
+            if size < INSERTION_SORT_THRESHOLD:
+                if leftmost:
+                    self._insertion_sort(begin, end)
+                else:
+                    self._unguarded_insertion_sort(begin, end)
+                return
+
+            self._choose_pivot(begin, end)
+
+            # If a[begin - 1] == pivot we are in a run of equal elements:
+            # partition_left puts them all in place at once.
+            if not leftmost and not self._lt(a[begin - 1], a[begin]):
+                begin = self._partition_left(begin, end) + 1
+                continue
+
+            pivot_pos, already_partitioned = self._partition_right(begin, end)
+
+            left_size = pivot_pos - begin
+            right_size = end - (pivot_pos + 1)
+            highly_unbalanced = (
+                left_size < size // 8 or right_size < size // 8
+            )
+            if highly_unbalanced:
+                if self.stats is not None:
+                    self.stats.bad_partitions += 1
+                bad_allowed -= 1
+                if bad_allowed == 0:
+                    self._heapsort(begin, end)
+                    return
+                # Break the pattern by shuffling a few elements.
+                if left_size >= INSERTION_SORT_THRESHOLD:
+                    quarter = left_size // 4
+                    self._swap(begin, begin + quarter)
+                    self._swap(pivot_pos - 1, pivot_pos - quarter)
+                    if left_size > _NINTHER_THRESHOLD:
+                        self._swap(begin + 1, begin + quarter + 1)
+                        self._swap(begin + 2, begin + quarter + 2)
+                        self._swap(pivot_pos - 2, pivot_pos - quarter - 1)
+                        self._swap(pivot_pos - 3, pivot_pos - quarter - 2)
+                if right_size >= INSERTION_SORT_THRESHOLD:
+                    quarter = right_size // 4
+                    self._swap(pivot_pos + 1, pivot_pos + 1 + quarter)
+                    self._swap(end - 1, end - quarter)
+                    if right_size > _NINTHER_THRESHOLD:
+                        self._swap(pivot_pos + 2, pivot_pos + 2 + quarter)
+                        self._swap(pivot_pos + 3, pivot_pos + 3 + quarter)
+                        self._swap(end - 2, end - quarter - 1)
+                        self._swap(end - 3, end - quarter - 2)
+            elif already_partitioned:
+                # Both sides may already be sorted; try to finish cheaply.
+                if self._partial_insertion_sort(
+                    begin, pivot_pos
+                ) and self._partial_insertion_sort(pivot_pos + 1, end):
+                    return
+
+            # Recurse on the smaller side, iterate on the larger.
+            self.sort(begin, pivot_pos, bad_allowed, leftmost)
+            begin = pivot_pos + 1
+            leftmost = False

@@ -1,0 +1,34 @@
+"""System models for the end-to-end comparison of Section VII."""
+
+from repro.systems.base import SystemModel, SystemRun, WorkloadFacts, gather_facts
+from repro.systems.clickhouse_model import ClickHouseModel
+from repro.systems.compiled_row import CompiledRowModel, HyPerModel, UmbraModel
+from repro.systems.duckdb_model import DuckDBModel
+from repro.systems.monetdb_model import MonetDBModel
+from repro.systems.profile import (
+    ComparisonProfile,
+    HardwareProfile,
+    comparison_profile,
+    sort_comparisons,
+)
+from repro.systems.registry import SYSTEM_NAMES, all_systems, make_system
+
+__all__ = [
+    "SystemModel",
+    "SystemRun",
+    "WorkloadFacts",
+    "gather_facts",
+    "ClickHouseModel",
+    "CompiledRowModel",
+    "HyPerModel",
+    "UmbraModel",
+    "DuckDBModel",
+    "MonetDBModel",
+    "ComparisonProfile",
+    "HardwareProfile",
+    "comparison_profile",
+    "sort_comparisons",
+    "SYSTEM_NAMES",
+    "all_systems",
+    "make_system",
+]

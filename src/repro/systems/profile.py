@@ -1,0 +1,219 @@
+"""Hardware profile and cost primitives shared by the system models.
+
+The end-to-end comparisons (Figures 12-14) run at scales where the
+cycle-accurate simulator of :mod:`repro.sim` would be too slow, so the
+system models in this package use a coarser, *data-driven analytic* model
+built from the same mechanisms the micro-simulator validates:
+
+* random accesses cost more once the working set outgrows the caches
+  (:meth:`HardwareProfile.random_access_cost`);
+* streaming passes cost a miss per cache line
+  (:meth:`HardwareProfile.stream_cost`);
+* unpredictable data-dependent branches cost a misprediction share;
+* dynamic calls / interpretation steps cost a fixed overhead.
+
+Workload-dependent quantities -- how many key columns a comparison is
+expected to examine, how likely tie branches are -- are derived from the
+*actual data* being sorted (distinct-prefix counts), not assumed.  See
+``comparison_profile``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.keys.normalizer import normalize_keys
+from repro.table.table import Table
+from repro.types.sortspec import SortSpec
+
+__all__ = [
+    "HardwareProfile",
+    "ComparisonProfile",
+    "comparison_profile",
+    "sort_comparisons",
+]
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Per-core cache/penalty model matching the paper's m5d instances."""
+
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 1024 * 1024
+    l3_bytes: int = 32 * 1024 * 1024
+    line_bytes: int = 64
+    hit_cost: float = 1.0
+    l2_cost: float = 12.0
+    l3_cost: float = 40.0
+    mem_cost: float = 120.0
+    branch_miss_cost: float = 15.0
+    call_cost: float = 25.0
+    threads: int = 16
+    frequency_hz: float = 3.1e9  # m5d Xeon 8259CL boost-ish clock
+
+    def scaled(self, factor: int) -> "HardwareProfile":
+        """Cache capacities divided by ``factor``; penalties unchanged.
+
+        The end-to-end benchmarks run workloads scaled down ``factor``x
+        from the paper's row counts; shrinking the modelled caches by the
+        same factor preserves every working-set-to-capacity ratio, and
+        with it where each system starts falling out of cache.
+        """
+        if factor <= 0:
+            raise SimulationError("scale factor must be positive")
+        return HardwareProfile(
+            l1_bytes=max(64, self.l1_bytes // factor),
+            l2_bytes=max(256, self.l2_bytes // factor),
+            l3_bytes=max(1024, self.l3_bytes // factor),
+            line_bytes=self.line_bytes,
+            hit_cost=self.hit_cost,
+            l2_cost=self.l2_cost,
+            l3_cost=self.l3_cost,
+            mem_cost=self.mem_cost,
+            branch_miss_cost=self.branch_miss_cost,
+            call_cost=self.call_cost,
+            threads=self.threads,
+            frequency_hz=self.frequency_hz,
+        )
+
+    def random_access_cost(self, working_set_bytes: float) -> float:
+        """Expected cycles of one random load into a working set.
+
+        The probability that a random access misses a cache of capacity C
+        within a working set W is approximately max(0, 1 - C/W); the cost
+        blends the hierarchy levels with those probabilities.
+        """
+        if working_set_bytes <= 0:
+            raise SimulationError("working set must be positive")
+
+        def miss_probability(capacity: int) -> float:
+            return max(0.0, 1.0 - capacity / working_set_bytes)
+
+        p_l1 = miss_probability(self.l1_bytes)
+        p_l2 = miss_probability(self.l2_bytes)
+        p_l3 = miss_probability(self.l3_bytes)
+        cost = self.hit_cost
+        cost += p_l1 * (self.l2_cost - self.hit_cost)
+        cost += p_l2 * (self.l3_cost - self.l2_cost)
+        cost += p_l3 * (self.mem_cost - self.l3_cost)
+        return cost
+
+    def stream_cost(self, num_bytes: float) -> float:
+        """Cycles to stream ``num_bytes`` sequentially (miss per line)."""
+        if num_bytes < 0:
+            raise SimulationError("byte count cannot be negative")
+        lines = num_bytes / self.line_bytes
+        # Hardware prefetching hides most of the latency; charge half an
+        # L2 fill per line plus one cycle per 4 bytes touched.
+        return lines * (self.l2_cost / 2.0) + num_bytes / 4.0
+
+    def seconds(self, cycles: float) -> float:
+        """Convert model cycles to wall-clock seconds at the nominal clock."""
+        return cycles / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class ComparisonProfile:
+    """Data-driven facts about comparing tuples of one workload.
+
+    Attributes:
+        examine_probability: ``p[c]`` = probability a comparison during a
+            sort examines key column ``c`` (``p[0]`` is always 1).
+        tie_branch_unpredictability: expected mispredicted tie branches per
+            comparison for a branchy multi-column comparator.
+        distinct_prefix: distinct count of the first ``c+1`` key columns.
+    """
+
+    examine_probability: tuple[float, ...]
+    tie_branch_unpredictability: float
+    distinct_prefix: tuple[int, ...]
+
+    @property
+    def expected_columns(self) -> float:
+        return float(sum(self.examine_probability))
+
+
+def _pack_u64_columns(matrix: np.ndarray) -> np.ndarray:
+    """Pack an (n, w) uint8 matrix into (n, ceil(w/8)) big-endian uint64.
+
+    Lexicographic order over the packed columns equals byte order over the
+    original rows, which lets distinct-prefix counting use a fast
+    ``np.lexsort`` instead of a row-wise unique.
+    """
+    n, width = matrix.shape
+    padded_width = (width + 7) // 8 * 8
+    padded = np.zeros((n, padded_width), dtype=np.uint8)
+    padded[:, :width] = matrix
+    return padded.view(">u8").astype(np.uint64)
+
+
+def _distinct_count(packed: np.ndarray) -> int:
+    """Distinct rows of a packed (n, c) uint64 matrix via lexsort + diff."""
+    n, columns = packed.shape
+    if n == 0:
+        return 0
+    order = np.lexsort(tuple(packed[:, c] for c in range(columns - 1, -1, -1)))
+    sorted_rows = packed[order]
+    changed = np.any(sorted_rows[1:] != sorted_rows[:-1], axis=1)
+    return int(changed.sum()) + 1
+
+
+def _distinct_prefix_counts(table: Table, spec: SortSpec) -> list[int]:
+    """Distinct row counts of each key-column prefix, from the real data."""
+    keys = normalize_keys(table, spec, include_row_id=False)
+    counts = []
+    for segment in keys.layout.segments:
+        width = segment.offset + segment.total_width
+        packed = _pack_u64_columns(keys.matrix[:, :width])
+        counts.append(_distinct_count(packed))
+    return counts
+
+
+def comparison_profile(table: Table, spec: SortSpec) -> ComparisonProfile:
+    """Estimate per-comparison behaviour of sorting ``table`` by ``spec``.
+
+    During a comparison sort of n rows where the first c key columns take
+    d_c distinct values, the comparisons that land inside groups tied on
+    those columns are about ``n * log2(n / d_c)`` of the total
+    ``n * log2(n)`` (each tied group of g rows sorts internally with
+    g*log2(g) comparisons).  So the probability that a comparison must
+    examine column c+1 is approximately ``log2(n/d_c) / log2(n)``.
+    """
+    n = table.num_rows
+    distinct = _distinct_prefix_counts(table, spec)
+    if n <= 1:
+        return ComparisonProfile(
+            (1.0,) + (0.0,) * (len(spec) - 1), 0.0, tuple(distinct)
+        )
+    log_n = math.log2(n)
+    probabilities = [1.0]
+    for c in range(1, len(spec)):
+        d_prev = max(1, distinct[c - 1])
+        p = max(0.0, math.log2(n / d_prev) / log_n) if n > d_prev else 0.0
+        probabilities.append(min(1.0, p))
+    # Tie-branch unpredictability: a branch taken with probability q
+    # mispredicts ~2q(1-q) of the time under a saturating predictor; the
+    # branch at column c executes with probability p[c] and is "taken"
+    # (tie -> continue) with probability p[c+1]/p[c].
+    unpredictability = 0.0
+    if len(spec) > 1:
+        for c in range(len(spec) - 1):
+            p_exec = probabilities[c]
+            if p_exec <= 0.0:
+                continue
+            q = min(1.0, probabilities[c + 1] / p_exec)
+            unpredictability += p_exec * 2.0 * q * (1.0 - q)
+    return ComparisonProfile(
+        tuple(probabilities), unpredictability, tuple(distinct)
+    )
+
+
+def sort_comparisons(n: int) -> float:
+    """Expected comparisons of a tuned quicksort over n rows (~1.1 n lg n)."""
+    if n <= 1:
+        return 0.0
+    return 1.1 * n * math.log2(n)

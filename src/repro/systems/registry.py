@@ -1,0 +1,39 @@
+"""Registry of the five benchmarked systems (paper, Section VII)."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.systems.base import SystemModel
+from repro.systems.clickhouse_model import ClickHouseModel
+from repro.systems.compiled_row import HyPerModel, UmbraModel
+from repro.systems.duckdb_model import DuckDBModel
+from repro.systems.monetdb_model import MonetDBModel
+from repro.systems.profile import HardwareProfile
+
+__all__ = ["SYSTEM_NAMES", "make_system", "all_systems"]
+
+_SYSTEMS = {
+    "DuckDB": DuckDBModel,
+    "ClickHouse": ClickHouseModel,
+    "MonetDB": MonetDBModel,
+    "HyPer": HyPerModel,
+    "Umbra": UmbraModel,
+}
+
+SYSTEM_NAMES = tuple(_SYSTEMS)
+
+
+def make_system(name: str, profile: HardwareProfile | None = None) -> SystemModel:
+    """Instantiate one system model by name."""
+    try:
+        cls = _SYSTEMS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown system {name!r}; have {sorted(_SYSTEMS)}"
+        ) from None
+    return cls(profile)
+
+
+def all_systems(profile: HardwareProfile | None = None) -> list[SystemModel]:
+    """All five models over one shared hardware profile."""
+    return [make_system(name, profile) for name in SYSTEM_NAMES]

@@ -1,0 +1,18 @@
+"""Columnar (DSM) table storage: columns, tables, chunks, and CSV I/O."""
+
+from repro.table.chunk import VECTOR_SIZE, DataChunk, chunk_table, concat_chunks
+from repro.table.column import ColumnVector
+from repro.table.io import read_csv, table_to_csv_string, write_csv
+from repro.table.table import Table
+
+__all__ = [
+    "VECTOR_SIZE",
+    "DataChunk",
+    "chunk_table",
+    "concat_chunks",
+    "ColumnVector",
+    "read_csv",
+    "table_to_csv_string",
+    "write_csv",
+    "Table",
+]

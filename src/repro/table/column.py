@@ -1,0 +1,200 @@
+"""Column vectors: a typed numpy array plus a validity mask.
+
+This is the DSM (Decomposition Storage Model) building block: each column of
+a table lives in its own contiguous array.  NULLs are represented with a
+separate boolean validity mask (True = value present), the same choice
+DuckDB, Arrow, and most vectorized systems make, so the value array keeps a
+uniform dtype.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TypeError_
+from repro.types.datatypes import DataType, TypeId, type_for_numpy_dtype
+
+__all__ = ["ColumnVector"]
+
+
+class ColumnVector:
+    """A typed column of values with NULL tracking.
+
+    Attributes:
+        dtype: the logical type of the column.
+        data: numpy array of physical values.  Slots that are NULL hold an
+            unspecified (but type-valid) filler value.
+        validity: boolean numpy array, True where the value is present.  A
+            column with no NULLs may share one cached all-True mask.
+    """
+
+    __slots__ = ("dtype", "data", "validity")
+
+    def __init__(
+        self,
+        dtype: DataType,
+        data: np.ndarray,
+        validity: np.ndarray | None = None,
+    ) -> None:
+        dtype.validate_array(data)
+        if data.ndim != 1:
+            raise TypeError_(f"column data must be 1-D, got shape {data.shape}")
+        if validity is None:
+            validity = np.ones(len(data), dtype=bool)
+        if validity.shape != data.shape:
+            raise TypeError_(
+                f"validity shape {validity.shape} != data shape {data.shape}"
+            )
+        self.dtype = dtype
+        self.data = data
+        self.validity = np.asarray(validity, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[Any], dtype: DataType | None = None
+    ) -> "ColumnVector":
+        """Build a column from a Python iterable; ``None`` entries are NULL.
+
+        If ``dtype`` is omitted it is inferred: ints -> INTEGER (BIGINT if any
+        value overflows 32 bits), floats -> DOUBLE, str -> VARCHAR,
+        bool -> BOOLEAN.
+        """
+        values = list(values)
+        if dtype is None:
+            dtype = _infer_dtype(values)
+        n = len(values)
+        validity = np.array([v is not None for v in values], dtype=bool)
+        if dtype.type_id is TypeId.VARCHAR:
+            data = np.empty(n, dtype=object)
+            for i, v in enumerate(values):
+                data[i] = v if v is not None else ""
+        else:
+            filler: Any = 0
+            data = np.array(
+                [v if v is not None else filler for v in values],
+                dtype=dtype.numpy_dtype,
+            )
+        return cls(dtype, data, validity)
+
+    @classmethod
+    def from_numpy(
+        cls, array: np.ndarray, dtype: DataType | None = None
+    ) -> "ColumnVector":
+        """Wrap an existing numpy array (no NULLs) as a column."""
+        if dtype is None:
+            dtype = type_for_numpy_dtype(array.dtype)
+        return cls(dtype, np.ascontiguousarray(array))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def has_nulls(self) -> bool:
+        return not bool(self.validity.all())
+
+    @property
+    def null_count(self) -> int:
+        return int(len(self) - self.validity.sum())
+
+    def value(self, index: int) -> Any:
+        """The Python value at ``index`` (``None`` for NULL)."""
+        if not self.validity[index]:
+            return None
+        raw = self.data[index]
+        if self.dtype.type_id is TypeId.VARCHAR:
+            return str(raw)
+        if self.dtype.is_float:
+            return float(raw)
+        if self.dtype.type_id is TypeId.BOOLEAN:
+            return bool(raw)
+        return int(raw)
+
+    def to_pylist(self) -> list[Any]:
+        """All values as a Python list with ``None`` for NULLs."""
+        return [self.value(i) for i in range(len(self))]
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+
+    def take(self, indices: np.ndarray) -> "ColumnVector":
+        """Gather rows by position -- the payload-reorder primitive."""
+        return ColumnVector(
+            self.dtype, self.data[indices], self.validity[indices]
+        )
+
+    def slice(self, start: int, stop: int) -> "ColumnVector":
+        """A zero-copy slice view of this column."""
+        return ColumnVector(
+            self.dtype, self.data[start:stop], self.validity[start:stop]
+        )
+
+    def concat(self, other: "ColumnVector") -> "ColumnVector":
+        """This column followed by ``other`` (types must match)."""
+        if other.dtype.type_id is not self.dtype.type_id:
+            raise TypeError_(
+                f"cannot concat {self.dtype.name} with {other.dtype.name}"
+            )
+        return ColumnVector(
+            self.dtype,
+            np.concatenate([self.data, other.data]),
+            np.concatenate([self.validity, other.validity]),
+        )
+
+    def equals(self, other: "ColumnVector") -> bool:
+        """Value equality including NULL positions (NULL == NULL here)."""
+        if self.dtype.type_id is not other.dtype.type_id:
+            return False
+        if len(self) != len(other):
+            return False
+        if not np.array_equal(self.validity, other.validity):
+            return False
+        valid = self.validity
+        if self.dtype.type_id is TypeId.VARCHAR:
+            return all(
+                self.data[i] == other.data[i]
+                for i in np.flatnonzero(valid)
+            )
+        mine, theirs = self.data[valid], other.data[valid]
+        if self.dtype.is_float:
+            return bool(
+                np.array_equal(mine, theirs)
+                or np.allclose(mine, theirs, equal_nan=True)
+            )
+        return bool(np.array_equal(mine, theirs))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self.to_pylist()[:6])
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"ColumnVector<{self.dtype.name}>[{preview}{suffix}]"
+
+
+def _infer_dtype(values: Sequence[Any]) -> DataType:
+    """Infer a logical type from Python values (used by from_values)."""
+    from repro.types.datatypes import BIGINT, BOOLEAN, DOUBLE, INTEGER, VARCHAR
+
+    non_null = [v for v in values if v is not None]
+    if not non_null:
+        return INTEGER
+    if all(isinstance(v, bool) for v in non_null):
+        return BOOLEAN
+    if all(isinstance(v, int) and not isinstance(v, bool) for v in non_null):
+        limit = 2**31
+        if all(-limit <= v < limit for v in non_null):
+            return INTEGER
+        return BIGINT
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in non_null):
+        return DOUBLE
+    if all(isinstance(v, str) for v in non_null):
+        return VARCHAR
+    raise TypeError_(f"cannot infer a column type from values {non_null[:5]!r}")

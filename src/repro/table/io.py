@@ -1,0 +1,164 @@
+"""CSV input/output for tables.
+
+A small, dependency-free CSV layer so the library is usable on real data:
+``read_csv`` parses a header + rows into a :class:`Table` (with type
+inference or explicit types; empty fields are NULL), ``write_csv`` is its
+inverse.  Round-trips are property-tested.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import IO, Any, Mapping
+
+from repro.errors import ReproError, TypeError_
+from repro.table.column import ColumnVector
+from repro.table.table import Table
+from repro.types.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    VARCHAR,
+    DataType,
+    TypeId,
+)
+from repro.types.schema import ColumnDef, Schema
+
+__all__ = ["read_csv", "write_csv"]
+
+NULL_TOKEN = ""
+"""Empty CSV fields are NULL (and NULL is written as an empty field)."""
+
+
+def _open_source(source: str | IO[str]) -> tuple[IO[str], bool]:
+    if isinstance(source, str):
+        return open(source, "r", newline="", encoding="utf-8"), True
+    return source, False
+
+
+def _parse_value(text: str, dtype: DataType) -> Any:
+    if text == NULL_TOKEN:
+        return None
+    if dtype.type_id is TypeId.VARCHAR:
+        return text
+    if dtype.type_id is TypeId.BOOLEAN:
+        lowered = text.strip().lower()
+        if lowered in ("true", "t", "1"):
+            return True
+        if lowered in ("false", "f", "0"):
+            return False
+        raise TypeError_(f"cannot parse {text!r} as BOOLEAN")
+    try:
+        if dtype.is_float:
+            return float(text)
+        return int(text)
+    except ValueError:
+        raise TypeError_(
+            f"cannot parse {text!r} as {dtype.name}"
+        ) from None
+
+
+def _infer_column_type(values: list[str]) -> DataType:
+    """Infer INTEGER/BIGINT/DOUBLE/BOOLEAN/VARCHAR from text values."""
+    non_null = [v for v in values if v != NULL_TOKEN]
+    if not non_null:
+        return VARCHAR
+    if all(v.strip().lower() in ("true", "false", "t", "f") for v in non_null):
+        return BOOLEAN
+    try:
+        ints = [int(v) for v in non_null]
+        limit = 2**31
+        if all(-limit <= v < limit for v in ints):
+            return INTEGER
+        return BIGINT
+    except ValueError:
+        pass
+    try:
+        for v in non_null:
+            float(v)
+        return DOUBLE
+    except ValueError:
+        return VARCHAR
+
+
+def read_csv(
+    source: str | IO[str],
+    dtypes: Mapping[str, DataType] | None = None,
+    delimiter: str = ",",
+) -> Table:
+    """Read a header-ful CSV file (or file-like) into a table.
+
+    ``dtypes`` overrides inference per column.  Empty fields are NULL.
+    """
+    handle, owned = _open_source(source)
+    try:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ReproError("CSV input has no header row") from None
+        if not header or any(not name for name in header):
+            raise ReproError(f"invalid CSV header: {header!r}")
+        rows = list(reader)
+    finally:
+        if owned:
+            handle.close()
+    for line_number, row in enumerate(rows, start=2):
+        if len(row) != len(header):
+            raise ReproError(
+                f"CSV line {line_number} has {len(row)} fields, "
+                f"expected {len(header)}"
+            )
+    dtypes = dict(dtypes or {})
+    columns = []
+    defs = []
+    for index, name in enumerate(header):
+        raw = [row[index] for row in rows]
+        dtype = dtypes.get(name) or _infer_column_type(raw)
+        values = [_parse_value(v, dtype) for v in raw]
+        column = ColumnVector.from_values(values, dtype)
+        columns.append(column)
+        defs.append(ColumnDef(name, dtype))
+    return Table(Schema(tuple(defs)), columns)
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return NULL_TOKEN
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def write_csv(
+    table: Table, target: str | IO[str], delimiter: str = ","
+) -> None:
+    """Write a table as CSV with a header row (NULLs as empty fields)."""
+    if isinstance(target, str):
+        directory = os.path.dirname(target)
+        if directory and not os.path.isdir(directory):
+            raise ReproError(f"no such directory: {directory}")
+        handle: IO[str] = open(target, "w", newline="", encoding="utf-8")
+        owned = True
+    else:
+        handle, owned = target, False
+    try:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.schema.names)
+        for row in table.iter_rows():
+            writer.writerow([_format_value(v) for v in row])
+    finally:
+        if owned:
+            handle.close()
+
+
+def table_to_csv_string(table: Table, delimiter: str = ",") -> str:
+    """The table as one CSV string (convenience for tests and repr)."""
+    buffer = io.StringIO()
+    write_csv(table, buffer, delimiter)
+    return buffer.getvalue()

@@ -1,0 +1,48 @@
+"""Logical types, sort-order semantics, and schemas."""
+
+from repro.types.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    FLOAT,
+    INTEGER,
+    SMALLINT,
+    VARCHAR,
+    DataType,
+    TypeId,
+    type_for_numpy_dtype,
+    type_from_name,
+)
+from repro.types.schema import ColumnDef, Schema
+from repro.types.sortspec import (
+    NullOrder,
+    Order,
+    SortKey,
+    SortSpec,
+    compare_values,
+    tuple_compare,
+)
+
+__all__ = [
+    "BIGINT",
+    "BOOLEAN",
+    "DATE",
+    "DOUBLE",
+    "FLOAT",
+    "INTEGER",
+    "SMALLINT",
+    "VARCHAR",
+    "DataType",
+    "TypeId",
+    "type_for_numpy_dtype",
+    "type_from_name",
+    "ColumnDef",
+    "Schema",
+    "NullOrder",
+    "Order",
+    "SortKey",
+    "SortSpec",
+    "compare_values",
+    "tuple_compare",
+]

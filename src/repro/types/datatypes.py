@@ -1,0 +1,147 @@
+"""Logical types for relational data.
+
+The paper sorts relational data whose key columns "can be arbitrarily complex
+and contain any of the types that the system supports".  This module defines
+the logical types our reproduction supports, together with their physical
+representation as numpy dtypes and the metadata key normalization needs
+(fixed width, signedness, float-ness).
+
+The set matches what the paper's benchmarks exercise: 32/64-bit signed
+integers, 16-bit integers (TPC-DS surrogate keys are small ints), 32/64-bit
+IEEE-754 floats, DATE (stored as days since epoch), BOOLEAN, and VARCHAR.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TypeError_
+
+__all__ = [
+    "TypeId",
+    "DataType",
+    "BOOLEAN",
+    "SMALLINT",
+    "INTEGER",
+    "BIGINT",
+    "FLOAT",
+    "DOUBLE",
+    "DATE",
+    "VARCHAR",
+    "type_from_name",
+    "type_for_numpy_dtype",
+]
+
+
+class TypeId(enum.Enum):
+    """Identifier for each supported logical type."""
+
+    BOOLEAN = "BOOLEAN"
+    SMALLINT = "SMALLINT"
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    FLOAT = "FLOAT"
+    DOUBLE = "DOUBLE"
+    DATE = "DATE"
+    VARCHAR = "VARCHAR"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A logical type plus the physical facts the rest of the system needs.
+
+    Attributes:
+        type_id: which logical type this is.
+        numpy_dtype: physical storage dtype in columnar (DSM) form.  VARCHAR
+            columns are stored as numpy object arrays of ``str``.
+        fixed_width: width in bytes of the in-row (NSM) representation, or
+            ``None`` for variable-width types (VARCHAR), which live in a
+            string heap and store a pointer-sized slot in the row.
+        is_signed: whether the physical representation is a signed integer
+            (needs a sign-bit flip during key normalization).
+        is_float: whether the physical representation is IEEE-754 (needs the
+            float total-order transform during key normalization).
+    """
+
+    type_id: TypeId
+    numpy_dtype: np.dtype
+    fixed_width: int | None
+    is_signed: bool
+    is_float: bool
+
+    @property
+    def name(self) -> str:
+        """SQL-ish name of the type (e.g. ``"INTEGER"``)."""
+        return self.type_id.value
+
+    @property
+    def is_variable_width(self) -> bool:
+        """True for types whose values have no fixed byte width (VARCHAR)."""
+        return self.fixed_width is None
+
+    def validate_array(self, values: np.ndarray) -> None:
+        """Raise :class:`TypeError_` unless ``values`` matches this type.
+
+        For fixed-width types the numpy dtype must match exactly.  VARCHAR
+        accepts object arrays whose non-null entries are ``str``.
+        """
+        if self.type_id is TypeId.VARCHAR:
+            if values.dtype != np.dtype(object):
+                raise TypeError_(
+                    f"VARCHAR column must be an object array, got {values.dtype}"
+                )
+            return
+        if values.dtype != self.numpy_dtype:
+            raise TypeError_(
+                f"{self.name} column must have dtype {self.numpy_dtype}, "
+                f"got {values.dtype}"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+BOOLEAN = DataType(TypeId.BOOLEAN, np.dtype(np.uint8), 1, False, False)
+SMALLINT = DataType(TypeId.SMALLINT, np.dtype(np.int16), 2, True, False)
+INTEGER = DataType(TypeId.INTEGER, np.dtype(np.int32), 4, True, False)
+BIGINT = DataType(TypeId.BIGINT, np.dtype(np.int64), 8, True, False)
+FLOAT = DataType(TypeId.FLOAT, np.dtype(np.float32), 4, False, True)
+DOUBLE = DataType(TypeId.DOUBLE, np.dtype(np.float64), 8, False, True)
+DATE = DataType(TypeId.DATE, np.dtype(np.int32), 4, True, False)
+VARCHAR = DataType(TypeId.VARCHAR, np.dtype(object), None, False, False)
+
+_BY_NAME = {
+    t.name: t
+    for t in (BOOLEAN, SMALLINT, INTEGER, BIGINT, FLOAT, DOUBLE, DATE, VARCHAR)
+}
+# Common SQL aliases accepted by the mini engine's parser.
+_BY_NAME["INT"] = INTEGER
+_BY_NAME["INT4"] = INTEGER
+_BY_NAME["INT8"] = BIGINT
+_BY_NAME["INT2"] = SMALLINT
+_BY_NAME["REAL"] = FLOAT
+_BY_NAME["STRING"] = VARCHAR
+_BY_NAME["TEXT"] = VARCHAR
+_BY_NAME["BOOL"] = BOOLEAN
+
+
+def type_from_name(name: str) -> DataType:
+    """Look up a :class:`DataType` by SQL name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise TypeError_(f"unknown type name: {name!r}") from None
+
+
+def type_for_numpy_dtype(dtype: np.dtype) -> DataType:
+    """Infer the logical type for a numpy dtype (DATE is not inferable)."""
+    dtype = np.dtype(dtype)
+    if dtype == np.dtype(object):
+        return VARCHAR
+    for candidate in (SMALLINT, INTEGER, BIGINT, FLOAT, DOUBLE, BOOLEAN):
+        if candidate.numpy_dtype == dtype:
+            return candidate
+    raise TypeError_(f"no logical type for numpy dtype {dtype}")

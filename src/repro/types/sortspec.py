@@ -1,0 +1,216 @@
+"""Sort specifications: ORDER BY semantics for one or more key columns.
+
+A :class:`SortKey` captures everything the paper's example query expresses:
+which column, ascending or descending, and whether NULLs sort first or last.
+A :class:`SortSpec` is the ordered list of keys from an ORDER BY clause.
+
+The comparison semantics implemented here (``compare_values`` and
+``tuple_compare``) are the ground truth the rest of the library is tested
+against: key normalization must produce byte strings whose memcmp order
+matches ``tuple_compare`` exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import SortError
+
+__all__ = [
+    "Order",
+    "NullOrder",
+    "SortKey",
+    "SortSpec",
+    "compare_values",
+    "tuple_compare",
+]
+
+
+class Order(enum.Enum):
+    """Sort direction of one key column."""
+
+    ASCENDING = "ASC"
+    DESCENDING = "DESC"
+
+
+class NullOrder(enum.Enum):
+    """Where NULL values sort relative to non-NULL values."""
+
+    NULLS_FIRST = "NULLS FIRST"
+    NULLS_LAST = "NULLS LAST"
+
+
+def default_null_order(order: Order) -> NullOrder:
+    """The default NULL placement used when a query does not specify one.
+
+    We follow DuckDB's default (NULLS LAST for ASC, NULLS FIRST for DESC is
+    *not* DuckDB's behaviour -- DuckDB defaults to NULLS LAST in both
+    directions since 0.8; we use NULLS LAST uniformly).
+    """
+    return NullOrder.NULLS_LAST
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One entry of an ORDER BY clause.
+
+    Attributes:
+        column: column name.
+        order: ascending or descending.
+        null_order: NULLS FIRST or NULLS LAST.  If omitted the default from
+            :func:`default_null_order` is used.
+    """
+
+    column: str
+    order: Order = Order.ASCENDING
+    null_order: NullOrder | None = None
+
+    @property
+    def effective_null_order(self) -> NullOrder:
+        """The NULL placement to actually use (applies the default)."""
+        if self.null_order is not None:
+            return self.null_order
+        return default_null_order(self.order)
+
+    @property
+    def descending(self) -> bool:
+        return self.order is Order.DESCENDING
+
+    @property
+    def nulls_first(self) -> bool:
+        return self.effective_null_order is NullOrder.NULLS_FIRST
+
+    @classmethod
+    def parse(cls, text: str) -> "SortKey":
+        """Parse a key from text like ``"c_birth_country DESC NULLS LAST"``.
+
+        Accepted grammar::
+
+            column [ASC|DESC] [NULLS FIRST|NULLS LAST]
+        """
+        tokens = text.split()
+        if not tokens:
+            raise SortError("empty sort key")
+        column = tokens[0]
+        order = Order.ASCENDING
+        null_order: NullOrder | None = None
+        rest = [t.upper() for t in tokens[1:]]
+        i = 0
+        while i < len(rest):
+            tok = rest[i]
+            if tok in ("ASC", "ASCENDING"):
+                order = Order.ASCENDING
+            elif tok in ("DESC", "DESCENDING"):
+                order = Order.DESCENDING
+            elif tok == "NULLS" and i + 1 < len(rest):
+                nxt = rest[i + 1]
+                if nxt == "FIRST":
+                    null_order = NullOrder.NULLS_FIRST
+                elif nxt == "LAST":
+                    null_order = NullOrder.NULLS_LAST
+                else:
+                    raise SortError(f"expected FIRST or LAST after NULLS, got {nxt}")
+                i += 1
+            else:
+                raise SortError(f"unexpected token in sort key: {tok}")
+            i += 1
+        return cls(column, order, null_order)
+
+    def __str__(self) -> str:
+        parts = [self.column, self.order.value, self.effective_null_order.value]
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class SortSpec:
+    """An ordered list of :class:`SortKey` -- a full ORDER BY clause."""
+
+    keys: tuple[SortKey, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise SortError("a SortSpec needs at least one key")
+        object.__setattr__(self, "keys", tuple(self.keys))
+
+    @classmethod
+    def of(cls, *keys: "SortKey | str") -> "SortSpec":
+        """Build a spec from SortKey objects and/or textual keys.
+
+        >>> SortSpec.of("a DESC", SortKey("b"))
+        """
+        parsed = tuple(
+            k if isinstance(k, SortKey) else SortKey.parse(k) for k in keys
+        )
+        return cls(parsed)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(k.column for k in self.keys)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __iter__(self):
+        return iter(self.keys)
+
+    def __str__(self) -> str:
+        return ", ".join(str(k) for k in self.keys)
+
+
+def compare_values(left: Any, right: Any, key: SortKey) -> int:
+    """Three-way compare of two values under one sort key's semantics.
+
+    ``None`` denotes NULL.  NaN floats sort after all other floats
+    (ascending), matching the total order our key normalization encodes.
+    Returns negative / zero / positive like a C comparator.
+    """
+    left_null = left is None
+    right_null = right is None
+    if left_null or right_null:
+        if left_null and right_null:
+            return 0
+        null_cmp = -1 if key.nulls_first else 1
+        return null_cmp if left_null else -null_cmp
+
+    result = _compare_non_null(left, right)
+    return -result if key.descending else result
+
+
+def _compare_non_null(left: Any, right: Any) -> int:
+    """Ascending three-way compare of two non-NULL values of the same type."""
+    if isinstance(left, float) or isinstance(right, float):
+        left_nan = isinstance(left, float) and math.isnan(left)
+        right_nan = isinstance(right, float) and math.isnan(right)
+        if left_nan or right_nan:
+            if left_nan and right_nan:
+                return 0
+            return 1 if left_nan else -1
+    if left < right:
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def tuple_compare(
+    left: Sequence[Any], right: Sequence[Any], spec: SortSpec
+) -> int:
+    """Three-way compare of two tuples under a full sort spec.
+
+    This is the reference "tuple-at-a-time" comparator from the paper: walk
+    the key columns in order and return the first non-tie.  Everything else
+    in the library (normalized keys, subsort, radix sort) must agree with it.
+    """
+    if len(left) != len(spec.keys) or len(right) != len(spec.keys):
+        raise SortError(
+            f"tuple arity {len(left)}/{len(right)} does not match "
+            f"spec arity {len(spec.keys)}"
+        )
+    for value_l, value_r, key in zip(left, right, spec.keys):
+        result = compare_values(value_l, value_r, key)
+        if result != 0:
+            return result
+    return 0

@@ -1,0 +1,5 @@
+"""Window functions over sorted partitions."""
+
+from repro.window.functions import WindowFunction, WindowSpec, window
+
+__all__ = ["WindowFunction", "WindowSpec", "window"]

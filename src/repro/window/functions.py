@@ -1,0 +1,259 @@
+"""Window functions over the sort operator.
+
+The paper opens with "The ORDER BY and WINDOW operators explicitly invoke
+sorting"; this module is the WINDOW half.  A window computation sorts the
+input by (PARTITION BY keys, ORDER BY keys) with the normalized-key sort
+operator, detects partition boundaries on the partition-key prefix of the
+normalized keys, and evaluates the requested functions per partition with
+vectorized numpy.
+
+Supported functions: ``row_number``, ``rank``, ``dense_rank``,
+``lag``/``lead`` (offset 1 over any column), ``running_count``, and
+``running_sum`` over a numeric column.
+
+The result is the sorted table plus one appended column per requested
+function (window semantics over the sorted frame; callers needing the
+original row order can carry a position column through).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SortError
+from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
+from repro.sort.operator import SortConfig, sort_table
+from repro.table.column import ColumnVector
+from repro.table.table import Table
+from repro.types.datatypes import BIGINT, DOUBLE
+from repro.types.schema import ColumnDef, Schema
+from repro.types.sortspec import SortKey, SortSpec
+
+__all__ = ["WindowFunction", "WindowSpec", "window"]
+
+_FUNCTIONS = (
+    "row_number",
+    "rank",
+    "dense_rank",
+    "lag",
+    "lead",
+    "running_count",
+    "running_sum",
+)
+
+
+@dataclass(frozen=True)
+class WindowFunction:
+    """One requested window computation.
+
+    Attributes:
+        name: one of the supported function names.
+        column: argument column (required by lag/lead/running_sum).
+        output: output column name (defaults to a derived name).
+    """
+
+    name: str
+    column: str | None = None
+    output: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.name not in _FUNCTIONS:
+            raise SortError(
+                f"unknown window function {self.name!r}; "
+                f"supported: {_FUNCTIONS}"
+            )
+        if self.name in ("lag", "lead", "running_sum") and self.column is None:
+            raise SortError(f"{self.name} needs an argument column")
+
+    @property
+    def output_name(self) -> str:
+        if self.output:
+            return self.output
+        if self.column:
+            return f"{self.name}_{self.column}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """PARTITION BY / ORDER BY of a window clause."""
+
+    partition_by: tuple[str, ...] = ()
+    order_by: tuple[SortKey, ...] = ()
+
+    @classmethod
+    def of(cls, partition_by: Sequence[str] = (), order_by: Sequence[str] = ()):
+        return cls(
+            tuple(partition_by),
+            tuple(SortKey.parse(k) for k in order_by),
+        )
+
+    def sort_spec(self) -> SortSpec:
+        keys = tuple(SortKey(c) for c in self.partition_by) + self.order_by
+        if not keys:
+            raise SortError("window needs PARTITION BY and/or ORDER BY keys")
+        return SortSpec(keys)
+
+
+def _partition_ids(sorted_table: Table, spec: WindowSpec) -> np.ndarray:
+    """0-based partition ordinal of each row of the sorted table."""
+    n = sorted_table.num_rows
+    if not spec.partition_by or n == 0:
+        return np.zeros(n, dtype=np.int64)
+    part_spec = SortSpec(tuple(SortKey(c) for c in spec.partition_by))
+    keys = normalize_keys(
+        sorted_table, part_spec, string_prefix=MAX_STRING_PREFIX,
+        include_row_id=False,
+    )
+    changed = np.any(keys.matrix[1:] != keys.matrix[:-1], axis=1)
+    return np.concatenate(([0], np.cumsum(changed))).astype(np.int64)
+
+
+def _order_ids(sorted_table: Table, spec: WindowSpec) -> np.ndarray:
+    """Group ordinal of equal ORDER BY values (for rank/dense_rank)."""
+    n = sorted_table.num_rows
+    if not spec.order_by or n == 0:
+        return np.zeros(n, dtype=np.int64)
+    order_spec = SortSpec(spec.order_by)
+    keys = normalize_keys(
+        sorted_table, order_spec, string_prefix=MAX_STRING_PREFIX,
+        include_row_id=False,
+    )
+    changed = np.any(keys.matrix[1:] != keys.matrix[:-1], axis=1)
+    return np.concatenate(([0], np.cumsum(changed))).astype(np.int64)
+
+
+def window(
+    table: Table,
+    spec: WindowSpec,
+    functions: Sequence[WindowFunction],
+    config: SortConfig | None = None,
+) -> Table:
+    """Evaluate window functions; returns the sorted table + new columns."""
+    if not functions:
+        raise SortError("no window functions requested")
+    names = {f.output_name for f in functions}
+    if len(names) != len(functions):
+        raise SortError("window output names collide")
+    for f in functions:
+        if f.column is not None:
+            table.schema.column(f.column)
+        if f.output_name in table.schema:
+            raise SortError(
+                f"output column {f.output_name!r} already exists"
+            )
+
+    sorted_table = sort_table(table, spec.sort_spec(), config)
+    n = sorted_table.num_rows
+    partitions = _partition_ids(sorted_table, spec)
+
+    # Per-row position within its partition, vectorized: global index
+    # minus the first index of the row's partition.
+    first_of_partition = np.zeros(n, dtype=np.int64)
+    if n:
+        starts = np.flatnonzero(
+            np.concatenate(([True], partitions[1:] != partitions[:-1]))
+        )
+        first_of_partition = starts[
+            np.searchsorted(starts, np.arange(n), side="right") - 1
+        ]
+    position = np.arange(n, dtype=np.int64) - first_of_partition
+
+    columns = list(sorted_table.columns)
+    defs = list(sorted_table.schema.columns)
+    order_groups = None
+    for f in functions:
+        if f.name == "row_number":
+            data = position + 1
+            new = ColumnVector(BIGINT, data.astype(np.int64))
+        elif f.name in ("rank", "dense_rank"):
+            if order_groups is None:
+                order_groups = _order_ids(sorted_table, spec)
+            new = _rank_column(
+                partitions, position, order_groups, dense=f.name == "dense_rank"
+            )
+        elif f.name in ("lag", "lead"):
+            new = _shift_column(
+                sorted_table.column(f.column), partitions, f.name == "lead"
+            )
+        elif f.name == "running_count":
+            new = ColumnVector(BIGINT, (position + 1).astype(np.int64))
+        else:  # running_sum
+            new = _running_sum(sorted_table.column(f.column), partitions)
+        columns.append(new)
+        defs.append(ColumnDef(f.output_name, new.dtype))
+    return Table(Schema(tuple(defs)), columns)
+
+
+def _rank_column(
+    partitions: np.ndarray,
+    position: np.ndarray,
+    order_groups: np.ndarray,
+    dense: bool,
+) -> ColumnVector:
+    n = len(partitions)
+    ranks = np.ones(n, dtype=np.int64)
+    if n:
+        new_group = np.concatenate(
+            ([True], (order_groups[1:] != order_groups[:-1])
+             | (partitions[1:] != partitions[:-1]))
+        )
+        if dense:
+            # Count of distinct order groups so far within the partition.
+            group_ordinal = np.cumsum(new_group)
+            first = np.zeros(n, dtype=np.int64)
+            starts = np.flatnonzero(
+                np.concatenate(([True], partitions[1:] != partitions[:-1]))
+            )
+            first = starts[
+                np.searchsorted(starts, np.arange(n), side="right") - 1
+            ]
+            ranks = group_ordinal - group_ordinal[first] + 1
+        else:
+            # rank = position of the first row of the tie group + 1.
+            group_start = np.where(new_group, np.arange(n), 0)
+            group_start = np.maximum.accumulate(group_start)
+            ranks = position - (np.arange(n) - group_start) + 1
+    return ColumnVector(BIGINT, ranks.astype(np.int64))
+
+
+def _shift_column(
+    column: ColumnVector, partitions: np.ndarray, lead: bool
+) -> ColumnVector:
+    n = len(column)
+    data = np.empty_like(column.data)
+    validity = np.zeros(n, dtype=bool)
+    if n:
+        if lead:
+            data[:-1] = column.data[1:]
+            validity[:-1] = column.validity[1:]
+            same = np.concatenate((partitions[1:] == partitions[:-1], [False]))
+        else:
+            data[1:] = column.data[:-1]
+            validity[1:] = column.validity[:-1]
+            same = np.concatenate(([False], partitions[1:] == partitions[:-1]))
+        validity &= same
+        if column.dtype.is_variable_width:
+            data[~validity] = ""
+        else:
+            data[~validity] = 0
+    return ColumnVector(column.dtype, data, validity)
+
+
+def _running_sum(column: ColumnVector, partitions: np.ndarray) -> ColumnVector:
+    if column.dtype.is_variable_width:
+        raise SortError("running_sum needs a numeric column")
+    values = np.where(column.validity, column.data, 0).astype(np.float64)
+    cumulative = np.cumsum(values)
+    n = len(values)
+    if n:
+        starts = np.flatnonzero(
+            np.concatenate(([True], partitions[1:] != partitions[:-1]))
+        )
+        first = starts[np.searchsorted(starts, np.arange(n), side="right") - 1]
+        base = np.where(first > 0, cumulative[first - 1], 0.0)
+        cumulative = cumulative - base
+    return ColumnVector(DOUBLE, cumulative)

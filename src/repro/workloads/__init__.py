@@ -1,0 +1,29 @@
+"""Workload generators: micro-benchmark distributions and TPC-DS tables."""
+
+from repro.workloads.distributions import (
+    CORRELATED_UNIQUE_VALUES,
+    PAPER_GRID,
+    Distribution,
+    correlated_distribution,
+    generate_key_columns,
+    random_distribution,
+)
+from repro.workloads.tpcds import (
+    PAPER_CARDINALITIES,
+    catalog_sales,
+    customer,
+    scaled_rows,
+)
+
+__all__ = [
+    "CORRELATED_UNIQUE_VALUES",
+    "PAPER_GRID",
+    "Distribution",
+    "correlated_distribution",
+    "generate_key_columns",
+    "random_distribution",
+    "PAPER_CARDINALITIES",
+    "catalog_sales",
+    "customer",
+    "scaled_rows",
+]

@@ -1,0 +1,118 @@
+"""Micro-benchmark data distributions (paper, Section III-A).
+
+The paper's micro-benchmarks sort columns of unsigned 32-bit integers drawn
+from two families:
+
+* **Random** -- uniform over the full u32 range; "virtually no duplicate
+  values in each column".
+* **CorrelatedP** -- 128 unique values per column; the first column is
+  uniform; for subsequent columns, *P* is the probability that two tuples
+  equal in column C are also equal in column C+1.
+
+For CorrelatedP we generate column C+1 by copying a deterministic function
+of column C with probability ``sqrt(P)`` and drawing a fresh uniform value
+otherwise.  Two rows equal in C are then equal in C+1 with probability
+``sqrt(P)^2 + (small collision terms) ~= P``, matching the paper's stated
+conditional-equality semantics; P = 1 degenerates to an exact functional
+copy and P = 0 to independence, as required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "CORRELATED_UNIQUE_VALUES",
+    "Distribution",
+    "random_distribution",
+    "correlated_distribution",
+    "PAPER_GRID",
+    "generate_key_columns",
+]
+
+CORRELATED_UNIQUE_VALUES = 128
+"""Unique values per column in the Correlated distributions (paper value)."""
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A named micro-benchmark distribution.
+
+    Attributes:
+        name: display name, e.g. ``"Random"`` or ``"Correlated0.5"``.
+        correlation: ``None`` for Random, else the paper's P.
+    """
+
+    name: str
+    correlation: float | None
+
+    @property
+    def is_random(self) -> bool:
+        return self.correlation is None
+
+
+def random_distribution() -> Distribution:
+    return Distribution("Random", None)
+
+
+def correlated_distribution(p: float) -> Distribution:
+    if not 0.0 <= p <= 1.0:
+        raise ReproError(f"correlation must be in [0, 1], got {p}")
+    label = f"{p:g}"
+    return Distribution(f"Correlated{label}", p)
+
+
+PAPER_GRID = (
+    random_distribution(),
+    correlated_distribution(0.0),
+    correlated_distribution(0.5),
+    correlated_distribution(1.0),
+)
+"""The distribution grid our figures sweep (the paper sweeps a P grid)."""
+
+
+def generate_key_columns(
+    distribution: Distribution,
+    num_rows: int,
+    num_columns: int,
+    seed: int = 42,
+) -> np.ndarray:
+    """Generate an ``(num_rows, num_columns)`` uint32 key matrix.
+
+    Column ``c`` of the result corresponds to key column ``c`` of the
+    ORDER BY; row ``r`` is one tuple's key values.
+    """
+    if num_rows < 0 or num_columns <= 0:
+        raise ReproError(
+            f"need num_rows >= 0 and num_columns > 0, "
+            f"got {num_rows}, {num_columns}"
+        )
+    rng = np.random.default_rng(seed)
+    out = np.empty((num_rows, num_columns), dtype=np.uint32)
+    if distribution.is_random:
+        # Uniform over the full u32 range: virtually no duplicates.
+        for c in range(num_columns):
+            out[:, c] = rng.integers(
+                0, 2**32, size=num_rows, dtype=np.uint32
+            )
+        return out
+
+    unique = CORRELATED_UNIQUE_VALUES
+    copy_probability = math.sqrt(distribution.correlation)
+    # First column: uniform over the 128 values.  Values are spread over
+    # the u32 range (multiplied out) so byte-level encodings differ early.
+    spread = np.uint32(2**32 // unique)
+    out[:, 0] = rng.integers(0, unique, size=num_rows, dtype=np.uint32) * spread
+    for c in range(1, num_columns):
+        fresh = rng.integers(0, unique, size=num_rows, dtype=np.uint32) * spread
+        # Deterministic function of the previous column: a multiplicative
+        # shuffle of its value keeps 128 unique values per column.
+        derived = (out[:, c - 1] // spread * np.uint32(73) % np.uint32(unique)) * spread
+        copy_mask = rng.random(num_rows) < copy_probability
+        out[:, c] = np.where(copy_mask, derived, fresh)
+    return out

@@ -1,0 +1,188 @@
+"""Synthetic TPC-DS tables for the end-to-end benchmarks.
+
+The paper's Sections VII-C/D sort the two TPC-DS tables below, generated
+with ``dsdgen``.  ``dsdgen`` is not redistributable, so this module
+synthesizes tables with the distributional properties that matter for
+sorting -- column cardinalities, NULL fractions, value ranges, and string
+length distributions -- at any row count (see DESIGN.md, substitution
+table).
+
+* ``catalog_sales`` -- the largest TPC-DS fact table.  The paper sorts it
+  by up to four low-cardinality surrogate-key columns
+  (``cs_warehouse_sk``, ``cs_ship_mode_sk``, ``cs_promo_sk``,
+  ``cs_quantity``), selecting ``cs_item_sk``; the key columns contain
+  NULLs (foreign keys in TPC-DS may be NULL).
+* ``customer`` -- sorted either by three integer birth-date columns or by
+  two VARCHAR name columns, selecting ``c_customer_sk``.
+
+``PAPER_CARDINALITIES`` records the true TPC-DS row counts per scale
+factor (the paper's Table IV); generators accept any ``num_rows`` so
+benchmarks can run scaled down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.table.column import ColumnVector
+from repro.table.table import Table
+from repro.types.datatypes import INTEGER, VARCHAR
+from repro.types.schema import ColumnDef, Schema
+
+__all__ = [
+    "PAPER_CARDINALITIES",
+    "catalog_sales",
+    "customer",
+    "scaled_rows",
+]
+
+PAPER_CARDINALITIES = {
+    ("catalog_sales", 10): 14_401_261,
+    ("catalog_sales", 100): 143_997_065,
+    ("customer", 100): 2_000_000,
+    ("customer", 300): 5_000_000,
+}
+"""TPC-DS cardinalities at the paper's scale factors (its Table IV)."""
+
+
+def scaled_rows(table: str, scale_factor: int, scale_down: int) -> int:
+    """Paper cardinality divided by the reproduction's scale-down factor."""
+    key = (table, scale_factor)
+    if key not in PAPER_CARDINALITIES:
+        raise ReproError(
+            f"no paper cardinality for {table} at SF{scale_factor}"
+        )
+    if scale_down <= 0:
+        raise ReproError("scale_down must be positive")
+    return max(1, PAPER_CARDINALITIES[key] // scale_down)
+
+
+def _nullable_int_column(
+    rng: np.random.Generator,
+    num_rows: int,
+    low: int,
+    high: int,
+    null_fraction: float,
+) -> ColumnVector:
+    values = rng.integers(low, high + 1, size=num_rows).astype(np.int32)
+    validity = None
+    if null_fraction > 0:
+        validity = rng.random(num_rows) >= null_fraction
+        values[~validity] = 0
+    return ColumnVector(INTEGER, values, validity)
+
+
+def catalog_sales(
+    num_rows: int, scale_factor: int = 10, seed: int = 42
+) -> Table:
+    """A synthetic ``catalog_sales`` slice with the paper's sort columns.
+
+    Cardinalities follow TPC-DS: the surrogate keys reference small
+    dimension tables whose sizes grow sub-linearly with the scale factor,
+    which is what makes multi-column comparisons tie so often.
+    """
+    if num_rows < 0:
+        raise ReproError("num_rows must be non-negative")
+    rng = np.random.default_rng(seed)
+    # Dimension cardinalities, approximating dsdgen's scaling.
+    warehouses = 10 if scale_factor <= 10 else 15
+    ship_modes = 20
+    promotions = 450 if scale_factor <= 10 else 1000
+    items = 102_000 if scale_factor <= 10 else 204_000
+    columns = {
+        "cs_warehouse_sk": _nullable_int_column(
+            rng, num_rows, 1, warehouses, 0.005
+        ),
+        "cs_ship_mode_sk": _nullable_int_column(
+            rng, num_rows, 1, ship_modes, 0.005
+        ),
+        "cs_promo_sk": _nullable_int_column(
+            rng, num_rows, 1, promotions, 0.005
+        ),
+        "cs_quantity": _nullable_int_column(rng, num_rows, 1, 100, 0.005),
+        "cs_item_sk": ColumnVector(
+            INTEGER, rng.integers(1, items + 1, size=num_rows).astype(np.int32)
+        ),
+    }
+    schema = Schema(tuple(ColumnDef(n, INTEGER) for n in columns))
+    return Table(schema, list(columns.values()))
+
+
+_FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+    "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony",
+    "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly",
+    "Paul", "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth",
+    "Carol", "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa",
+    "Timothy", "Deborah", "Ronald", "Stephanie", "Edward", "Rebecca",
+    "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob",
+    "Kathleen", "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley",
+    "Jonathan", "Anna", "Stephen", "Brenda", "Larry", "Pamela", "Justin",
+    "Emma", "Scott", "Nicole", "Brandon", "Helen",
+]
+
+_LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez",
+]
+
+
+def customer(num_rows: int, scale_factor: int = 100, seed: int = 42) -> Table:
+    """A synthetic ``customer`` slice with birth-date and name columns.
+
+    Names draw from fixed pools (heavy duplication, like real names and
+    like dsdgen's name tables); birth dates are uniform over 1924-1992;
+    each demographic column is NULL for a few percent of customers, as in
+    TPC-DS.
+    """
+    if num_rows < 0:
+        raise ReproError("num_rows must be non-negative")
+    rng = np.random.default_rng(seed)
+    null_p = 0.035  # dsdgen leaves a few percent of demographics NULL
+
+    def pick_names(pool: list[str]) -> ColumnVector:
+        pool_array = np.array(pool, dtype=object)
+        choices = rng.integers(0, len(pool), size=num_rows)
+        validity = rng.random(num_rows) >= null_p
+        data = pool_array[choices]
+        data[~validity] = ""
+        return ColumnVector(VARCHAR, data, validity)
+
+    columns = {
+        "c_customer_sk": ColumnVector(
+            INTEGER, np.arange(1, num_rows + 1, dtype=np.int32)
+        ),
+        "c_birth_year": _nullable_int_column(rng, num_rows, 1924, 1992, null_p),
+        "c_birth_month": _nullable_int_column(rng, num_rows, 1, 12, null_p),
+        "c_birth_day": _nullable_int_column(rng, num_rows, 1, 28, null_p),
+        "c_last_name": pick_names(_LAST_NAMES),
+        "c_first_name": pick_names(_FIRST_NAMES),
+    }
+    dtypes = {
+        "c_customer_sk": INTEGER,
+        "c_birth_year": INTEGER,
+        "c_birth_month": INTEGER,
+        "c_birth_day": INTEGER,
+        "c_last_name": VARCHAR,
+        "c_first_name": VARCHAR,
+    }
+    schema = Schema(
+        tuple(ColumnDef(name, dtypes[name]) for name in columns)
+    )
+    return Table(schema, list(columns.values()))

@@ -1,0 +1,166 @@
+"""Tests for the experiment harness: results are well-formed and carry the
+paper's qualitative shapes at tiny scales.
+"""
+
+import pytest
+
+from repro.bench import (
+    FigureResult,
+    ablation_merge_path,
+    ablation_radix_skip_copy,
+    ablation_radix_switch,
+    figure2_subsort_columnar,
+    figure4_row_vs_columnar,
+    figure6_dynamic_comparator,
+    figure8_normalized_keys,
+    figure9_radix_vs_pdqsort,
+    figure10_counters_radix_pdq,
+    rungen_comparison_budget,
+    table1_hardware,
+    table2_counters_columnar,
+    table3_counters_row,
+    table4_cardinalities,
+)
+from repro.workloads.distributions import (
+    correlated_distribution,
+    random_distribution,
+)
+
+TINY_SIZES = (64, 256)
+TINY_KEYS = (1, 4)
+TINY_DISTS = (random_distribution(), correlated_distribution(0.5))
+
+
+class TestFigureResult:
+    def test_render_contains_title_and_rows(self):
+        result = FigureResult("x", "a title", ["a", "b"])
+        result.add(a=1, b=2.5)
+        text = result.render()
+        assert "a title" in text and "2.5" in text
+
+    def test_render_with_notes(self):
+        result = FigureResult("x", "t", ["a"], notes="scaled down")
+        result.add(a=1)
+        assert "note: scaled down" in result.render()
+
+    def test_column_values(self):
+        result = FigureResult("x", "t", ["a"])
+        result.add(a=1)
+        result.add(a=2)
+        assert result.column_values("a") == [1, 2]
+
+
+class TestTables:
+    def test_table1_mentions_simulator(self):
+        assert "KiB" in table1_hardware().render()
+
+    def test_table2_subsort_wins_both_counters(self):
+        result = table2_counters_columnar(num_rows=1024)
+        by_approach = {r["approach"]: r for r in result.rows}
+        assert (
+            by_approach["subsort"]["l1_misses"]
+            < by_approach["tuple"]["l1_misses"]
+        )
+        assert (
+            by_approach["subsort"]["branch_mispredictions"]
+            < by_approach["tuple"]["branch_mispredictions"]
+        )
+
+    def test_table3_row_misses_much_lower_than_table2(self):
+        columnar = table2_counters_columnar(num_rows=1024)
+        row = table3_counters_row(num_rows=1024)
+        col_tuple = columnar.rows[0]["l1_misses"]
+        row_tuple = row.rows[0]["l1_misses"]
+        assert row_tuple * 2 < col_tuple
+
+    def test_table4_row_counts(self):
+        result = table4_cardinalities(scale_down=100)
+        rows = {(r["table"], r["scale_factor"]): r for r in result.rows}
+        assert rows[("catalog_sales", 10)]["paper_rows"] == 14_401_261
+        assert rows[("customer", 100)]["repro_rows"] == 20_000
+
+
+class TestMicroFigures:
+    def test_figure2_subsort_at_least_even_on_correlated(self):
+        result = figure2_subsort_columnar(TINY_SIZES, TINY_KEYS, TINY_DISTS)
+        for row in result.rows:
+            if row["keys"] == 1:
+                # One key: approaches are virtually equal.
+                assert row["relative"] == pytest.approx(1.0, abs=0.25)
+        correlated_multi = [
+            r["relative"]
+            for r in result.rows
+            if r["distribution"] != "Random" and r["keys"] == 4
+            and r["rows"] == max(TINY_SIZES)
+        ]
+        assert all(rel > 1.0 for rel in correlated_multi)
+
+    def test_figure4_row_beats_columnar_at_larger_sizes(self):
+        result = figure4_row_vs_columnar((1024, 4096), (4,), TINY_DISTS)
+        large = [r for r in result.rows if r["rows"] == 4096]
+        assert all(r["row_tuple_relative"] > 1.0 for r in large if
+                   r["distribution"] != "Random")
+
+    def test_figure6_dynamic_about_half_speed(self):
+        result = figure6_dynamic_comparator(TINY_SIZES, (4,), TINY_DISTS)
+        for row in result.rows:
+            assert 0.3 < row["relative"] < 0.85
+
+    def test_figure8_normalized_recovers_static(self):
+        result = figure8_normalized_keys((256, 1024), (4,), TINY_DISTS)
+        for row in result.rows:
+            assert row["relative"] > 0.75
+        dynamic = figure6_dynamic_comparator((1024,), (4,), TINY_DISTS)
+        # Normalized keys clearly beat the dynamic comparator.
+        assert min(r["relative"] for r in result.rows) > max(
+            r["relative"] for r in dynamic.rows
+        )
+
+    def test_figure9_radix_wins_random(self):
+        result = figure9_radix_vs_pdqsort((256, 1024), (1,), (random_distribution(),))
+        assert all(r["relative"] > 1.0 for r in result.rows)
+
+    def test_figure10_radix_branchless_more_misses(self):
+        result = figure10_counters_radix_pdq(num_rows=2048)
+        by_algo = {r["algorithm"]: r for r in result.rows}
+        assert (
+            by_algo["radix"]["branch_mispredictions"]
+            < by_algo["pdqsort+memcmp"]["branch_mispredictions"] / 4
+        )
+        assert (
+            by_algo["radix"]["l1_misses"]
+            > by_algo["pdqsort+memcmp"]["l1_misses"]
+        )
+
+
+class TestAnalysis:
+    def test_paper_example_80_percent(self):
+        result = rungen_comparison_budget(sizes=(1_000_000,), thread_counts=(16,))
+        share = result.rows[0]["rungen_share"]
+        assert share == pytest.approx(0.8, abs=0.01)
+
+
+class TestAblations:
+    def test_merge_path_speedup_grows_with_threads(self):
+        result = ablation_merge_path(thread_counts=(2, 16))
+        speedups = result.column_values("speedup")
+        assert speedups[1] > speedups[0] > 1.0
+
+    def test_skip_copy_saves_work_on_correlated(self):
+        result = ablation_radix_skip_copy(num_rows=512, correlation=1.0)
+        by_variant = {r["variant"]: r for r in result.rows}
+        assert (
+            by_variant["skip-copy"]["cycles"]
+            < by_variant["always-copy"]["cycles"]
+        )
+        assert (
+            by_variant["skip-copy"]["swaps"]
+            < by_variant["always-copy"]["swaps"]
+        )
+
+    def test_radix_switch_msd_wins_for_wide_keys(self):
+        result = ablation_radix_switch(num_rows=512, key_counts=(1, 4))
+        narrow, wide = result.rows
+        # For 4-byte keys LSD is at least competitive; for wide keys MSD
+        # gains (DuckDB's switch rule).
+        assert wide["msd_over_lsd"] > narrow["msd_over_lsd"]

@@ -1,0 +1,115 @@
+"""Tests for the SQL subset parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.engine.ast_nodes import (
+    CountStar,
+    StarSelection,
+    SubqueryRef,
+    TableRef,
+)
+from repro.engine.parser import parse, tokenize
+from repro.types.sortspec import NullOrder, Order
+
+
+class TestTokenizer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select from")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "FROM"]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("SELECT cs_Item_sk FROM t")
+        assert tokens[1].text == "cs_Item_sk"
+
+    def test_numbers(self):
+        tokens = tokenize("LIMIT 42")
+        assert tokens[1].kind == "number" and tokens[1].text == "42"
+
+    def test_symbols(self):
+        tokens = tokenize("count(*) , ;")
+        assert [t.text for t in tokens[:-1]] == ["COUNT", "(", "*", ")", ",", ";"]
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @ FROM t")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0 and tokens[1].position == 3
+
+
+class TestParser:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.selection, StarSelection)
+        assert stmt.source == TableRef("t")
+
+    def test_column_list(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert stmt.selection == ("a", "b")
+
+    def test_count_star(self):
+        stmt = parse("SELECT count(*) FROM t")
+        assert isinstance(stmt.selection, CountStar)
+
+    def test_order_by_full(self):
+        stmt = parse(
+            "SELECT * FROM t ORDER BY a DESC NULLS LAST, b ASC NULLS FIRST, c"
+        )
+        a, b, c = stmt.order_by
+        assert a.order is Order.DESCENDING
+        assert a.null_order is NullOrder.NULLS_LAST
+        assert b.null_order is NullOrder.NULLS_FIRST
+        assert c.order is Order.ASCENDING and c.null_order is None
+
+    def test_limit_offset(self):
+        stmt = parse("SELECT * FROM t LIMIT 10 OFFSET 3")
+        assert stmt.limit == 10 and stmt.offset == 3
+
+    def test_offset_only(self):
+        stmt = parse("SELECT * FROM t OFFSET 1")
+        assert stmt.limit is None and stmt.offset == 1
+
+    def test_subquery_with_alias(self):
+        stmt = parse(
+            "SELECT count(*) FROM (SELECT a FROM t ORDER BY b OFFSET 1) AS q"
+        )
+        assert isinstance(stmt.source, SubqueryRef)
+        assert stmt.source.alias == "q"
+        inner = stmt.source.query
+        assert inner.selection == ("a",)
+        assert inner.offset == 1
+
+    def test_subquery_alias_without_as(self):
+        stmt = parse("SELECT count(*) FROM (SELECT a FROM t) q")
+        assert stmt.source.alias == "q"
+
+    def test_trailing_semicolon(self):
+        parse("SELECT * FROM t;")
+
+    def test_sort_spec_conversion(self):
+        stmt = parse("SELECT * FROM t ORDER BY x DESC")
+        spec = stmt.sort_spec()
+        assert spec.keys[0].descending
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT FROM t",
+            "SELECT * FROM t ORDER a",
+            "SELECT * FROM t ORDER BY",
+            "SELECT * FROM t LIMIT x",
+            "SELECT count(* FROM t",
+            "SELECT count() FROM t",
+            "SELECT * FROM (SELECT a FROM t",
+            "SELECT * FROM t ORDER BY a NULLS SIDEWAYS",
+            "SELECT * FROM t extra garbage",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)

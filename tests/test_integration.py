@@ -1,0 +1,111 @@
+"""Integration tests: the paper's scenarios end-to-end through the
+public API (SQL engine + sort pipeline + workloads).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import reference_sort
+from repro import Table, SortSpec, sort_table, top_n
+from repro.engine import Database
+from repro.sort.operator import SortConfig
+from repro.workloads.tpcds import catalog_sales, customer
+
+
+class TestPaperExampleQuery:
+    """Section II's example: ORDER BY c_birth_country DESC, c_birth_year."""
+
+    def test_through_sql(self):
+        db = Database()
+        db.register("customer", customer(500, 100, seed=3))
+        result = db.execute(
+            "SELECT c_customer_sk, c_birth_year FROM customer "
+            "ORDER BY c_birth_year DESC NULLS LAST, c_customer_sk ASC"
+        )
+        spec = SortSpec.of("c_birth_year DESC NULLS LAST", "c_customer_sk")
+        expected = reference_sort(db.table("customer"), spec).select(
+            ["c_customer_sk", "c_birth_year"]
+        )
+        assert result.equals(expected)
+
+
+class TestBenchmarkQueryMethodology:
+    """Section VII-A: the count-over-sorted-subquery trick."""
+
+    def test_offset_forces_the_sort_and_count_is_n_minus_1(self, rng):
+        db = Database()
+        n = 2000
+        db.register(
+            "t",
+            Table.from_numpy(
+                {"a": rng.integers(0, 50, n).astype(np.int32)}
+            ),
+        )
+        query = "SELECT count(*) FROM (SELECT a FROM t ORDER BY a OFFSET 1) q"
+        assert "Sort" in db.explain(query)
+        assert db.execute(query).to_pydict() == {"count_star": [n - 1]}
+
+    def test_without_offset_sort_is_optimized_away(self, rng):
+        db = Database()
+        db.register(
+            "t",
+            Table.from_numpy({"a": rng.integers(0, 5, 100).astype(np.int32)}),
+        )
+        query = "SELECT count(*) FROM (SELECT a FROM t ORDER BY a) q"
+        assert "Sort" not in db.explain(query)
+        assert db.execute(query).to_pydict() == {"count_star": [100]}
+
+
+class TestTpcdsScenarios:
+    def test_catalog_sales_four_keys(self):
+        table = catalog_sales(3000, 10, seed=8)
+        spec = SortSpec.of(
+            "cs_warehouse_sk",
+            "cs_ship_mode_sk",
+            "cs_promo_sk",
+            "cs_quantity",
+        )
+        result = sort_table(table, spec, SortConfig(run_threshold=512))
+        assert result.is_sorted_by(spec)
+        assert result.num_rows == 3000
+        # NULL foreign keys must sort last (default NULLS LAST).
+        warehouse = result.column("cs_warehouse_sk").to_pylist()
+        non_null_after_null = False
+        seen_null = False
+        for value in warehouse:
+            if value is None:
+                seen_null = True
+            elif seen_null:
+                non_null_after_null = True
+        assert not non_null_after_null
+
+    def test_customer_string_sort_matches_reference(self):
+        table = customer(800, 100, seed=9)
+        spec = SortSpec.of(
+            "c_last_name NULLS FIRST", "c_first_name DESC NULLS LAST"
+        )
+        result = sort_table(table, spec, SortConfig(run_threshold=128))
+        assert result.equals(reference_sort(table, spec))
+
+    def test_window_style_topn(self):
+        table = customer(2000, 100, seed=10)
+        spec = SortSpec.of("c_birth_year NULLS LAST", "c_customer_sk")
+        expected = sort_table(table, spec).slice(0, 25)
+        assert top_n(table, spec, 25).equals(expected)
+
+
+class TestLargerScaleSmoke:
+    def test_hundred_thousand_rows_quickly(self, rng):
+        n = 100_000
+        table = Table.from_numpy(
+            {
+                "k1": rng.integers(0, 1000, n).astype(np.int32),
+                "k2": rng.standard_normal(n).astype(np.float32),
+                "payload": np.arange(n, dtype=np.int64),
+            }
+        )
+        spec = SortSpec.of("k1", "k2 DESC")
+        result = sort_table(table, spec)
+        assert result.is_sorted_by(spec)
+        # The payload is a permutation of the input.
+        assert sorted(result.column("payload").to_pylist()) == list(range(n))

@@ -1,0 +1,181 @@
+"""Tests for per-type order-preserving encodings (paper, Figure 7)."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import KeyEncodingError
+from repro.keys.encoding import (
+    encode_fixed_column,
+    encode_float,
+    encode_signed,
+    encode_string,
+    encode_string_column,
+    encode_unsigned,
+    invert_bytes,
+)
+from repro.types.datatypes import DOUBLE, FLOAT, INTEGER, SMALLINT
+
+
+class TestUnsigned:
+    def test_big_endian(self):
+        assert encode_unsigned(0x01020304, 4) == b"\x01\x02\x03\x04"
+
+    def test_out_of_range(self):
+        with pytest.raises(KeyEncodingError):
+            encode_unsigned(1 << 32, 4)
+        with pytest.raises(KeyEncodingError):
+            encode_unsigned(-1, 4)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_order_preserved(self, a, b):
+        assert (a < b) == (encode_unsigned(a, 4) < encode_unsigned(b, 4))
+
+
+class TestSigned:
+    def test_sign_bit_flip(self):
+        # -1 must sort before 0 and 0 before 1, byte-wise.
+        assert encode_signed(-1, 4) < encode_signed(0, 4) < encode_signed(1, 4)
+
+    def test_extremes(self):
+        low = encode_signed(-(2**31), 4)
+        high = encode_signed(2**31 - 1, 4)
+        assert low == b"\x00\x00\x00\x00"
+        assert high == b"\xff\xff\xff\xff"
+
+    def test_out_of_range(self):
+        with pytest.raises(KeyEncodingError):
+            encode_signed(2**31, 4)
+
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    def test_order_preserved(self, a, b):
+        assert (a < b) == (encode_signed(a, 4) < encode_signed(b, 4))
+
+    @given(st.integers(-(2**15), 2**15 - 1), st.integers(-(2**15), 2**15 - 1))
+    def test_order_preserved_16bit(self, a, b):
+        assert (a < b) == (encode_signed(a, 2) < encode_signed(b, 2))
+
+
+class TestFloat:
+    def test_negative_before_positive(self):
+        assert encode_float(-1.0, 4) < encode_float(1.0, 4)
+
+    def test_negative_order_inverted_bits(self):
+        assert encode_float(-2.0, 4) < encode_float(-1.0, 4)
+
+    def test_zero_canonicalization(self):
+        assert encode_float(-0.0, 8) == encode_float(0.0, 8)
+
+    def test_nan_canonical_and_last(self):
+        nan1 = struct.unpack(">f", b"\x7f\xc0\x00\x01")[0]
+        assert encode_float(nan1, 4) == encode_float(math.nan, 4)
+        assert encode_float(math.inf, 4) < encode_float(math.nan, 4)
+
+    def test_infinities(self):
+        assert encode_float(-math.inf, 8) < encode_float(-1e308, 8)
+        assert encode_float(1e308, 8) < encode_float(math.inf, 8)
+
+    def test_bad_width(self):
+        with pytest.raises(KeyEncodingError):
+            encode_float(1.0, 2)
+
+    @given(
+        st.floats(allow_nan=False, width=32),
+        st.floats(allow_nan=False, width=32),
+    )
+    def test_order_preserved_f32(self, a, b):
+        enc_a, enc_b = encode_float(a, 4), encode_float(b, 4)
+        if a == b:  # covers -0.0 == 0.0
+            assert enc_a == enc_b
+        else:
+            assert (a < b) == (enc_a < enc_b)
+
+    @given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+    def test_order_preserved_f64(self, a, b):
+        enc_a, enc_b = encode_float(a, 8), encode_float(b, 8)
+        if a == b:
+            assert enc_a == enc_b
+        else:
+            assert (a < b) == (enc_a < enc_b)
+
+
+class TestString:
+    def test_padding(self):
+        assert encode_string("GERMANY", 11) == b"GERMANY\x00\x00\x00\x00"
+
+    def test_truncation(self):
+        assert encode_string("NETHERLANDS", 4) == b"NETH"
+
+    def test_bad_prefix(self):
+        with pytest.raises(KeyEncodingError):
+            encode_string("x", 0)
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_order_preserved_when_fits(self, a, b):
+        # With a prefix large enough for both, byte order == UTF-8 order.
+        width = max(len(a.encode()), len(b.encode()), 1)
+        enc_a = encode_string(a, width)
+        enc_b = encode_string(b, width)
+        assert (a.encode() < b.encode()) == (enc_a < enc_b) or a.encode() == b.encode()
+
+
+class TestInvertBytes:
+    def test_inverts(self):
+        assert invert_bytes(b"\x00\xff\x10") == b"\xff\x00\xef"
+
+    @given(st.binary(min_size=1, max_size=16), st.binary(min_size=1, max_size=16))
+    def test_inversion_reverses_order(self, a, b):
+        if len(a) == len(b) and a != b:
+            assert (a < b) == (invert_bytes(a) > invert_bytes(b))
+
+
+class TestVectorizedEncoders:
+    @pytest.mark.parametrize(
+        "dtype,np_dtype,lo,hi",
+        [
+            (INTEGER, np.int32, -(2**31), 2**31 - 1),
+            (SMALLINT, np.int16, -(2**15), 2**15 - 1),
+        ],
+    )
+    def test_matches_scalar_signed(self, rng, dtype, np_dtype, lo, hi):
+        values = rng.integers(lo, hi, size=64).astype(np_dtype)
+        matrix = encode_fixed_column(values, dtype)
+        for i, v in enumerate(values):
+            assert matrix[i].tobytes() == encode_signed(int(v), dtype.fixed_width)
+
+    def test_matches_scalar_float32(self, rng):
+        values = rng.standard_normal(64).astype(np.float32)
+        values[0] = np.nan
+        values[1] = -0.0
+        values[2] = np.inf
+        matrix = encode_fixed_column(values, FLOAT)
+        for i, v in enumerate(values):
+            assert matrix[i].tobytes() == encode_float(float(v), 4)
+
+    def test_matches_scalar_float64(self, rng):
+        values = rng.standard_normal(32)
+        matrix = encode_fixed_column(values, DOUBLE)
+        for i, v in enumerate(values):
+            assert matrix[i].tobytes() == encode_float(float(v), 8)
+
+    def test_string_column(self):
+        values = np.array(["GERMANY", "NETHERLANDS", ""], dtype=object)
+        matrix = encode_string_column(values, 11)
+        assert matrix[0].tobytes() == encode_string("GERMANY", 11)
+        assert matrix[1].tobytes() == b"NETHERLANDS"
+        assert matrix[2].tobytes() == b"\x00" * 11
+
+    def test_string_column_utf8_truncation(self):
+        values = np.array(["héllo"], dtype=object)
+        matrix = encode_string_column(values, 3)
+        assert matrix[0].tobytes() == "héllo".encode("utf-8")[:3]
+
+    def test_varchar_via_fixed_raises(self):
+        from repro.types.datatypes import VARCHAR
+
+        with pytest.raises(KeyEncodingError):
+            encode_fixed_column(np.array(["a"], dtype=object), VARCHAR)

@@ -1,0 +1,136 @@
+"""Tests for the NSM row format: layout, round trips, gathers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rows.block import RowBlock
+from repro.rows.layout import ROW_ALIGNMENT, STRING_SLOT_WIDTH, RowLayout
+from repro.table.table import Table
+from repro.types.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    FLOAT,
+    INTEGER,
+    SMALLINT,
+    VARCHAR,
+)
+from repro.types.schema import Schema
+
+
+class TestRowLayout:
+    def test_row_width_is_8_byte_aligned(self):
+        schema = Schema.of(("a", INTEGER), ("b", SMALLINT), ("s", VARCHAR))
+        layout = RowLayout.for_schema(schema)
+        assert layout.row_width % ROW_ALIGNMENT == 0
+
+    def test_slots_are_naturally_aligned(self):
+        schema = Schema.of(
+            ("x", BOOLEAN), ("y", BIGINT), ("z", SMALLINT), ("w", DOUBLE)
+        )
+        layout = RowLayout.for_schema(schema)
+        for slot in layout.slots:
+            alignment = 4 if slot.is_string else slot.width
+            assert slot.offset % alignment == 0
+
+    def test_slots_do_not_overlap(self):
+        schema = Schema.of(
+            ("a", INTEGER), ("s", VARCHAR), ("b", BIGINT), ("c", BOOLEAN)
+        )
+        layout = RowLayout.for_schema(schema)
+        spans = sorted(
+            (s.offset, s.offset + s.width) for s in layout.slots
+        )
+        assert spans[0][0] >= layout.validity_bytes
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_string_slot_width(self):
+        schema = Schema.of(("s", VARCHAR))
+        assert RowLayout.for_schema(schema).slot("s").width == STRING_SLOT_WIDTH
+
+    def test_validity_bytes_scale_with_columns(self):
+        nine = Schema.of(*((f"c{i}", INTEGER) for i in range(9)))
+        assert RowLayout.for_schema(nine).validity_bytes == 2
+
+    def test_validity_positions(self):
+        schema = Schema.of(*((f"c{i}", INTEGER) for i in range(10)))
+        layout = RowLayout.for_schema(schema)
+        assert layout.validity_position(0) == (0, 0)
+        assert layout.validity_position(9) == (1, 1)
+
+
+def mixed_table() -> Table:
+    return Table.from_pydict(
+        {
+            "id": [1, 2, 3, 4],
+            "name": ["alpha", None, "", "délta"],
+            "score": [1.5, -2.0, None, 0.0],
+            "flag": [True, False, True, None],
+        }
+    )
+
+
+class TestRowBlockRoundTrip:
+    def test_round_trip(self):
+        table = mixed_table()
+        assert RowBlock.from_table(table).to_table().equals(table)
+
+    def test_empty_table(self):
+        table = Table.from_pydict({"a": []})
+        assert RowBlock.from_table(table).to_table().equals(table)
+
+    def test_point_values(self):
+        block = RowBlock.from_table(mixed_table())
+        assert block.value(0, "name") == "alpha"
+        assert block.value(1, "name") is None
+        assert block.value(3, "name") == "délta"
+        assert block.value(2, "score") is None
+        assert block.value(1, "score") == -2.0
+        assert block.value(0, "flag") is True
+
+    def test_take_reorders_rows(self):
+        table = mixed_table()
+        block = RowBlock.from_table(table).take(np.array([3, 1]))
+        assert block.to_table().equals(table.take(np.array([3, 1])))
+
+    def test_concat_rebases_string_heap(self):
+        table = mixed_table()
+        block = RowBlock.from_table(table)
+        doubled = block.concat(block)
+        expected = table.concat(table)
+        assert doubled.to_table().equals(expected)
+
+    def test_concat_then_take(self):
+        table = mixed_table()
+        block = RowBlock.from_table(table)
+        combined = block.concat(block).take(np.array([7, 0, 4]))
+        expected = table.concat(table).take(np.array([7, 0, 4]))
+        assert combined.to_table().equals(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(-(2**31), 2**31 - 1)),
+                st.one_of(st.none(), st.text(max_size=20)),
+                st.one_of(
+                    st.none(), st.floats(allow_nan=False, width=32)
+                ),
+            ),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    def test_round_trip_property(self, rows):
+        table = Table.from_pydict(
+            {
+                "i": [r[0] for r in rows],
+                "s": [r[1] for r in rows],
+                "f": [r[2] for r in rows],
+            },
+            dtypes={"i": INTEGER, "s": VARCHAR, "f": FLOAT},
+        )
+        assert RowBlock.from_table(table).to_table().equals(table)

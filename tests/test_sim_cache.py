@@ -1,0 +1,128 @@
+"""Tests for the cache simulator: geometry, LRU, and hit/miss behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.cache import CacheConfig, CacheHierarchy, CacheLevel
+
+
+def tiny_cache(size=256, line=64, ways=2) -> CacheLevel:
+    return CacheLevel(CacheConfig(size, line, ways))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        config = CacheConfig(4096, 64, 8)
+        assert config.num_sets == 8
+
+    def test_bad_geometry(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(0, 64, 8)
+
+    def test_indivisible_geometry(self):
+        with pytest.raises(SimulationError):
+            CacheConfig(1000, 64, 8)
+
+    def test_non_power_of_two_line(self):
+        with pytest.raises(SimulationError):
+            CacheLevel(CacheConfig(4 * 48 * 3, 48, 4))
+
+
+class TestCacheLevel:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.access_line(0) is False
+        assert cache.access_line(0) is True
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_distinct_lines_in_same_set_fill_ways(self):
+        cache = tiny_cache(size=256, line=64, ways=2)  # 2 sets
+        # Lines 0 and 2 map to set 0 (2 sets).
+        cache.access_line(0)
+        cache.access_line(2)
+        assert cache.access_line(0) is True
+        assert cache.access_line(2) is True
+
+    def test_lru_eviction(self):
+        cache = tiny_cache(size=256, line=64, ways=2)  # 2 sets, 2 ways
+        cache.access_line(0)  # set 0: [0]
+        cache.access_line(2)  # set 0: [2, 0]
+        cache.access_line(4)  # evicts 0 (LRU)
+        assert cache.access_line(2) is True
+        assert cache.access_line(0) is False  # was evicted
+        assert cache.evictions >= 1
+
+    def test_lru_updated_on_hit(self):
+        cache = tiny_cache(size=256, line=64, ways=2)
+        cache.access_line(0)
+        cache.access_line(2)
+        cache.access_line(0)  # 0 becomes MRU
+        cache.access_line(4)  # evicts 2, not 0
+        assert cache.access_line(0) is True
+        assert cache.access_line(2) is False
+
+    def test_reset(self):
+        cache = tiny_cache()
+        cache.access_line(0)
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.access_line(0) is False
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 20), max_size=200))
+    def test_working_set_within_capacity_never_misses_twice(self, lines):
+        # 32 lines capacity, 21 distinct lines touched: every line misses
+        # at most once (fully associative would guarantee it; here the
+        # set-associative cache has 2 sets * 16 ways = enough ways).
+        cache = tiny_cache(size=64 * 32, line=64, ways=16)
+        misses = sum(not cache.access_line(line) for line in lines)
+        assert misses <= len(set(lines))
+
+
+class TestCacheHierarchy:
+    def test_requires_levels(self):
+        with pytest.raises(SimulationError):
+            CacheHierarchy([])
+
+    def test_mismatched_line_sizes(self):
+        with pytest.raises(SimulationError):
+            CacheHierarchy(
+                [CacheConfig(1024, 64, 2), CacheConfig(4096, 128, 2)]
+            )
+
+    def test_multi_line_access_counts_each_line(self):
+        hierarchy = CacheHierarchy([CacheConfig(4096, 64, 8)])
+        assert hierarchy.access(0, 256) == 4  # 4 cold lines
+
+    def test_straddling_access(self):
+        hierarchy = CacheHierarchy([CacheConfig(4096, 64, 8)])
+        assert hierarchy.access(60, 8) == 2  # crosses a line boundary
+
+    def test_l2_absorbs_l1_evictions(self):
+        hierarchy = CacheHierarchy.scaled_default()
+        l1_capacity_lines = 4 * 1024 // 64
+        # Touch twice the L1 capacity, twice.
+        for _ in range(2):
+            for line in range(2 * l1_capacity_lines):
+                hierarchy.access(line * 64, 1)
+        l2 = hierarchy.levels[1]
+        assert l2.hits > 0  # second sweep misses L1 but hits L2
+
+    def test_sequential_scan_miss_rate(self):
+        hierarchy = CacheHierarchy([CacheConfig(4096, 64, 8)])
+        for byte in range(0, 8192):
+            hierarchy.access(byte, 1)
+        l1 = hierarchy.l1
+        # One miss per 64-byte line.
+        assert l1.misses == 8192 // 64
+        assert l1.hits == 8192 - l1.misses
+
+    def test_invalid_size(self):
+        hierarchy = CacheHierarchy.scaled_default()
+        with pytest.raises(SimulationError):
+            hierarchy.access(0, 0)
+
+    def test_str(self):
+        assert "L1" in str(CacheHierarchy.scaled_default())

@@ -1,0 +1,201 @@
+"""Tests for the instrumented sorts: correctness on every layout/approach
+combination plus the micro-architectural shape claims of the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.machine import Machine
+from repro.simsort.harness import run_micro
+from repro.simsort.layouts import (
+    ColumnarLayout,
+    NormalizedKeyLayout,
+    RowLayout,
+)
+from repro.workloads.distributions import (
+    correlated_distribution,
+    generate_key_columns,
+    random_distribution,
+)
+
+CONFIGS = [
+    ("columnar", "tuple"),
+    ("columnar", "subsort"),
+    ("row", "tuple"),
+    ("row", "subsort"),
+    ("normalized", "memcmp"),
+    ("normalized", "radix"),
+    ("normalized", "radix-lsd"),
+    ("normalized", "radix-msd"),
+]
+
+
+def data(n=192, k=3, p=0.5, seed=9):
+    dist = correlated_distribution(p) if p is not None else random_distribution()
+    return generate_key_columns(dist, n, k, seed)
+
+
+class TestLayouts:
+    def test_columnar_reads(self):
+        machine = Machine()
+        layout = ColumnarLayout(machine, data(8, 2))
+        row = layout.read_index(3)
+        value = layout.read_value(1, row)
+        assert value == int(layout.columns[1][row])
+        assert machine.snapshot().reads == 2
+
+    def test_row_layout_embeds_row_id(self):
+        machine = Machine()
+        layout = RowLayout(machine, data(8, 2))
+        assert layout.extract_order().tolist() == list(range(8))
+
+    def test_row_swap_moves_whole_rows(self):
+        machine = Machine()
+        layout = RowLayout(machine, data(8, 2))
+        before0 = layout.key_tuple(0)
+        before1 = layout.key_tuple(1)
+        layout.swap_rows(0, 1)
+        assert layout.key_tuple(0) == before1
+        assert layout.key_tuple(1) == before0
+
+    def test_normalized_memcmp_matches_tuple_order(self):
+        machine = Machine()
+        values = data(32, 3)
+        layout = NormalizedKeyLayout(machine, values)
+        for i in range(0, 32, 5):
+            for j in range(0, 32, 7):
+                expected = (
+                    tuple(values[i]) + (i,)
+                ) < (tuple(values[j]) + (j,))
+                assert layout.memcmp_less(i, j) == expected
+
+    def test_normalized_key_width(self):
+        machine = Machine()
+        layout = NormalizedKeyLayout(machine, data(4, 3))
+        assert layout.key_width == 3 * 4 + 4  # columns + row id
+
+    def test_aux_requires_ensure(self):
+        machine = Machine()
+        layout = NormalizedKeyLayout(machine, data(4, 1))
+        with pytest.raises(SimulationError):
+            _ = layout.aux
+
+
+class TestCorrectnessGrid:
+    """Every (layout, approach, algorithm) sorts correctly (run_micro
+    verifies against numpy internally and raises otherwise)."""
+
+    @pytest.mark.parametrize("layout,approach", CONFIGS)
+    def test_introsort_grid(self, layout, approach):
+        run_micro(data(), layout, approach, "introsort")
+
+    @pytest.mark.parametrize(
+        "layout,approach",
+        [c for c in CONFIGS if c[1] in ("tuple", "subsort", "memcmp")],
+    )
+    def test_mergesort_grid(self, layout, approach):
+        run_micro(data(), layout, approach, "mergesort")
+
+    @pytest.mark.parametrize(
+        "layout,approach",
+        [c for c in CONFIGS if c[1] in ("tuple", "subsort", "memcmp")],
+    )
+    def test_pdqsort_grid(self, layout, approach):
+        run_micro(data(), layout, approach, "pdqsort")
+
+    @pytest.mark.parametrize("layout", ["columnar", "row"])
+    def test_dynamic_comparator_grid(self, layout):
+        run_micro(data(), layout, "tuple", "introsort", dynamic=True)
+
+    @pytest.mark.parametrize("pattern", ["sorted", "reversed", "equal"])
+    @pytest.mark.parametrize("approach", ["memcmp", "radix"])
+    def test_adversarial_patterns(self, pattern, approach):
+        n = 128
+        if pattern == "sorted":
+            values = np.arange(n, dtype=np.uint32).reshape(n, 1)
+        elif pattern == "reversed":
+            values = np.arange(n, 0, -1, dtype=np.uint32).reshape(n, 1)
+        else:
+            values = np.full((n, 1), 7, dtype=np.uint32)
+        algorithm = "pdqsort" if approach == "memcmp" else "introsort"
+        run_micro(values, "normalized", approach, algorithm)
+
+    def test_single_key_column(self):
+        run_micro(data(k=1), "columnar", "subsort")
+
+    def test_empty_input(self):
+        values = np.zeros((0, 2), dtype=np.uint32)
+        result = run_micro(values, "row", "tuple")
+        assert result.order.tolist() == []
+
+    def test_unknown_layout(self):
+        with pytest.raises(SimulationError):
+            run_micro(data(), "diagonal", "tuple")
+
+    def test_unsupported_combo(self):
+        with pytest.raises(SimulationError):
+            run_micro(data(), "columnar", "radix")
+
+
+class TestPaperShapes:
+    """The micro-architectural claims of Tables II/III and Figures 4-10."""
+
+    def test_row_has_order_of_magnitude_fewer_misses(self):
+        values = generate_key_columns(correlated_distribution(0.5), 4096, 4)
+        columnar = run_micro(values, "columnar", "tuple")
+        row = run_micro(values, "row", "tuple")
+        assert columnar.counters.l1_misses > 3 * row.counters.l1_misses
+
+    def test_subsort_fewer_branch_misses_on_correlated(self):
+        values = generate_key_columns(correlated_distribution(0.5), 1024, 4)
+        tuple_run = run_micro(values, "columnar", "tuple")
+        subsort_run = run_micro(values, "columnar", "subsort")
+        assert (
+            subsort_run.counters.branch_mispredictions
+            < tuple_run.counters.branch_mispredictions
+        )
+
+    def test_identical_comparisons_across_layouts_random(self):
+        values = generate_key_columns(random_distribution(), 512, 2)
+        columnar = run_micro(values, "columnar", "tuple")
+        row = run_micro(values, "row", "tuple")
+        assert columnar.counters.comparisons == row.counters.comparisons
+
+    def test_dynamic_comparator_slower(self):
+        values = generate_key_columns(correlated_distribution(0.5), 512, 4)
+        static = run_micro(values, "row", "tuple", dynamic=False)
+        dynamic = run_micro(values, "row", "tuple", dynamic=True)
+        assert dynamic.cycles > 1.4 * static.cycles
+
+    def test_normalized_keys_recover_static_performance(self):
+        values = generate_key_columns(correlated_distribution(0.5), 1024, 4)
+        static = run_micro(values, "row", "tuple")
+        normalized = run_micro(values, "normalized", "memcmp")
+        dynamic = run_micro(values, "row", "tuple", dynamic=True)
+        assert normalized.cycles < dynamic.cycles
+        assert normalized.cycles < 1.3 * static.cycles
+
+    def test_radix_beats_pdq_on_random(self):
+        values = generate_key_columns(random_distribution(), 1024, 1)
+        pdq = run_micro(values, "normalized", "memcmp", "pdqsort")
+        radix = run_micro(values, "normalized", "radix")
+        assert radix.cycles < pdq.cycles
+
+    def test_radix_branchless_but_more_misses(self):
+        values = generate_key_columns(correlated_distribution(0.5), 4096, 4)
+        pdq = run_micro(values, "normalized", "memcmp", "pdqsort")
+        radix = run_micro(values, "normalized", "radix")
+        assert (
+            radix.counters.branch_mispredictions
+            < pdq.counters.branch_mispredictions / 4
+        )
+        assert radix.counters.l1_misses > pdq.counters.l1_misses
+
+    def test_subsort_scans_cause_extra_misses_on_rows(self):
+        values = generate_key_columns(correlated_distribution(0.5), 1024, 4)
+        tuple_run = run_micro(values, "row", "tuple")
+        subsort_run = run_micro(values, "row", "subsort")
+        assert (
+            subsort_run.counters.l1_misses >= tuple_run.counters.l1_misses
+        )

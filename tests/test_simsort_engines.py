@@ -1,0 +1,52 @@
+"""Tests for the execution-paradigm overhead model (Section V framing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simsort.engines import PARADIGMS, run_pipeline
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(5)
+    return rng.integers(0, 1000, 4096).astype(np.uint32)
+
+
+class TestRunPipeline:
+    def test_all_paradigms_agree_on_the_result(self, values):
+        results = {
+            p: run_pipeline(values, 500, p).result for p in PARADIGMS
+        }
+        expected = int(values[values < 500].sum())
+        assert set(results.values()) == {expected}
+
+    def test_volcano_pays_per_tuple_interpretation(self, values):
+        run = run_pipeline(values, 500, "volcano")
+        assert run.interpretation_ops == 3 * len(values)
+
+    def test_vectorized_pays_per_vector(self, values):
+        run = run_pipeline(values, 500, "vectorized")
+        assert run.interpretation_ops == 3 * (len(values) // 1024)
+
+    def test_compiled_pays_nothing(self, values):
+        run = run_pipeline(values, 500, "compiled")
+        assert run.interpretation_ops == 0
+        assert run.function_calls == 0
+
+    def test_cycle_ordering(self, values):
+        cycles = {p: run_pipeline(values, 500, p).cycles for p in PARADIGMS}
+        assert cycles["volcano"] > 3 * cycles["vectorized"]
+        assert cycles["vectorized"] < 1.2 * cycles["compiled"]
+
+    def test_unknown_paradigm(self, values):
+        with pytest.raises(SimulationError):
+            run_pipeline(values, 500, "jit-traced")
+
+    def test_empty_input(self):
+        run = run_pipeline(np.zeros(0, dtype=np.uint32), 10, "volcano")
+        assert run.result == 0
+
+    def test_selective_filter(self, values):
+        run = run_pipeline(values, 0, "compiled")
+        assert run.result == 0

@@ -1,0 +1,201 @@
+"""Tests for the full sort operator (the paper's Figure 11 pipeline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import reference_sort
+from repro.errors import SortError
+from repro.sort.operator import SortConfig, SortOperator, sort_table
+from repro.table.chunk import DataChunk, chunk_table
+from repro.table.table import Table
+from repro.types.datatypes import FLOAT, INTEGER, VARCHAR
+from repro.types.sortspec import SortSpec
+
+
+class TestSortConfig:
+    def test_defaults(self):
+        config = SortConfig()
+        assert config.run_threshold > 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(SortError):
+            SortConfig(run_threshold=0)
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(SortError):
+            SortConfig(force_algorithm="timsort")
+
+
+class TestBasicSorting:
+    def test_paper_example(self, small_table):
+        spec = SortSpec.of(
+            "c_birth_country DESC NULLS LAST", "c_birth_year ASC NULLS FIRST"
+        )
+        result = sort_table(small_table, spec)
+        assert result.equals(reference_sort(small_table, spec))
+        # Spot-check the ordering of the paper's example.
+        assert result.column("c_birth_country").to_pylist() == [
+            "NETHERLANDS",
+            "GERMANY",
+            "GERMANY",
+            "BELGIUM",
+            None,
+        ]
+
+    def test_spec_from_text(self, small_table):
+        result = sort_table(small_table, "c_birth_year, c_customer_sk DESC")
+        spec = SortSpec.of("c_birth_year", "c_customer_sk DESC")
+        assert result.equals(reference_sort(small_table, spec))
+
+    def test_empty_table(self):
+        table = Table.from_pydict({"a": []})
+        assert sort_table(table, "a").num_rows == 0
+
+    def test_single_row(self):
+        table = Table.from_pydict({"a": [5], "b": ["x"]})
+        assert sort_table(table, "a").equals(table)
+
+    def test_unknown_key_raises(self, small_table):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            sort_table(small_table, "ghost")
+
+    def test_sink_after_finalize_raises(self, small_table):
+        op = SortOperator(small_table.schema, SortSpec.of("c_customer_sk"))
+        op.finalize()
+        with pytest.raises(SortError):
+            op.sink(DataChunk.from_table(small_table))
+        with pytest.raises(SortError):
+            op.finalize()
+
+    def test_schema_mismatch_raises(self, small_table):
+        op = SortOperator(small_table.schema, SortSpec.of("c_customer_sk"))
+        other = Table.from_pydict({"x": [1]})
+        with pytest.raises(SortError):
+            op.sink(DataChunk.from_table(other))
+
+
+class TestMultiRunMerging:
+    """Small run thresholds force many runs and exercise the merge."""
+
+    def test_many_runs_integer(self, rng):
+        table = Table.from_numpy(
+            {
+                "a": rng.integers(0, 40, 3000).astype(np.int32),
+                "b": rng.integers(0, 1000, 3000).astype(np.int32),
+            }
+        )
+        spec = SortSpec.of("a", "b DESC")
+        config = SortConfig(run_threshold=128, vector_size=64)
+        operator = SortOperator(table.schema, spec, config)
+        for chunk in chunk_table(table, 64):
+            operator.sink(chunk)
+        result = operator.finalize()
+        assert operator.stats.runs_generated >= 20
+        assert operator.stats.merge_rounds >= 4
+        assert result.equals(reference_sort(table, spec))
+
+    def test_stability_across_runs(self, rng):
+        # Equal keys must keep arrival order even when they land in
+        # different runs (globally unique row ids guarantee it).
+        n = 500
+        table = Table.from_pydict(
+            {"k": [1] * n, "seq": list(range(n))}
+        )
+        config = SortConfig(run_threshold=64)
+        result = sort_table(table, SortSpec.of("k"), config)
+        assert result.column("seq").to_pylist() == list(range(n))
+
+    def test_algorithm_choice_radix_for_fixed(self, rng):
+        table = Table.from_numpy(
+            {"a": rng.integers(0, 100, 300).astype(np.int32)}
+        )
+        op = SortOperator(table.schema, SortSpec.of("a"))
+        for chunk in chunk_table(table):
+            op.sink(chunk)
+        op.finalize()
+        assert op.stats.algorithm == "radix"
+
+    def test_algorithm_choice_pdq_for_strings(self):
+        table = Table.from_pydict({"s": ["b", "a", "c"]})
+        op = SortOperator(table.schema, SortSpec.of("s"))
+        for chunk in chunk_table(table):
+            op.sink(chunk)
+        op.finalize()
+        assert op.stats.algorithm == "pdqsort"
+
+    def test_force_algorithm(self):
+        table = Table.from_pydict({"a": [3, 1, 2]})
+        config = SortConfig(force_algorithm="pdqsort")
+        op = SortOperator(table.schema, SortSpec.of("a"), config)
+        for chunk in chunk_table(table):
+            op.sink(chunk)
+        result = op.finalize()
+        assert op.stats.algorithm == "pdqsort"
+        assert result.column("a").to_pylist() == [1, 2, 3]
+
+
+class TestStringTruncation:
+    def test_long_shared_prefixes_sorted_exactly(self):
+        # Strings identical beyond the 12-byte prefix: full-string
+        # tie-breaks must kick in.
+        values = [f"{'x' * 12}{suffix:04d}" for suffix in range(100)]
+        rng = np.random.default_rng(5)
+        shuffled = [values[i] for i in rng.permutation(100)]
+        table = Table.from_pydict({"s": shuffled, "i": list(range(100))})
+        spec = SortSpec.of("s")
+        result = sort_table(table, spec, SortConfig(run_threshold=16))
+        assert result.column("s").to_pylist() == sorted(shuffled)
+
+    def test_forced_short_prefix_still_exact(self):
+        values = ["apple", "apricot", "applesauce", "ap", "app"]
+        table = Table.from_pydict({"s": values})
+        config = SortConfig(string_prefix=2)
+        result = sort_table(table, "s", config)
+        assert result.column("s").to_pylist() == sorted(values)
+
+    def test_desc_with_truncation(self):
+        values = ["prefix-aaaa-1", "prefix-aaaa-2", "prefix-aaaa-0"]
+        table = Table.from_pydict({"s": values})
+        result = sort_table(table, "s DESC", SortConfig(string_prefix=6))
+        assert result.column("s").to_pylist() == sorted(values, reverse=True)
+
+
+MIXED_SPECS = [
+    "i ASC NULLS FIRST",
+    "i DESC NULLS LAST, f ASC",
+    "s DESC NULLS FIRST, i ASC NULLS LAST",
+    "f DESC, s ASC, i DESC",
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(-50, 50)),
+            st.one_of(st.none(), st.floats(allow_nan=False, width=32)),
+            st.one_of(st.none(), st.text(alphabet="abXY", max_size=5)),
+        ),
+        max_size=60,
+    ),
+    spec_text=st.sampled_from(MIXED_SPECS),
+    run_threshold=st.sampled_from([8, 64, 1 << 17]),
+)
+def test_operator_matches_reference(rows, spec_text, run_threshold):
+    """The flagship property: the full pipeline equals the naive sort."""
+    table = Table.from_pydict(
+        {
+            "i": [r[0] for r in rows],
+            "f": [r[1] for r in rows],
+            "s": [r[2] for r in rows],
+        },
+        dtypes={"i": INTEGER, "f": FLOAT, "s": VARCHAR},
+    )
+    spec = SortSpec.of(*[part.strip() for part in spec_text.split(",")])
+    config = SortConfig(run_threshold=run_threshold, vector_size=16)
+    result = sort_table(table, spec, config)
+    assert result.equals(reference_sort(table, spec))

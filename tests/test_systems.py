@@ -1,0 +1,263 @@
+"""Tests for the end-to-end system models (Section VII claims)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.systems import (
+    HardwareProfile,
+    all_systems,
+    comparison_profile,
+    gather_facts,
+    make_system,
+    sort_comparisons,
+)
+from repro.systems.registry import SYSTEM_NAMES
+from repro.table.table import Table
+from repro.types.sortspec import SortSpec
+from repro.workloads.tpcds import catalog_sales, customer
+
+
+@pytest.fixture(scope="module")
+def profile() -> HardwareProfile:
+    return HardwareProfile().scaled(100)
+
+
+@pytest.fixture(scope="module")
+def sales() -> Table:
+    return catalog_sales(40_000, 10, seed=11)
+
+
+CS_KEYS = ("cs_warehouse_sk", "cs_ship_mode_sk", "cs_promo_sk", "cs_quantity")
+
+
+def run_all(profile, table, spec, payload):
+    return {
+        s.name: s.benchmark_query(table, spec, payload)
+        for s in all_systems(profile)
+    }
+
+
+class TestProfile:
+    def test_random_access_cost_monotone(self, profile):
+        costs = [
+            profile.random_access_cost(size)
+            for size in (1 << 8, 1 << 12, 1 << 16, 1 << 22)
+        ]
+        assert costs == sorted(costs)
+        assert costs[0] >= profile.hit_cost
+        assert costs[-1] <= profile.mem_cost + profile.hit_cost
+
+    def test_stream_cost_linear(self, profile):
+        assert profile.stream_cost(2048) == pytest.approx(
+            2 * profile.stream_cost(1024)
+        )
+
+    def test_scaled_preserves_penalties(self):
+        base = HardwareProfile()
+        scaled = base.scaled(100)
+        assert scaled.l1_bytes < base.l1_bytes
+        assert scaled.mem_cost == base.mem_cost
+
+    def test_scaled_validates(self):
+        with pytest.raises(SimulationError):
+            HardwareProfile().scaled(0)
+
+    def test_sort_comparisons(self):
+        assert sort_comparisons(1) == 0.0
+        assert sort_comparisons(1024) == pytest.approx(1.1 * 1024 * 10)
+
+
+class TestComparisonProfile:
+    def test_first_column_always_examined(self, sales):
+        spec = SortSpec.of(*CS_KEYS)
+        cp = comparison_profile(sales, spec)
+        assert cp.examine_probability[0] == 1.0
+
+    def test_probabilities_decrease(self, sales):
+        spec = SortSpec.of(*CS_KEYS)
+        cp = comparison_profile(sales, spec)
+        p = cp.examine_probability
+        assert all(a >= b for a, b in zip(p, p[1:]))
+
+    def test_low_cardinality_keys_tie_often(self, sales):
+        spec = SortSpec.of(*CS_KEYS)
+        cp = comparison_profile(sales, spec)
+        # ~11 warehouses over 40k rows: the second column is examined in
+        # most comparisons.
+        assert cp.examine_probability[1] > 0.5
+
+    def test_unique_key_never_ties(self):
+        table = Table.from_numpy(
+            {
+                "u": np.arange(5000, dtype=np.int32),
+                "v": np.arange(5000, dtype=np.int32),
+            }
+        )
+        cp = comparison_profile(table, SortSpec.of("u", "v"))
+        assert cp.examine_probability[1] < 0.01
+
+    def test_distinct_prefix_counts(self, sales):
+        cp = comparison_profile(sales, SortSpec.of(*CS_KEYS))
+        assert cp.distinct_prefix[0] <= 16
+        assert all(
+            a <= b for a, b in zip(cp.distinct_prefix, cp.distinct_prefix[1:])
+        )
+
+
+class TestRegistry:
+    def test_all_five_systems(self):
+        assert set(SYSTEM_NAMES) == {
+            "DuckDB",
+            "ClickHouse",
+            "MonetDB",
+            "HyPer",
+            "Umbra",
+        }
+
+    def test_unknown_system(self):
+        with pytest.raises(SimulationError):
+            make_system("Postgres")
+
+
+class TestModelBasics:
+    def test_positive_times_and_phases(self, profile, sales):
+        runs = run_all(
+            profile, sales, SortSpec.of(*CS_KEYS[:2]), ("cs_item_sk",)
+        )
+        for run in runs.values():
+            assert run.seconds > 0
+            assert run.phases
+            assert run.cycles == pytest.approx(
+                sum(c for _, c in run.phases)
+            )
+
+    def test_empty_table(self, profile):
+        table = Table.from_pydict({"a": [], "b": []})
+        for system in all_systems(profile):
+            run = system.benchmark_query(table, SortSpec.of("a"), ("b",))
+            assert run.seconds >= 0
+
+    def test_models_share_reference_semantics(self, profile):
+        table = Table.from_pydict({"a": [3, 1, None, 2], "b": [1, 2, 3, 4]})
+        spec = SortSpec.of("a DESC NULLS LAST")
+        results = [s.execute(table, spec) for s in all_systems(profile)]
+        for result in results[1:]:
+            assert result.equals(results[0])
+
+    def test_facts_capture_strings(self, profile):
+        table = customer(2000, 100, seed=1)
+        facts = gather_facts(
+            table,
+            SortSpec.of("c_last_name", "c_first_name"),
+            ("c_customer_sk",),
+        )
+        assert facts.has_string_key
+        assert facts.avg_string_bytes > 2
+        assert facts.payload_bytes == 4
+
+
+class TestPaperShapeClaims:
+    """Figures 12-14: who wins, by roughly what factor."""
+
+    def test_monetdb_is_much_slower(self, profile, sales):
+        runs = run_all(
+            profile, sales, SortSpec.of(CS_KEYS[0]), ("cs_item_sk",)
+        )
+        fastest_parallel = min(
+            run.seconds for name, run in runs.items() if name != "MonetDB"
+        )
+        assert runs["MonetDB"].seconds > 8 * fastest_parallel
+
+    def test_duckdb_competitive_with_compiled(self, profile, sales):
+        runs = run_all(
+            profile, sales, SortSpec.of(*CS_KEYS), ("cs_item_sk",)
+        )
+        assert runs["DuckDB"].seconds <= 1.5 * runs["HyPer"].seconds
+        assert runs["DuckDB"].seconds <= 1.5 * runs["Umbra"].seconds
+
+    def test_clickhouse_cliff_from_one_to_two_keys(self, profile, sales):
+        one = run_all(profile, sales, SortSpec.of(CS_KEYS[0]), ("cs_item_sk",))
+        two = run_all(
+            profile, sales, SortSpec.of(*CS_KEYS[:2]), ("cs_item_sk",)
+        )
+        ratio = two["ClickHouse"].seconds / one["ClickHouse"].seconds
+        assert ratio > 2.5  # paper: ~4x (loses radix, gains random access)
+
+    def test_row_systems_degrade_less_with_keys(self, profile, sales):
+        one = run_all(profile, sales, SortSpec.of(CS_KEYS[0]), ("cs_item_sk",))
+        four = run_all(profile, sales, SortSpec.of(*CS_KEYS), ("cs_item_sk",))
+
+        def degradation(name):
+            return four[name].seconds / one[name].seconds
+
+        assert degradation("DuckDB") < degradation("ClickHouse")
+        assert degradation("HyPer") < degradation("ClickHouse")
+        assert degradation("HyPer") < degradation("Umbra")  # paper Fig 13
+
+    def test_clickhouse_degrades_faster_with_rows(self, profile):
+        rng = np.random.default_rng(0)
+
+        def run_at(n):
+            ints = rng.permutation(np.arange(n, dtype=np.int64) % (10 * n))
+            table = Table.from_numpy({"x": ints.astype(np.int32)})
+            return run_all(profile, table, SortSpec.of("x"), ("x",))
+
+        small, large = run_at(20_000), run_at(400_000)
+        duck_scaling = large["DuckDB"].seconds / small["DuckDB"].seconds
+        click_scaling = (
+            large["ClickHouse"].seconds / small["ClickHouse"].seconds
+        )
+        assert click_scaling > duck_scaling  # Fig 12's divergence
+
+    def test_duckdb_floats_cost_like_ints(self, profile):
+        rng = np.random.default_rng(1)
+        n = 100_000
+        ints = Table.from_numpy(
+            {"x": rng.permutation(np.arange(n, dtype=np.int32))}
+        )
+        floats = Table.from_numpy(
+            {"x": (rng.random(n) * 2e9 - 1e9).astype(np.float32)}
+        )
+        spec = SortSpec.of("x")
+        duck_i = make_system("DuckDB", profile).benchmark_query(ints, spec, ("x",))
+        duck_f = make_system("DuckDB", profile).benchmark_query(floats, spec, ("x",))
+        click_i = make_system("ClickHouse", profile).benchmark_query(ints, spec, ("x",))
+        click_f = make_system("ClickHouse", profile).benchmark_query(floats, spec, ("x",))
+        duck_gap = duck_f.seconds / duck_i.seconds
+        click_gap = click_f.seconds / click_i.seconds
+        # Normalized keys make DuckDB type-oblivious; ClickHouse loses its
+        # radix path on floats (paper, Section VII-B).
+        assert duck_gap < 1.5
+        assert click_gap > duck_gap
+
+    def test_strings_slower_than_ints_for_all(self, profile):
+        table = customer(20_000, 100, seed=2)
+        ints = run_all(
+            profile,
+            table,
+            SortSpec.of("c_birth_year", "c_birth_month", "c_birth_day"),
+            ("c_customer_sk",),
+        )
+        strings = run_all(
+            profile,
+            table,
+            SortSpec.of("c_last_name", "c_first_name"),
+            ("c_customer_sk",),
+        )
+        for name in SYSTEM_NAMES:
+            assert strings[name].seconds > ints[name].seconds, name
+
+    def test_duckdb_matches_or_beats_on_strings(self, profile):
+        # Paper: DuckDB "matches or outperforms" the others on strings.
+        table = customer(20_000, 100, seed=2)
+        strings = run_all(
+            profile,
+            table,
+            SortSpec.of("c_last_name", "c_first_name"),
+            ("c_customer_sk",),
+        )
+        best = min(run.seconds for run in strings.values())
+        assert strings["DuckDB"].seconds <= 1.3 * best
+        assert strings["DuckDB"].seconds < strings["ClickHouse"].seconds
+        assert strings["DuckDB"].seconds < strings["MonetDB"].seconds

@@ -1,0 +1,67 @@
+"""Tests for DataChunk batching (the vectorized execution unit)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.table.chunk import (
+    VECTOR_SIZE,
+    DataChunk,
+    chunk_table,
+    concat_chunks,
+)
+from repro.table.table import Table
+
+
+def make_table(n: int) -> Table:
+    return Table.from_numpy(
+        {
+            "a": np.arange(n, dtype=np.int32),
+            "b": (np.arange(n) * 2).astype(np.int32),
+        }
+    )
+
+
+class TestChunking:
+    def test_default_vector_size(self):
+        assert VECTOR_SIZE == 1024
+
+    def test_chunk_sizes(self):
+        chunks = list(chunk_table(make_table(2500), vector_size=1000))
+        assert [len(c) for c in chunks] == [1000, 1000, 500]
+
+    def test_exact_multiple(self):
+        chunks = list(chunk_table(make_table(2048), vector_size=1024))
+        assert [len(c) for c in chunks] == [1024, 1024]
+
+    def test_empty_table_yields_one_empty_chunk(self):
+        chunks = list(chunk_table(make_table(0)))
+        assert len(chunks) == 1 and len(chunks[0]) == 0
+
+    def test_invalid_vector_size(self):
+        with pytest.raises(SchemaError):
+            list(chunk_table(make_table(5), vector_size=0))
+
+    def test_round_trip(self):
+        table = make_table(2500)
+        chunks = list(chunk_table(table, vector_size=700))
+        assert concat_chunks(chunks).equals(table)
+
+    def test_concat_zero_chunks_raises(self):
+        with pytest.raises(SchemaError):
+            concat_chunks([])
+
+
+class TestDataChunk:
+    def test_vector_lookup(self):
+        chunk = DataChunk.from_table(make_table(5))
+        assert chunk.vector("b").to_pylist() == [0, 2, 4, 6, 8]
+
+    def test_to_table(self):
+        table = make_table(7)
+        assert DataChunk.from_table(table).to_table().equals(table)
+
+    def test_mismatched_vectors_raise(self):
+        table = make_table(3)
+        with pytest.raises(SchemaError):
+            DataChunk(table.schema, list(table.columns[:1]))

@@ -1,0 +1,99 @@
+"""Tests for the logical type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeError_
+from repro.types.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    FLOAT,
+    INTEGER,
+    SMALLINT,
+    VARCHAR,
+    type_for_numpy_dtype,
+    type_from_name,
+)
+
+
+class TestDataTypeMetadata:
+    def test_integer_width(self):
+        assert INTEGER.fixed_width == 4
+        assert INTEGER.is_signed and not INTEGER.is_float
+
+    def test_bigint_width(self):
+        assert BIGINT.fixed_width == 8
+
+    def test_smallint_width(self):
+        assert SMALLINT.fixed_width == 2
+
+    def test_float_flags(self):
+        assert FLOAT.is_float and not FLOAT.is_signed
+        assert FLOAT.fixed_width == 4
+
+    def test_double_width(self):
+        assert DOUBLE.fixed_width == 8 and DOUBLE.is_float
+
+    def test_date_is_int32(self):
+        assert DATE.fixed_width == 4 and DATE.is_signed
+
+    def test_boolean_unsigned_byte(self):
+        assert BOOLEAN.fixed_width == 1 and not BOOLEAN.is_signed
+
+    def test_varchar_variable_width(self):
+        assert VARCHAR.is_variable_width
+        assert VARCHAR.fixed_width is None
+
+    def test_names(self):
+        assert INTEGER.name == "INTEGER"
+        assert str(VARCHAR) == "VARCHAR"
+
+
+class TestTypeLookup:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("integer", INTEGER),
+            ("INT", INTEGER),
+            ("int4", INTEGER),
+            ("BIGINT", BIGINT),
+            ("int8", BIGINT),
+            ("REAL", FLOAT),
+            ("double", DOUBLE),
+            ("text", VARCHAR),
+            ("STRING", VARCHAR),
+            ("bool", BOOLEAN),
+            ("date", DATE),
+        ],
+    )
+    def test_from_name(self, name, expected):
+        assert type_from_name(name) is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeError_):
+            type_from_name("DECIMALISH")
+
+    def test_from_numpy_dtype(self):
+        assert type_for_numpy_dtype(np.dtype(np.int32)) is INTEGER
+        assert type_for_numpy_dtype(np.dtype(np.float32)) is FLOAT
+        assert type_for_numpy_dtype(np.dtype(object)) is VARCHAR
+
+    def test_from_numpy_unknown_raises(self):
+        with pytest.raises(TypeError_):
+            type_for_numpy_dtype(np.dtype(np.complex128))
+
+
+class TestValidation:
+    def test_validate_accepts_matching(self):
+        INTEGER.validate_array(np.zeros(3, dtype=np.int32))
+
+    def test_validate_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError_):
+            INTEGER.validate_array(np.zeros(3, dtype=np.int64))
+
+    def test_varchar_requires_object_array(self):
+        with pytest.raises(TypeError_):
+            VARCHAR.validate_array(np.zeros(3, dtype=np.int32))
+        VARCHAR.validate_array(np.array(["a", "b"], dtype=object))

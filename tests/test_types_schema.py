@@ -1,0 +1,74 @@
+"""Tests for schemas and the key/payload split."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.types.datatypes import INTEGER, VARCHAR
+from repro.types.schema import ColumnDef, Schema
+from repro.types.sortspec import SortSpec
+
+
+def make_schema() -> Schema:
+    return Schema.of(
+        ("country", VARCHAR),
+        ("year", INTEGER),
+        ColumnDef("id", INTEGER, nullable=False),
+    )
+
+
+class TestSchema:
+    def test_names_in_order(self):
+        assert make_schema().names == ("country", "year", "id")
+
+    def test_len(self):
+        assert len(make_schema()) == 3
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "year" in schema
+        assert "month" not in schema
+
+    def test_column_lookup(self):
+        col = make_schema().column("id")
+        assert col.dtype is INTEGER and not col.nullable
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema().column("nope")
+
+    def test_index_of(self):
+        assert make_schema().index_of("year") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema().index_of("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", INTEGER), ("a", VARCHAR))
+
+    def test_select_preserves_requested_order(self):
+        selected = make_schema().select(["id", "country"])
+        assert selected.names == ("id", "country")
+
+    def test_str_mentions_not_null(self):
+        assert "NOT NULL" in str(make_schema())
+
+
+class TestKeyPayloadSplit:
+    def test_split(self):
+        schema = make_schema()
+        spec = SortSpec.of("year", "country DESC")
+        keys, payload = schema.split_key_payload(spec)
+        # Keys come in spec order, payload keeps schema order.
+        assert keys.names == ("year", "country")
+        assert payload.names == ("id",)
+
+    def test_split_unknown_key_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema().split_key_payload(SortSpec.of("ghost"))
+
+    def test_split_all_keys_empty_payload(self):
+        schema = Schema.of(("a", INTEGER))
+        keys, payload = schema.split_key_payload(SortSpec.of("a"))
+        assert keys.names == ("a",) and payload.names == ()

@@ -1,0 +1,150 @@
+"""Tests for ORDER BY semantics: SortKey parsing and tuple comparison."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SortError
+from repro.types.sortspec import (
+    NullOrder,
+    Order,
+    SortKey,
+    SortSpec,
+    compare_values,
+    tuple_compare,
+)
+
+
+class TestSortKeyParsing:
+    def test_plain_column(self):
+        key = SortKey.parse("a")
+        assert key.column == "a"
+        assert key.order is Order.ASCENDING
+        assert key.effective_null_order is NullOrder.NULLS_LAST
+
+    def test_desc(self):
+        key = SortKey.parse("country DESC")
+        assert key.descending
+
+    def test_asc_explicit(self):
+        assert not SortKey.parse("x ASC").descending
+
+    def test_nulls_first(self):
+        key = SortKey.parse("year ASC NULLS FIRST")
+        assert key.nulls_first
+
+    def test_nulls_last(self):
+        key = SortKey.parse("year DESC NULLS LAST")
+        assert not key.nulls_first
+
+    def test_case_insensitive_keywords(self):
+        key = SortKey.parse("y desc nulls first")
+        assert key.descending and key.nulls_first
+
+    def test_empty_raises(self):
+        with pytest.raises(SortError):
+            SortKey.parse("  ")
+
+    def test_garbage_raises(self):
+        with pytest.raises(SortError):
+            SortKey.parse("a SIDEWAYS")
+
+    def test_nulls_without_placement_raises(self):
+        with pytest.raises(SortError):
+            SortKey.parse("a NULLS")
+
+    def test_str_round_trip(self):
+        key = SortKey.parse("a DESC NULLS FIRST")
+        assert str(key) == "a DESC NULLS FIRST"
+
+
+class TestSortSpec:
+    def test_of_mixed(self):
+        spec = SortSpec.of("a DESC", SortKey("b"))
+        assert spec.column_names == ("a", "b")
+
+    def test_empty_raises(self):
+        with pytest.raises(SortError):
+            SortSpec(())
+
+    def test_len_and_iter(self):
+        spec = SortSpec.of("a", "b", "c")
+        assert len(spec) == 3
+        assert [k.column for k in spec] == ["a", "b", "c"]
+
+
+class TestCompareValues:
+    ASC = SortKey("x")
+    DESC = SortKey("x", Order.DESCENDING)
+    NF = SortKey("x", Order.ASCENDING, NullOrder.NULLS_FIRST)
+
+    def test_ascending(self):
+        assert compare_values(1, 2, self.ASC) < 0
+        assert compare_values(2, 1, self.ASC) > 0
+        assert compare_values(2, 2, self.ASC) == 0
+
+    def test_descending_inverts(self):
+        assert compare_values(1, 2, self.DESC) > 0
+        assert compare_values(2, 1, self.DESC) < 0
+
+    def test_nulls_last_default(self):
+        assert compare_values(None, 5, self.ASC) > 0
+        assert compare_values(5, None, self.ASC) < 0
+        assert compare_values(None, None, self.ASC) == 0
+
+    def test_nulls_first(self):
+        assert compare_values(None, 5, self.NF) < 0
+
+    def test_null_placement_unaffected_by_desc(self):
+        desc_last = SortKey("x", Order.DESCENDING, NullOrder.NULLS_LAST)
+        assert compare_values(None, 5, desc_last) > 0
+
+    def test_nan_sorts_after_numbers(self):
+        assert compare_values(math.nan, 1e300, self.ASC) > 0
+        assert compare_values(1.0, math.nan, self.ASC) < 0
+        assert compare_values(math.nan, math.nan, self.ASC) == 0
+
+    def test_nan_before_null_with_nulls_last(self):
+        assert compare_values(math.nan, None, self.ASC) < 0
+
+    def test_strings(self):
+        assert compare_values("GERMANY", "NETHERLANDS", self.ASC) < 0
+
+
+class TestTupleCompare:
+    SPEC = SortSpec.of("a DESC NULLS LAST", "b ASC NULLS FIRST")
+
+    def test_first_column_decides(self):
+        assert tuple_compare(("NL", 1), ("DE", 2), self.SPEC) < 0  # DESC
+
+    def test_tie_falls_to_second(self):
+        assert tuple_compare(("DE", 1968), ("DE", 1990), self.SPEC) < 0
+
+    def test_full_tie(self):
+        assert tuple_compare(("DE", 1), ("DE", 1), self.SPEC) == 0
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SortError):
+            tuple_compare((1,), (1, 2), self.SPEC)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    def test_comparator_is_total_preorder(self, tuples):
+        spec = SortSpec.of("a", "b DESC")
+        for x in tuples:
+            assert tuple_compare(x, x, spec) == 0
+            for y in tuples:
+                assert tuple_compare(x, y, spec) == -tuple_compare(y, x, spec)
+                for z in tuples:
+                    if (
+                        tuple_compare(x, y, spec) <= 0
+                        and tuple_compare(y, z, spec) <= 0
+                    ):
+                        assert tuple_compare(x, z, spec) <= 0

@@ -1,0 +1,233 @@
+"""Tests for window functions and sort-based GROUP BY aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate import Aggregate, group_by
+from repro.errors import SortError
+from repro.table.table import Table
+from repro.window import WindowFunction, WindowSpec, window
+
+
+@pytest.fixture
+def employees() -> Table:
+    return Table.from_pydict(
+        {
+            "dept": ["a", "b", "a", "b", "a", None],
+            "salary": [100, 200, 100, 150, 300, 50],
+            "emp": [1, 2, 3, 4, 5, 6],
+        }
+    )
+
+
+class TestWindowValidation:
+    def test_unknown_function(self):
+        with pytest.raises(SortError):
+            WindowFunction("median")
+
+    def test_lag_needs_column(self):
+        with pytest.raises(SortError):
+            WindowFunction("lag")
+
+    def test_needs_keys(self):
+        with pytest.raises(SortError):
+            WindowSpec.of().sort_spec()
+
+    def test_no_functions(self, employees):
+        spec = WindowSpec.of(order_by=["salary"])
+        with pytest.raises(SortError):
+            window(employees, spec, [])
+
+    def test_name_collision_with_input(self, employees):
+        spec = WindowSpec.of(order_by=["salary"])
+        with pytest.raises(SortError):
+            window(
+                employees, spec, [WindowFunction("row_number", output="emp")]
+            )
+
+
+class TestWindowFunctions:
+    SPEC = WindowSpec.of(partition_by=["dept"], order_by=["salary DESC"])
+
+    def test_row_number(self, employees):
+        out = window(employees, self.SPEC, [WindowFunction("row_number")])
+        by_emp = dict(
+            zip(out.column("emp").to_pylist(), out.column("row_number").to_pylist())
+        )
+        # dept a by salary desc: emp5(300)=1, then the two 100s.
+        assert by_emp[5] == 1
+        assert sorted(by_emp[e] for e in (1, 3)) == [2, 3]
+        assert by_emp[2] == 1 and by_emp[4] == 2
+        assert by_emp[6] == 1  # NULL dept is its own partition
+
+    def test_rank_and_dense_rank_with_ties(self):
+        t = Table.from_pydict({"g": ["x"] * 4, "v": [10, 10, 5, 1]})
+        spec = WindowSpec.of(partition_by=["g"], order_by=["v DESC"])
+        out = window(
+            t, spec, [WindowFunction("rank"), WindowFunction("dense_rank")]
+        )
+        assert out.column("rank").to_pylist() == [1, 1, 3, 4]
+        assert out.column("dense_rank").to_pylist() == [1, 1, 2, 3]
+
+    def test_lag_and_lead_respect_partitions(self, employees):
+        out = window(
+            employees,
+            self.SPEC,
+            [WindowFunction("lag", "salary"), WindowFunction("lead", "salary")],
+        )
+        lags = out.column("lag_salary").to_pylist()
+        # The first row of every partition has NULL lag.
+        partitions = out.column("dept").to_pylist()
+        for i, (dept, lag) in enumerate(zip(partitions, lags)):
+            if i == 0 or partitions[i - 1] != dept:
+                assert lag is None
+
+    def test_running_sum(self):
+        t = Table.from_pydict({"g": ["a", "a", "b"], "v": [1, 2, 5]})
+        spec = WindowSpec.of(partition_by=["g"], order_by=["v"])
+        out = window(t, spec, [WindowFunction("running_sum", "v")])
+        assert out.column("running_sum_v").to_pylist() == [1.0, 3.0, 5.0]
+
+    def test_running_sum_skips_nulls(self):
+        t = Table.from_pydict({"g": ["a"] * 3, "v": [1, None, 2]})
+        spec = WindowSpec.of(partition_by=["g"], order_by=["v NULLS LAST"])
+        out = window(t, spec, [WindowFunction("running_sum", "v")])
+        assert out.column("running_sum_v").to_pylist() == [1.0, 3.0, 3.0]
+
+    def test_no_partition_one_big_frame(self):
+        t = Table.from_pydict({"v": [3, 1, 2]})
+        spec = WindowSpec.of(order_by=["v"])
+        out = window(t, spec, [WindowFunction("row_number")])
+        assert out.column("row_number").to_pylist() == [1, 2, 3]
+
+    def test_empty_input(self):
+        t = Table.from_pydict({"v": []})
+        spec = WindowSpec.of(order_by=["v"])
+        out = window(t, spec, [WindowFunction("row_number")])
+        assert out.num_rows == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        groups=st.lists(st.integers(0, 3), min_size=1, max_size=40),
+        seed=st.integers(0, 100),
+    )
+    def test_row_number_is_dense_per_partition(self, groups, seed):
+        rng = np.random.default_rng(seed)
+        t = Table.from_pydict(
+            {
+                "g": groups,
+                "v": [int(x) for x in rng.integers(0, 10, len(groups))],
+            }
+        )
+        spec = WindowSpec.of(partition_by=["g"], order_by=["v"])
+        out = window(t, spec, [WindowFunction("row_number")])
+        per_group: dict = {}
+        for g, rn in zip(
+            out.column("g").to_pylist(), out.column("row_number").to_pylist()
+        ):
+            per_group.setdefault(g, []).append(rn)
+        for numbers in per_group.values():
+            assert numbers == list(range(1, len(numbers) + 1))
+
+
+class TestGroupBy:
+    def test_basic(self, employees):
+        out = group_by(
+            employees,
+            ["dept"],
+            [Aggregate("count"), Aggregate("sum", "salary")],
+        )
+        data = out.to_pydict()
+        by_dept = dict(zip(data["dept"], zip(data["count_star"], data["sum_salary"])))
+        assert by_dept["a"] == (3, 500.0)
+        assert by_dept["b"] == (2, 350.0)
+        assert by_dept[None] == (1, 50.0)
+
+    def test_count_column_skips_nulls(self):
+        t = Table.from_pydict({"g": ["x", "x"], "v": [1, None]})
+        out = group_by(t, ["g"], [Aggregate("count", "v")])
+        assert out.column("count_v").to_pylist() == [1]
+
+    def test_min_max_avg(self):
+        t = Table.from_pydict({"g": ["x", "x", "y"], "v": [4, 2, 7]})
+        out = group_by(
+            t,
+            ["g"],
+            [Aggregate("min", "v"), Aggregate("max", "v"), Aggregate("avg", "v")],
+        )
+        assert out.column("min_v").to_pylist() == [2.0, 7.0]
+        assert out.column("max_v").to_pylist() == [4.0, 7.0]
+        assert out.column("avg_v").to_pylist() == [3.0, 7.0]
+
+    def test_all_null_group_aggregates_to_null(self):
+        t = Table.from_pydict({"g": ["x"], "v": [None]})
+        out = group_by(t, ["g"], [Aggregate("sum", "v")])
+        assert out.column("sum_v").to_pylist() == [None]
+
+    def test_string_min_max(self):
+        t = Table.from_pydict({"g": [1, 1, 2], "s": ["b", "a", "z"]})
+        out = group_by(t, ["g"], [Aggregate("min", "s"), Aggregate("max", "s")])
+        assert out.column("min_s").to_pylist() == ["a", "z"]
+        assert out.column("max_s").to_pylist() == ["b", "z"]
+
+    def test_multi_key_groups(self):
+        t = Table.from_pydict(
+            {"a": [1, 1, 2, 1], "b": ["x", "x", "x", "y"], "v": [1, 2, 3, 4]}
+        )
+        out = group_by(t, ["a", "b"], [Aggregate("count")])
+        assert out.num_rows == 3
+
+    def test_long_string_keys_group_exactly(self):
+        base = "q" * 13
+        t = Table.from_pydict(
+            {"k": [f"{base}1", f"{base}2", f"{base}1"], "v": [1, 1, 1]}
+        )
+        out = group_by(t, ["k"], [Aggregate("count")])
+        assert out.num_rows == 2
+        assert out.column("count_star").to_pylist() == [2, 1]
+
+    def test_validation(self):
+        t = Table.from_pydict({"g": [1], "s": ["x"]})
+        with pytest.raises(SortError):
+            group_by(t, [], [Aggregate("count")])
+        with pytest.raises(SortError):
+            group_by(t, ["g"], [])
+        with pytest.raises(SortError):
+            group_by(t, ["g"], [Aggregate("sum", "s")])
+        with pytest.raises(SortError):
+            Aggregate("median", "s")
+        with pytest.raises(SortError):
+            Aggregate("sum")
+
+    def test_empty_table(self):
+        t = Table.from_pydict({"g": [], "v": []})
+        out = group_by(t, ["g"], [Aggregate("count")])
+        assert out.num_rows == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(st.one_of(st.none(), st.integers(0, 4)), max_size=50),
+        seed=st.integers(0, 99),
+    )
+    def test_property_matches_python_groupby(self, keys, seed):
+        rng = np.random.default_rng(seed)
+        values = [int(v) for v in rng.integers(0, 100, len(keys))]
+        t = Table.from_pydict({"g": keys, "v": values})
+        out = group_by(
+            t, ["g"], [Aggregate("count"), Aggregate("sum", "v")]
+        )
+        expected: dict = {}
+        for k, v in zip(keys, values):
+            count, total = expected.get(k, (0, 0))
+            expected[k] = (count + 1, total + v)
+        got = {
+            g: (c, s)
+            for g, c, s in zip(
+                out.column("g").to_pylist(),
+                out.column("count_star").to_pylist(),
+                out.column("sum_v").to_pylist(),
+            )
+        }
+        assert got == {k: (c, float(s)) for k, (c, s) in expected.items()}

@@ -1,0 +1,165 @@
+"""Tests for the workload generators: distributions and TPC-DS tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads.distributions import (
+    CORRELATED_UNIQUE_VALUES,
+    correlated_distribution,
+    generate_key_columns,
+    random_distribution,
+)
+from repro.workloads.tpcds import (
+    PAPER_CARDINALITIES,
+    catalog_sales,
+    customer,
+    scaled_rows,
+)
+
+
+class TestDistributions:
+    def test_random_shape_and_dtype(self):
+        values = generate_key_columns(random_distribution(), 100, 3)
+        assert values.shape == (100, 3) and values.dtype == np.uint32
+
+    def test_random_virtually_no_duplicates(self):
+        values = generate_key_columns(random_distribution(), 4096, 1)
+        assert len(np.unique(values)) > 4090
+
+    def test_correlated_unique_values_capped(self):
+        values = generate_key_columns(correlated_distribution(0.5), 5000, 3)
+        for c in range(3):
+            assert len(np.unique(values[:, c])) <= CORRELATED_UNIQUE_VALUES
+
+    def test_correlation_one_is_functional(self):
+        values = generate_key_columns(correlated_distribution(1.0), 2000, 2)
+        # Equal in column 0 => equal in column 1.
+        mapping = {}
+        for v0, v1 in values:
+            assert mapping.setdefault(int(v0), int(v1)) == int(v1)
+
+    def test_correlation_probability_approximates_p(self):
+        p = 0.5
+        values = generate_key_columns(correlated_distribution(p), 6000, 2, seed=3)
+        order = np.argsort(values[:, 0], kind="stable")
+        v = values[order]
+        same0 = v[:-1, 0] == v[1:, 0]
+        same1 = v[:-1, 1] == v[1:, 1]
+        conditional = same1[same0].mean()
+        assert abs(conditional - p) < 0.12
+
+    def test_correlation_zero_is_nearly_independent(self):
+        values = generate_key_columns(correlated_distribution(0.0), 6000, 2, seed=4)
+        order = np.argsort(values[:, 0], kind="stable")
+        v = values[order]
+        same0 = v[:-1, 0] == v[1:, 0]
+        same1 = v[:-1, 1] == v[1:, 1]
+        conditional = same1[same0].mean()
+        assert conditional < 0.05  # only chance collisions (1/128)
+
+    def test_deterministic_by_seed(self):
+        dist = correlated_distribution(0.5)
+        a = generate_key_columns(dist, 64, 2, seed=7)
+        b = generate_key_columns(dist, 64, 2, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ReproError):
+            correlated_distribution(1.5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ReproError):
+            generate_key_columns(random_distribution(), 10, 0)
+
+    def test_names(self):
+        assert random_distribution().name == "Random"
+        assert correlated_distribution(0.5).name == "Correlated0.5"
+
+
+class TestCatalogSales:
+    def test_schema(self):
+        table = catalog_sales(100)
+        assert table.schema.names == (
+            "cs_warehouse_sk",
+            "cs_ship_mode_sk",
+            "cs_promo_sk",
+            "cs_quantity",
+            "cs_item_sk",
+        )
+
+    def test_cardinalities(self):
+        table = catalog_sales(20000, scale_factor=10, seed=1)
+        warehouse = table.column("cs_warehouse_sk")
+        values = [v for v in warehouse.to_pylist() if v is not None]
+        assert 1 <= min(values) and max(values) <= 10
+        ship = [
+            v
+            for v in table.column("cs_ship_mode_sk").to_pylist()
+            if v is not None
+        ]
+        assert max(ship) <= 20
+
+    def test_contains_some_nulls(self):
+        table = catalog_sales(20000, seed=2)
+        assert table.column("cs_warehouse_sk").null_count > 0
+        assert table.column("cs_item_sk").null_count == 0
+
+    def test_scale_factor_grows_dimensions(self):
+        small = catalog_sales(20000, scale_factor=10, seed=3)
+        large = catalog_sales(20000, scale_factor=100, seed=3)
+        max_small = max(
+            v for v in small.column("cs_promo_sk").to_pylist() if v
+        )
+        max_large = max(
+            v for v in large.column("cs_promo_sk").to_pylist() if v
+        )
+        assert max_large > max_small
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ReproError):
+            catalog_sales(-1)
+
+
+class TestCustomer:
+    def test_schema_and_types(self):
+        table = customer(50)
+        assert "c_last_name" in table.schema
+        assert table.schema.column("c_last_name").dtype.is_variable_width
+
+    def test_birth_ranges(self):
+        table = customer(5000, seed=5)
+        years = [v for v in table.column("c_birth_year").to_pylist() if v]
+        assert min(years) >= 1924 and max(years) <= 1992
+        months = [v for v in table.column("c_birth_month").to_pylist() if v]
+        assert min(months) >= 1 and max(months) <= 12
+
+    def test_names_duplicate_heavily(self):
+        table = customer(5000, seed=6)
+        names = [v for v in table.column("c_last_name").to_pylist() if v]
+        assert len(set(names)) < 200  # drawn from a fixed pool
+
+    def test_null_fraction(self):
+        table = customer(10000, seed=7)
+        fraction = table.column("c_first_name").null_count / 10000
+        assert 0.01 < fraction < 0.08
+
+    def test_customer_sk_is_dense(self):
+        table = customer(10)
+        assert table.column("c_customer_sk").to_pylist() == list(range(1, 11))
+
+
+class TestScaledRows:
+    def test_paper_cardinalities_recorded(self):
+        assert PAPER_CARDINALITIES[("catalog_sales", 10)] == 14_401_261
+
+    def test_scaling(self):
+        assert scaled_rows("customer", 100, 100) == 20_000
+
+    def test_unknown_combination(self):
+        with pytest.raises(ReproError):
+            scaled_rows("customer", 42, 100)
+
+    def test_bad_scale_down(self):
+        with pytest.raises(ReproError):
+            scaled_rows("customer", 100, 0)
