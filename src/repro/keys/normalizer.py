@@ -62,12 +62,16 @@ class KeySegment:
         dtype: the column's logical type.
         offset: byte offset of this segment's NULL byte within the key row.
         value_width: bytes used by the encoded value (excludes the NULL byte).
+        prefix_exact: True unless this is a VARCHAR segment whose prefix
+            truncates some value (memcmp on the segment then needs a
+            full-string tie-break).
     """
 
     key: SortKey
     dtype: DataType
     offset: int
     value_width: int
+    prefix_exact: bool = True
 
     @property
     def total_width(self) -> int:
@@ -107,6 +111,34 @@ class KeyLayout:
         return self.row_id_width > 0
 
 
+def _max_utf8_length(values: np.ndarray) -> int:
+    """Maximum UTF-8 byte length over a string column, vectorized.
+
+    The column is converted once to a fixed-width unicode array (for
+    object arrays this applies ``str`` element-wise in C, like the scalar
+    path did); the UTF-8 length of each value is then its character count
+    plus one extra byte per codepoint >= U+0080, >= U+0800 and >= U+10000,
+    all computed with whole-array numpy reductions.
+    """
+    n = len(values)
+    if n == 0:
+        return 0
+    arr = np.asarray(values)
+    if arr.dtype.kind != "U":
+        arr = arr.astype(np.str_)
+    if arr.itemsize == 0:  # every value is the empty string
+        return 0
+    codepoints = np.ascontiguousarray(arr).view(np.uint32).reshape(n, -1)
+    str_len = getattr(np, "strings", np.char).str_len
+    lengths = (
+        str_len(arr)
+        + (codepoints >= 0x80).sum(axis=1)
+        + (codepoints >= 0x800).sum(axis=1)
+        + (codepoints >= 0x10000).sum(axis=1)
+    )
+    return int(lengths.max())
+
+
 def _string_prefix_for(
     values: np.ndarray, requested: int | None
 ) -> tuple[int, bool]:
@@ -116,9 +148,7 @@ def _string_prefix_for(
     capped at 12 bytes.  We do the same: use the maximum UTF-8 length if it
     is <= MAX_STRING_PREFIX (making prefix comparison exact), else the cap.
     """
-    max_len = 1
-    for value in values:
-        max_len = max(max_len, len(str(value).encode("utf-8")))
+    max_len = max(1, _max_utf8_length(values))
     if requested is not None:
         width = requested
     else:
@@ -145,14 +175,17 @@ def build_layout(
     for key in spec.keys:
         col_def = table.schema.column(key.column)
         dtype = col_def.dtype
+        exact = True
         if dtype.type_id is TypeId.VARCHAR:
-            width, _ = _string_prefix_for(
+            # One vectorized scan chooses the width AND settles exactness;
+            # normalize_keys reuses the stored flag instead of rescanning.
+            width, exact = _string_prefix_for(
                 table.column(key.column).data, string_prefix
             )
         else:
             assert dtype.fixed_width is not None
             width = dtype.fixed_width
-        segments.append(KeySegment(key, dtype, offset, width))
+        segments.append(KeySegment(key, dtype, offset, width, exact))
         offset += 1 + width
     n = table.num_rows
     suffix_width = 0
@@ -254,8 +287,8 @@ def normalize_keys(
         # Value bytes.
         if segment.dtype.type_id is TypeId.VARCHAR:
             encoded = encode_string_column(column.data, segment.value_width)
-            _, exact = _string_prefix_for(column.data, segment.value_width)
-            prefix_exact = prefix_exact and exact
+            # Exactness was settled by the layout's single prefix scan.
+            prefix_exact = prefix_exact and segment.prefix_exact
         else:
             encoded = encode_fixed_column(column.data, segment.dtype)
         if segment.key.descending:

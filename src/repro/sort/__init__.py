@@ -11,7 +11,18 @@ from repro.sort.analysis import (
 from repro.sort.external import ExternalSortOperator, external_sort_table
 from repro.sort.heuristic import KeyStatistics, choose_algorithm, estimate_costs
 from repro.sort.introsort import IntroStats, intro_argsort, introsort
-from repro.sort.kway import KWayStats, cascade_merge, kway_merge
+from repro.sort.kernels import (
+    argsort_rows,
+    merge_indices,
+    merge_matrices,
+    void_view,
+)
+from repro.sort.kway import (
+    KWayStats,
+    cascade_merge,
+    cascade_merge_indices,
+    kway_merge,
+)
 from repro.sort.merge_path import (
     merge_partitioned,
     merge_path_partition,
@@ -29,6 +40,7 @@ from repro.sort.pdqsort import PdqStats, pdq_argsort, pdqsort
 from repro.sort.radix import (
     INSERTION_SORT_THRESHOLD,
     LSD_WIDTH_THRESHOLD,
+    VECTOR_FINISH_THRESHOLD,
     RadixStats,
     lsd_radix_argsort,
     msd_radix_argsort,
@@ -52,7 +64,12 @@ __all__ = [
     "intro_argsort",
     "introsort",
     "KWayStats",
+    "argsort_rows",
+    "merge_indices",
+    "merge_matrices",
+    "void_view",
     "cascade_merge",
+    "cascade_merge_indices",
     "kway_merge",
     "merge_partitioned",
     "merge_path_partition",
@@ -71,6 +88,7 @@ __all__ = [
     "pdqsort",
     "INSERTION_SORT_THRESHOLD",
     "LSD_WIDTH_THRESHOLD",
+    "VECTOR_FINISH_THRESHOLD",
     "RadixStats",
     "lsd_radix_argsort",
     "msd_radix_argsort",

@@ -27,12 +27,14 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import SortError
-from repro.keys.normalizer import normalize_keys
+from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
 from repro.rows.block import RowBlock
 from repro.rows.layout import RowLayout
+from repro.sort.kernels import argsort_rows
+from repro.sort.kway import cascade_merge_indices
 from repro.sort.operator import SortConfig
 from repro.sort.pdqsort import pdqsort
-from repro.sort.radix import radix_argsort
+from repro.sort.radix import VECTOR_FINISH_THRESHOLD, radix_argsort
 from repro.table.chunk import DataChunk, chunk_table
 from repro.table.table import Table
 from repro.types.datatypes import TypeId
@@ -137,10 +139,15 @@ class ExternalSortOperator:
         self._buffer.clear()
         self._buffered_rows = 0
 
+        # Lock VARCHAR prefixes to the cap so every spilled run shares one
+        # key layout -- the streamed merge compares keys across runs.
+        string_prefix = self.config.string_prefix
+        if string_prefix is None and self._has_string_key:
+            string_prefix = MAX_STRING_PREFIX
         keys = normalize_keys(
             table,
             self.spec,
-            string_prefix=self.config.string_prefix,
+            string_prefix=string_prefix,
             include_row_id=True,
             row_id_base=self._next_row_id,
             row_id_width=8,
@@ -152,13 +159,25 @@ class ExternalSortOperator:
                 "SortConfig.string_prefix or shorten the strings"
             )
         if self._has_string_key and self.config.force_algorithm != "radix":
-            raw = [keys.matrix[i].tobytes() for i in range(len(table))]
-            order_list = list(range(len(table)))
-            pdqsort(order_list, lambda i, j: raw[i] < raw[j])
-            order = np.asarray(order_list, dtype=np.int64)
+            if self.config.use_vector_kernels:
+                # Stable argsort of the key bytes; the ascending row-id
+                # suffix makes this identical to full-row memcmp order.
+                order = argsort_rows(keys.matrix[:, : keys.layout.key_width])
+            else:
+                raw = [keys.matrix[i].tobytes() for i in range(len(table))]
+                order_list = list(range(len(table)))
+                pdqsort(order_list, lambda i, j: raw[i] < raw[j])
+                order = np.asarray(order_list, dtype=np.int64)
         else:
             # Stable radix over the key bytes only (see SortOperator).
-            order = radix_argsort(keys.matrix[:, : keys.layout.key_width])
+            order = radix_argsort(
+                keys.matrix[:, : keys.layout.key_width],
+                vector_threshold=(
+                    VECTOR_FINISH_THRESHOLD
+                    if self.config.use_vector_kernels
+                    else None
+                ),
+            )
 
         block = RowBlock.from_table(table).take(order)
         path = os.path.join(self._dir, f"run-{len(self._runs):05d}.npz")
@@ -185,22 +204,35 @@ class ExternalSortOperator:
             self._cleanup()
 
     def _merge_streams(self) -> Table:
-        """K-way merge of spilled runs, reading block_rows rows at a time."""
+        """K-way merge of spilled runs, reading block_rows rows at a time.
+
+        With vector kernels on, the merge order of all runs is computed in
+        one vectorized cascade (:func:`repro.sort.kway.cascade_merge_indices`)
+        instead of a per-row tournament heap; string-free payloads are then
+        gathered block-wise with zero Python per-row work.
+        """
         layout = RowLayout.for_schema(self.schema)
         # Load heaps fully (strings must stay addressable); keys/rows stream.
         loaded = [run.load() for run in self._runs]
         heaps = [heap for _, _, heap in loaded]
         keys_list = [keys for keys, _, _ in loaded]
         rows_list = [rows for _, rows, _ in loaded]
-
-        # Streaming cursors: (key bytes, run index, position) on a heap.
-        heap: list[tuple[bytes, int, int]] = []
-        for run_index, keys in enumerate(keys_list):
-            if len(keys):
-                heap.append((keys[0].tobytes(), run_index, 0))
-        heapq.heapify(heap)
-
         has_strings = any(slot.is_string for slot in layout.slots)
+
+        if self.config.use_vector_kernels:
+            # Merge on the key bytes only: every spilled run carries an
+            # 8-byte row-id suffix that ascends with run order, so the
+            # cascade's stable earlier-run-first tie handling reproduces
+            # full-key memcmp order without comparing the suffix.
+            run_ids, row_ids = cascade_merge_indices(
+                [keys[:, : keys.shape[1] - 8] for keys in keys_list]
+            )
+            if not has_strings:
+                return self._gather_blocks(layout, rows_list, run_ids, row_ids)
+            order = zip(run_ids.tolist(), row_ids.tolist())
+        else:
+            order = self._heap_order(keys_list)
+
         out_blocks: list[RowBlock] = []
         pending_rows: list[np.ndarray] = []
         pending_heap_parts: list[bytes] = []
@@ -218,8 +250,7 @@ class ExternalSortOperator:
             pending_heap_bytes = 0
 
         result: Table | None = None
-        while heap:
-            _, run_index, position = heapq.heappop(heap)
+        for run_index, position in order:
             if has_strings:
                 row = rows_list[run_index][position].copy()
                 row, heap_part = _rebase_strings(
@@ -232,6 +263,23 @@ class ExternalSortOperator:
             pending_rows.append(row)
             if len(pending_rows) >= self.merge_block_rows:
                 flush_pending()
+        flush_pending()
+        for block in out_blocks:
+            table = block.to_table()
+            result = table if result is None else result.concat(table)
+        return result if result is not None else Table.empty(self.schema)
+
+    @staticmethod
+    def _heap_order(keys_list: list[np.ndarray]) -> Iterator[tuple[int, int]]:
+        """Scalar merge order: a tournament heap over per-row key bytes."""
+        heap: list[tuple[bytes, int, int]] = []
+        for run_index, keys in enumerate(keys_list):
+            if len(keys):
+                heap.append((keys[0].tobytes(), run_index, 0))
+        heapq.heapify(heap)
+        while heap:
+            _, run_index, position = heapq.heappop(heap)
+            yield run_index, position
             next_position = position + 1
             if next_position < len(keys_list[run_index]):
                 heapq.heappush(
@@ -242,8 +290,25 @@ class ExternalSortOperator:
                         next_position,
                     ),
                 )
-        flush_pending()
-        for block in out_blocks:
+
+    def _gather_blocks(
+        self,
+        layout: RowLayout,
+        rows_list: list[np.ndarray],
+        run_ids: np.ndarray,
+        row_ids: np.ndarray,
+    ) -> Table:
+        """Emit the merged output by block-wise vectorized gather (no strings)."""
+        if not len(run_ids):
+            return Table.empty(self.schema)
+        counts = np.array([len(rows) for rows in rows_list], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        gather = offsets[run_ids] + row_ids
+        stacked = np.concatenate(rows_list)
+        result: Table | None = None
+        for start in range(0, len(gather), self.merge_block_rows):
+            stop = min(start + self.merge_block_rows, len(gather))
+            block = RowBlock(layout, stacked[gather[start:stop]], b"")
             table = block.to_table()
             result = table if result is None else result.concat(table)
         return result if result is not None else Table.empty(self.schema)

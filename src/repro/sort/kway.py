@@ -16,7 +16,11 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Iterable, Sequence
 
-__all__ = ["KWayStats", "kway_merge", "cascade_merge"]
+import numpy as np
+
+from repro.sort.kernels import merge_indices
+
+__all__ = ["KWayStats", "kway_merge", "cascade_merge", "cascade_merge_indices"]
 
 Less = Callable[[Any, Any], bool]
 
@@ -128,3 +132,51 @@ def cascade_merge(
             paired.append(current[-1])
         current = paired
     return current[0]
+
+
+def cascade_merge_indices(
+    runs: Sequence[np.ndarray], stats: KWayStats | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized cascaded 2-way merge of sorted normalized-key matrices.
+
+    ``runs`` holds k row-sorted ``(n_i, width)`` uint8 key matrices of one
+    shared width.  Returns ``(run_ids, row_ids)``: output position ``p``
+    takes row ``row_ids[p]`` of ``runs[run_ids[p]]``.  Ties resolve to the
+    earlier run (stable), matching :func:`cascade_merge` -- but each round
+    is two ``np.searchsorted`` calls per pair
+    (:func:`repro.sort.kernels.merge_indices`) instead of a Python loop.
+    """
+    entries = [
+        (
+            np.ascontiguousarray(keys),
+            np.full(len(keys), index, dtype=np.int64),
+            np.arange(len(keys), dtype=np.int64),
+        )
+        for index, keys in enumerate(runs)
+        if len(keys)
+    ]
+    if not entries:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    while len(entries) > 1:
+        if stats is not None:
+            stats.rounds += 1
+        paired = []
+        for i in range(0, len(entries) - 1, 2):
+            keys_a, runs_a, rows_a = entries[i]
+            keys_b, runs_b, rows_b = entries[i + 1]
+            perm = merge_indices(keys_a, keys_b)
+            paired.append(
+                (
+                    np.concatenate([keys_a, keys_b])[perm],
+                    np.concatenate([runs_a, runs_b])[perm],
+                    np.concatenate([rows_a, rows_b])[perm],
+                )
+            )
+            if stats is not None:
+                stats.moves += len(perm)
+        if len(entries) % 2 == 1:
+            paired.append(entries[-1])
+        entries = paired
+    _, run_ids, row_ids = entries[0]
+    return run_ids, row_ids

@@ -29,9 +29,11 @@ import numpy as np
 from repro.errors import SortError
 from repro.keys.normalizer import MAX_STRING_PREFIX, NormalizedKeys, normalize_keys
 from repro.rows.block import RowBlock
+from repro.sort.kernels import argsort_rows, merge_indices
 from repro.sort.pdqsort import pdqsort
 from repro.sort.radix import (
     LSD_WIDTH_THRESHOLD,
+    VECTOR_FINISH_THRESHOLD,
     RadixStats,
     radix_argsort,
 )
@@ -85,6 +87,10 @@ class SortConfig:
             "pdqsort", or "heuristic" (the cost-based chooser of
             :mod:`repro.sort.heuristic`, the paper's future-work item).
         vector_size: chunk granularity used by :func:`sort_table`.
+        use_vector_kernels: use the numpy kernels of
+            :mod:`repro.sort.kernels` (whole-row argsort, searchsorted
+            merge, vectorized radix bucket finishing) wherever memcmp
+            order is exact; off forces the scalar row-at-a-time paths.
     """
 
     run_threshold: int = DEFAULT_RUN_THRESHOLD
@@ -92,6 +98,7 @@ class SortConfig:
     lsd_threshold: int = LSD_WIDTH_THRESHOLD
     force_algorithm: str | None = None
     vector_size: int = VECTOR_SIZE
+    use_vector_kernels: bool = True
 
     def __post_init__(self) -> None:
         if self.run_threshold <= 0:
@@ -112,20 +119,34 @@ class SortStats:
     algorithm: str = ""
     merge_rounds: int = 0
     merge_comparisons: int = 0
+    kernel_merges: int = 0
+    scalar_merges: int = 0
     prefix_exact: bool = True
     radix: RadixStats = field(default_factory=RadixStats)
 
 
 @dataclass
 class SortedRun:
-    """One fully sorted run: sorted keys plus the payload in key order."""
+    """One fully sorted run: sorted keys plus the payload in key order.
+
+    ``raw`` optionally caches the key rows as Python ``bytes`` for the
+    scalar merge fallback; carrying it across cascade rounds avoids
+    re-materializing both runs on every round.
+    """
 
     keys: np.ndarray  # (n, width) uint8, sorted
     payload: RowBlock  # rows already in key order
     key_width: int  # bytes of key before the row-id suffix
+    raw: list[bytes] | None = None  # per-row key bytes (scalar merge cache)
 
     def __len__(self) -> int:
         return len(self.keys)
+
+    def raw_keys(self) -> list[bytes]:
+        """The key rows as ``bytes``, materializing and caching on demand."""
+        if self.raw is None:
+            self.raw = [self.keys[i].tobytes() for i in range(len(self.keys))]
+        return self.raw
 
 
 class SortOperator:
@@ -243,6 +264,11 @@ class SortOperator:
                 keys.matrix[:, : keys.layout.key_width],
                 self.stats.radix,
                 self.config.lsd_threshold,
+                vector_threshold=(
+                    VECTOR_FINISH_THRESHOLD
+                    if self.config.use_vector_kernels
+                    else None
+                ),
             )
         else:
             order = self._pdq_argsort(table, keys)
@@ -267,11 +293,17 @@ class SortOperator:
         """
         n = len(keys)
         matrix = keys.matrix
-        raw = [matrix[i].tobytes() for i in range(n)]
         if keys.prefix_exact:
+            if self.config.use_vector_kernels:
+                # Vectorized stable argsort of the key bytes.  The row-id
+                # suffix ascends with row index, so a stable sort without
+                # it is byte-identical to memcmp over the full row.
+                return argsort_rows(matrix[:, : keys.layout.key_width])
+            raw = [matrix[i].tobytes() for i in range(n)]
             order = list(range(n))
             pdqsort(order, lambda i, j: raw[i] < raw[j])
             return np.asarray(order, dtype=np.int64)
+        raw = [matrix[i].tobytes() for i in range(n)]
 
         key_table = table.select(self.spec.column_names)
         layout = keys.layout
@@ -302,13 +334,18 @@ class SortOperator:
 
         Keys are compared with memcmp over the full key row.  Row ids are
         globally unique and assigned in arrival order, so the suffix makes
-        the merge stable.  When string prefixes were truncated, segment
-        ties are re-resolved on the full values fetched from the payload.
+        the merge stable.  With exact prefixes the merge is one vectorized
+        searchsorted kernel; when string prefixes were truncated, the
+        scalar path re-resolves segment ties on the full values fetched
+        from the payload.
         """
         key_width = left.key_width
-        a = [left.keys[i].tobytes() for i in range(len(left))]
-        b = [right.keys[i].tobytes() for i in range(len(right))]
         exact = self.stats.prefix_exact
+        if exact and self.config.use_vector_kernels:
+            return self._merge_two_kernel(left, right)
+        self.stats.scalar_merges += 1
+        a = left.raw_keys()
+        b = right.raw_keys()
         key_names = self.spec.column_names
 
         def b_before_a(i: int, j: int) -> bool:
@@ -329,6 +366,7 @@ class SortOperator:
         n, m = len(a), len(b)
         take_from_left = np.empty(n + m, dtype=bool)
         source_index = np.empty(n + m, dtype=np.int64)
+        merged_raw: list[bytes] = [b""] * (n + m)
         i = j = 0
         comparisons = 0
         for k in range(n + m):
@@ -337,12 +375,14 @@ class SortOperator:
                     comparisons += 1
                 take_from_left[k] = True
                 source_index[k] = i
+                merged_raw[k] = a[i]
                 i += 1
             else:
                 if i < n:
                     comparisons += 1
                 take_from_left[k] = False
                 source_index[k] = j
+                merged_raw[k] = b[j]
                 j += 1
         self.stats.merge_comparisons += comparisons
 
@@ -357,7 +397,25 @@ class SortOperator:
             take_from_left, source_index, source_index + n
         )
         payload = combined.take(gather)
-        return SortedRun(merged_keys, payload, key_width)
+        return SortedRun(merged_keys, payload, key_width, raw=merged_raw)
+
+    def _merge_two_kernel(self, left: SortedRun, right: SortedRun) -> SortedRun:
+        """Vectorized merge: one searchsorted kernel, no per-row Python.
+
+        Valid only when memcmp over full key rows is the exact order
+        (``prefix_exact``).  The merge compares only the key bytes: row
+        ids ascend with run order (earlier run => smaller ids), so the
+        kernel's stable left-first tie handling reproduces the full-row
+        memcmp order without touching the suffix.
+        """
+        key_width = left.key_width
+        perm = merge_indices(
+            left.keys[:, :key_width], right.keys[:, :key_width]
+        )
+        merged_keys = np.concatenate([left.keys, right.keys])[perm]
+        payload = left.payload.concat(right.payload).take(perm)
+        self.stats.kernel_merges += 1
+        return SortedRun(merged_keys, payload, left.key_width)
 
     # ------------------------------------------------------------------ #
     # Finalize

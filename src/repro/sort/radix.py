@@ -28,10 +28,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SortError
+from repro.sort.kernels import argsort_rows
 
 __all__ = [
     "LSD_WIDTH_THRESHOLD",
     "INSERTION_SORT_THRESHOLD",
+    "VECTOR_FINISH_THRESHOLD",
     "RadixStats",
     "lsd_radix_argsort",
     "msd_radix_argsort",
@@ -44,6 +46,10 @@ LSD_WIDTH_THRESHOLD = 4
 INSERTION_SORT_THRESHOLD = 24
 """MSD recursion falls back to insertion sort at or below this bucket size."""
 
+VECTOR_FINISH_THRESHOLD = 1 << 16
+"""Default MSD bucket size finished with the vectorized whole-row argsort
+kernel (:func:`repro.sort.kernels.argsort_rows`) when callers enable it."""
+
 
 @dataclass
 class RadixStats:
@@ -52,6 +58,7 @@ class RadixStats:
     passes: int = 0
     skipped_passes: int = 0
     insertion_sorted_buckets: int = 0
+    vector_finished_buckets: int = 0
     rows_moved: int = 0
     histogram: list[int] = field(default_factory=list)
 
@@ -83,13 +90,15 @@ def lsd_radix_argsort(
     if n <= 1:
         return order
     for byte_index in range(width - 1, -1, -1):
-        column = matrix[order, byte_index]
-        first = column[0]
-        if bool((column == first).all()):
-            # Skip-copy: the whole pass is one bucket; order is unchanged.
+        # Skip-copy test on the *unpermuted* column view: "all rows land in
+        # one bucket" is permutation-invariant, so a skipped pass performs
+        # no gather at all (min/max over a strided view moves no data).
+        static = matrix[:, byte_index]
+        if static.min() == static.max():
             if stats is not None:
                 stats.record_pass(0, skipped=True)
             continue
+        column = matrix[order, byte_index]
         # A stable sort of one byte column is exactly a counting-sort pass
         # (numpy uses radix sort for stable uint8 argsort).
         order = order[np.argsort(column, kind="stable")]
@@ -141,6 +150,7 @@ def msd_radix_argsort(
     stats: RadixStats | None = None,
     insertion_threshold: int = INSERTION_SORT_THRESHOLD,
     pdq_threshold: int | None = None,
+    vector_threshold: int | None = None,
 ) -> np.ndarray:
     """Stable MSD radix argsort of the rows of a uint8 key matrix.
 
@@ -152,6 +162,12 @@ def msd_radix_argsort(
     ``pdq_threshold`` enables the paper's future-work variant: buckets of
     at most that many rows (but above the insertion threshold) are
     finished with pdqsort on memcmp instead of further radix passes.
+
+    ``vector_threshold`` finishes buckets of at most that many rows with
+    the vectorized whole-row argsort kernel
+    (:func:`repro.sort.kernels.argsort_rows`) on the remaining key bytes --
+    the kernel is stable, so the result is byte-identical to the scalar
+    finishers.  It takes precedence over both scalar finishers.
     """
     _check_matrix(matrix)
     n, width = matrix.shape
@@ -164,6 +180,13 @@ def msd_radix_argsort(
         start, stop, byte_index = stack.pop()
         count = stop - start
         if count <= 1 or byte_index >= width:
+            continue
+        if vector_threshold is not None and count <= vector_threshold:
+            sub = order[start:stop]
+            suffix = np.ascontiguousarray(matrix[sub, byte_index:])
+            order[start:stop] = sub[argsort_rows(suffix)]
+            if stats is not None:
+                stats.vector_finished_buckets += 1
             continue
         if count <= insertion_threshold:
             _insertion_argsort_rows(matrix, order, start, stop, byte_index)
@@ -206,9 +229,14 @@ def radix_argsort(
     matrix: np.ndarray,
     stats: RadixStats | None = None,
     lsd_threshold: int = LSD_WIDTH_THRESHOLD,
+    vector_threshold: int | None = None,
 ) -> np.ndarray:
-    """DuckDB's algorithm choice: LSD for narrow keys, MSD otherwise."""
+    """DuckDB's algorithm choice: LSD for narrow keys, MSD otherwise.
+
+    ``vector_threshold`` is forwarded to :func:`msd_radix_argsort` to
+    finish buckets with the vectorized whole-row argsort kernel.
+    """
     _check_matrix(matrix)
     if matrix.shape[1] <= lsd_threshold:
         return lsd_radix_argsort(matrix, stats)
-    return msd_radix_argsort(matrix, stats)
+    return msd_radix_argsort(matrix, stats, vector_threshold=vector_threshold)

@@ -1,0 +1,294 @@
+"""Cross-checks of the vectorized kernel layer against the scalar paths.
+
+The contract of :mod:`repro.sort.kernels` is byte-identical results: every
+kernel (whole-row argsort, searchsorted merge, radix bucket finisher, the
+operator and external-sort fast paths) must reproduce exactly what the
+scalar row-at-a-time code produces, across mixed types, DESC keys, NULLS
+FIRST/LAST, duplicate keys, and truncated VARCHAR prefixes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import reference_sort
+from repro.errors import SortError
+from repro.sort.external import external_sort_table
+from repro.sort.kernels import (
+    argsort_rows,
+    merge_indices,
+    merge_matrices,
+    void_view,
+)
+from repro.sort.kway import KWayStats, cascade_merge_indices
+from repro.sort.operator import SortConfig, SortOperator, sort_table
+from repro.sort.radix import RadixStats, lsd_radix_argsort, msd_radix_argsort
+from repro.table.chunk import chunk_table
+from repro.table.table import Table
+from repro.types.datatypes import FLOAT, INTEGER, VARCHAR
+from repro.types.sortspec import SortSpec
+
+
+def random_matrix(rng, n, width, alphabet=256):
+    """Random key matrix; a small alphabet forces many duplicate rows."""
+    return rng.integers(0, alphabet, size=(n, width)).astype(np.uint8)
+
+
+def row_bytes(matrix):
+    return [matrix[i].tobytes() for i in range(len(matrix))]
+
+
+def tmp_path_mk(tmp_path, name):
+    """A fresh, existing spill directory under pytest's tmp_path."""
+    path = tmp_path / name
+    path.mkdir(exist_ok=True)
+    return path
+
+
+class TestVoidView:
+    @pytest.mark.parametrize("width", [1, 2, 3, 7, 8, 9, 13, 21, 32])
+    def test_scalar_order_is_memcmp_order(self, rng, width):
+        # The sort/search kernels use the dtype's compare function, which
+        # the field tuples expose directly (big-endian unsigned fields in
+        # declaration order == memcmp).
+        matrix = random_matrix(rng, 100, width, alphabet=4)
+        view = void_view(matrix)
+        raw = row_bytes(matrix)
+        for i in range(0, 100, 7):
+            for j in range(0, 100, 11):
+                assert (view[i].item() < view[j].item()) == (raw[i] < raw[j])
+                assert (view[i].item() == view[j].item()) == (raw[i] == raw[j])
+
+    def test_no_copy_for_contiguous(self, rng):
+        matrix = random_matrix(rng, 10, 8)
+        assert void_view(matrix).base is matrix
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(SortError):
+            void_view(np.zeros((3, 4), dtype=np.int32))
+        with pytest.raises(SortError):
+            void_view(np.zeros(5, dtype=np.uint8))
+        with pytest.raises(SortError):
+            void_view(np.zeros((3, 0), dtype=np.uint8))
+
+
+class TestArgsortRows:
+    @pytest.mark.parametrize("width", [1, 3, 8, 13])
+    @pytest.mark.parametrize("alphabet", [2, 256])
+    def test_matches_stable_bytes_sort(self, rng, width, alphabet):
+        matrix = random_matrix(rng, 500, width, alphabet)
+        raw = row_bytes(matrix)
+        expected = sorted(range(500), key=lambda i: (raw[i], i))
+        assert argsort_rows(matrix).tolist() == expected
+
+    def test_stability_on_duplicates(self, rng):
+        matrix = np.zeros((64, 5), dtype=np.uint8)  # all rows identical
+        assert argsort_rows(matrix).tolist() == list(range(64))
+
+
+class TestMergeIndices:
+    @pytest.mark.parametrize("width", [1, 4, 9, 13])
+    @pytest.mark.parametrize("sizes", [(0, 5), (5, 0), (1, 1), (200, 317)])
+    def test_matches_scalar_merge(self, rng, width, sizes):
+        n, m = sizes
+        a = random_matrix(rng, n, width, alphabet=3)
+        b = random_matrix(rng, m, width, alphabet=3)
+        a = a[argsort_rows(a)] if n else a
+        b = b[argsort_rows(b)] if m else b
+        perm = merge_indices(a, b)
+        combined = row_bytes(a) + row_bytes(b)
+        merged = [combined[i] for i in perm]
+        assert merged == sorted(combined)
+        # Stability: on ties, left-run rows must come first.
+        seen_right_for: dict[bytes, bool] = {}
+        for position, source in enumerate(perm):
+            key = merged[position]
+            if source >= n:
+                seen_right_for[key] = True
+            else:
+                assert not seen_right_for.get(key, False), (
+                    f"left row after right row for duplicate key {key!r}"
+                )
+
+    def test_merge_matrices_gathers(self, rng):
+        a = random_matrix(rng, 50, 6)
+        b = random_matrix(rng, 70, 6)
+        a, b = a[argsort_rows(a)], b[argsort_rows(b)]
+        merged, perm = merge_matrices(a, b)
+        assert merged.tobytes() == np.concatenate([a, b])[perm].tobytes()
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(SortError):
+            merge_indices(
+                np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8)
+            )
+
+
+class TestCascadeMergeIndices:
+    def test_matches_global_sort(self, rng):
+        runs = []
+        for _ in range(7):  # odd count exercises the bye run
+            matrix = random_matrix(rng, int(rng.integers(0, 80)), 5, alphabet=4)
+            runs.append(matrix[argsort_rows(matrix)] if len(matrix) else matrix)
+        stats = KWayStats()
+        run_ids, row_ids = cascade_merge_indices(runs, stats)
+        merged = [runs[r][p].tobytes() for r, p in zip(run_ids, row_ids)]
+        everything = [row for run in runs for row in row_bytes(run)]
+        assert merged == sorted(everything)
+        assert stats.rounds >= 3
+        assert len(run_ids) == len(everything)
+
+    def test_tie_breaks_prefer_earlier_run(self):
+        run_a = np.full((3, 2), 7, dtype=np.uint8)
+        run_b = np.full((2, 2), 7, dtype=np.uint8)
+        run_ids, row_ids = cascade_merge_indices([run_a, run_b])
+        assert run_ids.tolist() == [0, 0, 0, 1, 1]
+        assert row_ids.tolist() == [0, 1, 2, 0, 1]
+
+    def test_empty(self):
+        run_ids, row_ids = cascade_merge_indices([])
+        assert len(run_ids) == 0 and len(row_ids) == 0
+
+
+class TestRadixVectorFinish:
+    @pytest.mark.parametrize("width", [5, 9, 16])
+    def test_msd_vector_finish_identical(self, rng, width):
+        matrix = random_matrix(rng, 800, width, alphabet=3)
+        scalar = msd_radix_argsort(matrix.copy())
+        stats = RadixStats()
+        vectorized = msd_radix_argsort(matrix.copy(), stats, vector_threshold=128)
+        assert vectorized.tolist() == scalar.tolist()
+        assert stats.vector_finished_buckets > 0
+
+    def test_lsd_skip_copy_without_gather(self, rng):
+        # Middle byte constant: its pass must be skipped, result unchanged.
+        matrix = random_matrix(rng, 300, 3)
+        matrix[:, 1] = 42
+        stats = RadixStats()
+        order = lsd_radix_argsort(matrix, stats)
+        raw = row_bytes(matrix)
+        assert [raw[i] for i in order] == sorted(raw)
+        assert stats.skipped_passes == 1
+        assert stats.passes == 3
+
+
+MIXED_SPECS = [
+    "i ASC NULLS FIRST",
+    "i DESC NULLS LAST, f ASC",
+    "s DESC NULLS FIRST, i ASC NULLS LAST",
+    "f DESC, s ASC, i DESC",
+]
+
+
+class TestOperatorCrossCheck:
+    """Kernel and scalar operator paths must be byte-identical end to end."""
+
+    def _cross_check(self, table, spec, run_threshold):
+        spec = SortSpec.of(*[part.strip() for part in spec.split(",")])
+        on = sort_table(
+            table, spec, SortConfig(run_threshold=run_threshold, vector_size=16)
+        )
+        off = sort_table(
+            table,
+            spec,
+            SortConfig(
+                run_threshold=run_threshold,
+                vector_size=16,
+                use_vector_kernels=False,
+            ),
+        )
+        assert on.equals(off)
+        assert on.equals(reference_sort(table, spec))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(-5, 5)),
+                st.one_of(st.none(), st.floats(allow_nan=False, width=32)),
+                st.one_of(st.none(), st.text(alphabet="abXY", max_size=5)),
+            ),
+            max_size=60,
+        ),
+        spec_text=st.sampled_from(MIXED_SPECS),
+        run_threshold=st.sampled_from([8, 64, 1 << 17]),
+    )
+    def test_mixed_types_nulls_desc(self, rows, spec_text, run_threshold):
+        table = Table.from_pydict(
+            {
+                "i": [r[0] for r in rows],
+                "f": [r[1] for r in rows],
+                "s": [r[2] for r in rows],
+            },
+            dtypes={"i": INTEGER, "f": FLOAT, "s": VARCHAR},
+        )
+        self._cross_check(table, spec_text, run_threshold)
+
+    def test_truncated_varchar_prefixes(self, rng):
+        # Strings sharing a >12-byte prefix force the inexact scalar
+        # fallback in BOTH configurations; outputs must still agree.
+        values = [f"{'common-prefix-x'}{int(i):04d}" for i in rng.integers(0, 40, 400)]
+        table = Table.from_pydict({"s": values, "seq": list(range(400))})
+        self._cross_check(table, "s DESC, seq", 64)
+
+    def test_duplicate_keys_stability(self):
+        n = 400
+        table = Table.from_pydict({"k": [3] * n, "seq": list(range(n))})
+        result = sort_table(table, "k", SortConfig(run_threshold=32))
+        assert result.column("seq").to_pylist() == list(range(n))
+
+    def test_kernel_merge_counter(self, rng):
+        table = Table.from_numpy(
+            {"a": rng.integers(0, 100, 1000).astype(np.int32)}
+        )
+        op = SortOperator(table.schema, SortSpec.of("a"), SortConfig(run_threshold=100))
+        for chunk in chunk_table(table, 64):
+            op.sink(chunk)
+        op.finalize()
+        assert op.stats.kernel_merges > 0
+        assert op.stats.scalar_merges == 0
+
+    def test_scalar_merge_counter_on_inexact_prefix(self):
+        values = [f"{'y' * 13}{i:03d}" for i in range(300)]
+        table = Table.from_pydict({"s": values})
+        op = SortOperator(table.schema, SortSpec.of("s"), SortConfig(run_threshold=64))
+        for chunk in chunk_table(table, 32):
+            op.sink(chunk)
+        op.finalize()
+        assert op.stats.scalar_merges > 0
+        assert op.stats.kernel_merges == 0
+
+
+class TestExternalCrossCheck:
+    def test_integers(self, rng, tmp_path):
+        table = Table.from_numpy(
+            {
+                "a": rng.integers(0, 50, 2000).astype(np.int64),
+                "b": rng.integers(0, 10, 2000).astype(np.int32),
+            }
+        )
+        spec = SortSpec.of("a DESC", "b")
+        config_on = SortConfig(run_threshold=256)
+        config_off = SortConfig(run_threshold=256, use_vector_kernels=False)
+        on = external_sort_table(table, spec, config_on, str(tmp_path_mk(tmp_path, "on")))
+        off = external_sort_table(table, spec, config_off, str(tmp_path_mk(tmp_path, "off")))
+        assert on.equals(off)
+        assert on.equals(reference_sort(table, spec))
+
+    def test_strings(self, rng, tmp_path):
+        words = ["pear", "fig", "apple", "kiwi", "plum", None, "date"]
+        values = [words[i] for i in rng.integers(0, len(words), 900)]
+        table = Table.from_pydict({"s": values, "seq": list(range(900))})
+        spec = SortSpec.of("s NULLS FIRST", "seq")
+        on = external_sort_table(
+            table, spec, SortConfig(run_threshold=128), str(tmp_path_mk(tmp_path, "on"))
+        )
+        off = external_sort_table(
+            table,
+            spec,
+            SortConfig(run_threshold=128, use_vector_kernels=False),
+            str(tmp_path_mk(tmp_path, "off")),
+        )
+        assert on.equals(off)
+        assert on.equals(reference_sort(table, spec))
