@@ -9,7 +9,13 @@ code they replace, on the exact representation the operator feeds them
 * **run-generation** -- :func:`argsort_rows` vs. ``pdq_argsort`` over
   ``bytes`` rows (the operator's scalar pdqsort path),
 * **end-to-end** -- ``sort_table`` of 200k random int64 rows with
-  ``use_vector_kernels`` on vs. off (the acceptance headline).
+  ``use_vector_kernels`` on vs. off (the acceptance headline),
+* **k-way merge** -- the external sort's block-streaming k-way merge
+  kernel (:func:`repro.sort.kernels.kway_merge_blocks`) vs. the scalar
+  tournament heap, on 8 spilled runs of 50k int64 rows each; speedup is
+  measured on the merge phase alone (``SortStats.phase_seconds``) so
+  run generation and spill I/O -- identical on both sides -- do not
+  dilute it.
 
 Results land in ``BENCH_kernels.json`` at the repository root so future
 changes have a perf trajectory to regress against.  Runs standalone
@@ -21,6 +27,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import tempfile
 import time
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -29,9 +36,11 @@ if os.path.isdir(_SRC) and _SRC not in sys.path:
 
 import numpy as np  # noqa: E402
 
+from repro.sort.external import ExternalSortOperator  # noqa: E402
 from repro.sort.kernels import argsort_rows, merge_indices  # noqa: E402
 from repro.sort.operator import SortConfig, sort_table  # noqa: E402
 from repro.sort.pdqsort import pdq_argsort  # noqa: E402
+from repro.table.chunk import chunk_table  # noqa: E402
 from repro.table.table import Table  # noqa: E402
 from repro.types.sortspec import SortSpec  # noqa: E402
 
@@ -41,6 +50,8 @@ KEY_WIDTH = 9  # null byte + big-endian int64: the single-int64-key layout
 MERGE_N = 200_000  # per input run
 RUNGEN_N = 100_000
 END_TO_END_N = 200_000
+KWAY_RUNS = 8  # spilled runs in the external-sort k-way benchmark
+KWAY_RUN_ROWS = 50_000  # rows per spilled run
 ROUNDS = 3  # best-of for the vectorized sides; scalar sides run once
 
 
@@ -134,12 +145,62 @@ def bench_end_to_end(rng):
     }
 
 
+def _external_sort(table, spec, use_vector_kernels):
+    """Spill KWAY_RUNS sorted runs to disk, merge them, return the stats."""
+    with tempfile.TemporaryDirectory(prefix="bench_kway_") as spill_dir:
+        operator = ExternalSortOperator(
+            table.schema,
+            spec,
+            SortConfig(
+                run_threshold=KWAY_RUN_ROWS,
+                use_vector_kernels=use_vector_kernels,
+            ),
+            spill_directory=spill_dir,
+        )
+        for chunk in chunk_table(table, 10_000):
+            operator.sink(chunk)
+        operator.finalize()
+        return operator.stats
+
+
+def bench_kway_merge(rng):
+    rows = KWAY_RUNS * KWAY_RUN_ROWS
+    table = Table.from_numpy(
+        {"v": rng.integers(-(1 << 62), 1 << 62, rows).astype(np.int64)}
+    )
+    spec = SortSpec.of("v")
+
+    def merge_seconds(use_vector_kernels, rounds):
+        best = float("inf")
+        stats = None
+        for _ in range(rounds):
+            stats = _external_sort(table, spec, use_vector_kernels)
+            best = min(best, stats.phase_seconds["merge"])
+        return best, stats
+
+    kernel, kernel_stats = merge_seconds(True, ROUNDS)
+    scalar, _ = merge_seconds(False, 1)
+    assert kernel_stats.runs_generated == KWAY_RUNS
+    assert kernel_stats.kernel_kway_merges == 1
+    return {
+        "rows": rows,
+        "runs": KWAY_RUNS,
+        "rows_per_run": KWAY_RUN_ROWS,
+        "kway_rounds": kernel_stats.kway_rounds,
+        "peak_frontier_rows": kernel_stats.kway_peak_frontier_rows,
+        "kernel_rows_per_s": rows / kernel,
+        "scalar_rows_per_s": rows / scalar,
+        "speedup": scalar / kernel,
+    }
+
+
 def main():
     rng = np.random.default_rng(11)
     results = {
         "merge": bench_merge(rng),
         "run_generation": bench_run_generation(rng),
         "end_to_end_200k_int64": bench_end_to_end(rng),
+        "kway_merge": bench_kway_merge(rng),
     }
     with open(OUTPUT, "w") as fh:
         json.dump(results, fh, indent=2)
@@ -160,6 +221,9 @@ def test_kernels_smoke(capsys):
         results = main()
     for name in ("run_generation", "end_to_end_200k_int64"):
         assert results[name]["speedup"] > 1.0, f"{name} regressed below scalar"
+    assert results["kway_merge"]["speedup"] >= 5.0, (
+        "k-way merge kernel fell below the 5x acceptance bar"
+    )
     assert os.path.exists(OUTPUT)
 
 

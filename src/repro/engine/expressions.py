@@ -95,8 +95,7 @@ def _comparison_mask(chunk: DataChunk, comparison: Comparison) -> np.ndarray:
     data = vector.data
     literal = comparison.literal
     if vector.dtype.type_id is TypeId.VARCHAR:
-        values = np.array([str(v) for v in data], dtype=object)
-        raw = _object_compare(values, comparison.op, literal)
+        raw = _object_compare(data, comparison.op, literal)
     else:
         raw = _numeric_compare(data, comparison.op, literal)
     return raw & vector.validity  # NULL never satisfies a comparison
@@ -117,17 +116,27 @@ def _numeric_compare(data: np.ndarray, op: str, literal: Any) -> np.ndarray:
 
 
 def _object_compare(values: np.ndarray, op: str, literal: str) -> np.ndarray:
+    """String comparison against a literal, vectorized.
+
+    The (usually object-dtype) column is coerced once to a fixed-width
+    unicode array -- applying ``str`` element-wise in C -- and compared
+    with one whole-array numpy operator; numpy unicode comparison is the
+    same codepoint-lexicographic order as Python ``str``.
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind != "U":
+        arr = arr.astype(np.str_)
     if op == "=":
-        return np.array([v == literal for v in values], dtype=bool)
+        return np.asarray(arr == literal, dtype=bool)
     if op == "<>":
-        return np.array([v != literal for v in values], dtype=bool)
+        return np.asarray(arr != literal, dtype=bool)
     if op == "<":
-        return np.array([v < literal for v in values], dtype=bool)
+        return np.asarray(arr < literal, dtype=bool)
     if op == "<=":
-        return np.array([v <= literal for v in values], dtype=bool)
+        return np.asarray(arr <= literal, dtype=bool)
     if op == ">":
-        return np.array([v > literal for v in values], dtype=bool)
-    return np.array([v >= literal for v in values], dtype=bool)
+        return np.asarray(arr > literal, dtype=bool)
+    return np.asarray(arr >= literal, dtype=bool)
 
 
 def evaluate_mask(chunk: DataChunk, condition: Conjunction) -> np.ndarray:

@@ -39,6 +39,7 @@ __all__ = [
     "encode_scalar",
     "encode_fixed_column",
     "encode_string_column",
+    "utf8_byte_lengths",
     "invert_bytes",
     "F32_CANONICAL_NAN",
     "F64_CANONICAL_NAN",
@@ -123,7 +124,7 @@ def encode_scalar(value, dtype: DataType, width: int) -> bytes:
 
 def invert_bytes(encoded: bytes) -> bytes:
     """Invert every byte -- turns an ascending encoding into descending."""
-    return bytes(0xFF - b for b in encoded)
+    return (~np.frombuffer(encoded, dtype=np.uint8)).tobytes()
 
 
 # ---------------------------------------------------------------------- #
@@ -159,12 +160,87 @@ def encode_fixed_column(values: np.ndarray, dtype: DataType) -> np.ndarray:
     return np.ascontiguousarray(big_endian).view(np.uint8).reshape(len(values), width)
 
 
+def _as_unicode_array(values: np.ndarray) -> np.ndarray:
+    """Coerce a column to a fixed-width unicode array (``str`` per value)."""
+    arr = np.asarray(values)
+    if arr.dtype.kind != "U":
+        arr = arr.astype(np.str_)
+    return arr
+
+
+def utf8_byte_lengths(values: np.ndarray) -> np.ndarray:
+    """Per-value UTF-8 byte length of a string column, vectorized.
+
+    The column is converted once to a fixed-width unicode array (for
+    object arrays this applies ``str`` element-wise in C); each value's
+    UTF-8 length is its character count plus one extra byte per codepoint
+    >= U+0080, >= U+0800 and >= U+10000, computed with whole-array numpy
+    reductions.
+
+    Fixed-width unicode arrays cannot represent *trailing* NUL codepoints
+    (they are indistinguishable from padding), so when the input needed
+    conversion the vectorized sum is checked against the true encoded
+    total -- stripping can only under-count, so an equal total proves
+    every per-value length exact -- and the vanishingly rare NUL-suffixed
+    column falls back to a per-value scan.
+    """
+    source = np.asarray(values)
+    arr = _as_unicode_array(source)
+    n = len(arr)
+    if n == 0:
+        return np.zeros(n, dtype=np.int64)
+    if arr.itemsize == 0:
+        lengths = np.zeros(n, dtype=np.int64)
+    else:
+        codepoints = np.ascontiguousarray(arr).view(np.uint32).reshape(n, -1)
+        str_len = getattr(np, "strings", np.char).str_len
+        lengths = (
+            str_len(arr)
+            + (codepoints >= 0x80).sum(axis=1)
+            + (codepoints >= 0x800).sum(axis=1)
+            + (codepoints >= 0x10000).sum(axis=1)
+        ).astype(np.int64)
+    if arr is not source:
+        originals = source.tolist()
+        actual = len("".join(map(str, originals)).encode("utf-8"))
+        if actual != int(lengths.sum()):
+            lengths = np.array(
+                [len(str(v).encode("utf-8")) for v in originals],
+                dtype=np.int64,
+            )
+    return lengths
+
+
 def encode_string_column(values: np.ndarray, prefix_len: int) -> np.ndarray:
-    """Encode a VARCHAR column into an (n, prefix_len) uint8 prefix matrix."""
+    """Encode a VARCHAR column into an (n, prefix_len) uint8 prefix matrix.
+
+    One ``"".join``-encoded UTF-8 buffer for the whole column, then pure
+    offset arithmetic: each value's prefix bytes are located in the flat
+    buffer via the vectorized :func:`utf8_byte_lengths` cumsum and
+    scattered into the output matrix with a single fancy-indexing pass --
+    no per-row Python loop.
+    """
     if prefix_len <= 0:
         raise KeyEncodingError(f"prefix_len must be positive, got {prefix_len}")
-    out = np.zeros((len(values), prefix_len), dtype=np.uint8)
-    for i, value in enumerate(values):
-        raw = str(value).encode("utf-8")[:prefix_len]
-        out[i, : len(raw)] = np.frombuffer(raw, dtype=np.uint8)
+    source = np.asarray(values)
+    n = len(source)
+    out = np.zeros((n, prefix_len), dtype=np.uint8)
+    if n == 0:
+        return out
+    # Lengths and buffer both come from the original values: fixed-width
+    # unicode arrays would strip trailing NUL codepoints and desync them.
+    lengths = utf8_byte_lengths(source)
+    take = np.minimum(lengths, prefix_len)
+    total = int(take.sum())
+    if total == 0:
+        return out
+    buffer = np.frombuffer(
+        "".join(map(str, source.tolist())).encode("utf-8"), dtype=np.uint8
+    )
+    starts = np.cumsum(lengths) - lengths
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(take) - take, take
+    )
+    rows = np.repeat(np.arange(n, dtype=np.int64), take)
+    out[rows, within] = buffer[np.repeat(starts, take) + within]
     return out

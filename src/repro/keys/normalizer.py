@@ -30,6 +30,8 @@ from repro.keys.encoding import (
     encode_fixed_column,
     encode_scalar,
     encode_string_column,
+    invert_bytes,
+    utf8_byte_lengths,
 )
 from repro.table.table import Table
 from repro.types.datatypes import DataType, TypeId
@@ -114,29 +116,13 @@ class KeyLayout:
 def _max_utf8_length(values: np.ndarray) -> int:
     """Maximum UTF-8 byte length over a string column, vectorized.
 
-    The column is converted once to a fixed-width unicode array (for
-    object arrays this applies ``str`` element-wise in C, like the scalar
-    path did); the UTF-8 length of each value is then its character count
-    plus one extra byte per codepoint >= U+0080, >= U+0800 and >= U+10000,
-    all computed with whole-array numpy reductions.
+    One whole-column :func:`repro.keys.encoding.utf8_byte_lengths` scan --
+    the same kernel :func:`encode_string_column` uses to place its encoded
+    buffer, so the prefix choice and the encoding agree by construction.
     """
-    n = len(values)
-    if n == 0:
+    if len(values) == 0:
         return 0
-    arr = np.asarray(values)
-    if arr.dtype.kind != "U":
-        arr = arr.astype(np.str_)
-    if arr.itemsize == 0:  # every value is the empty string
-        return 0
-    codepoints = np.ascontiguousarray(arr).view(np.uint32).reshape(n, -1)
-    str_len = getattr(np, "strings", np.char).str_len
-    lengths = (
-        str_len(arr)
-        + (codepoints >= 0x80).sum(axis=1)
-        + (codepoints >= 0x800).sum(axis=1)
-        + (codepoints >= 0x10000).sum(axis=1)
-    )
-    return int(lengths.max())
+    return int(utf8_byte_lengths(values).max())
 
 
 def _string_prefix_for(
@@ -331,6 +317,6 @@ def normalized_key_for_row(
         out.append(segment.null_byte_for_valid)
         encoded = encode_scalar(value, segment.dtype, segment.value_width)
         if segment.key.descending:
-            encoded = bytes(0xFF - b for b in encoded)
+            encoded = invert_bytes(encoded)
         out.extend(encoded)
     return bytes(out)

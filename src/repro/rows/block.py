@@ -18,13 +18,77 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConversionError
+from repro.keys.encoding import utf8_byte_lengths
 from repro.rows.layout import RowLayout
 from repro.table.column import ColumnVector
 from repro.table.table import Table
 from repro.types.datatypes import TypeId
 from repro.types.schema import Schema
 
-__all__ = ["RowBlock"]
+__all__ = ["RowBlock", "gather_slices"]
+
+
+def gather_slices(
+    buffer: np.ndarray, offsets: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``buffer[offsets[i] : offsets[i] + lengths[i]]`` slices.
+
+    One fancy-indexing gather instead of a per-slice Python loop: the flat
+    source index of every output byte is its slice's start offset plus its
+    position within the slice, both built with ``repeat``/``cumsum``.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=buffer.dtype)
+    ends = np.cumsum(lengths)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        ends - lengths, lengths
+    )
+    return buffer[np.repeat(offsets, lengths) + within]
+
+
+def _decode_string_slot(
+    heap: bytes,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    validity: np.ndarray,
+) -> np.ndarray:
+    """Decode one string column out of the heap, vectorized.
+
+    The referenced heap slices are gathered into a zero-padded
+    ``(n, max_len)`` byte matrix with one fancy-indexing pass and decoded
+    with a single ``np.strings.decode`` over an ``S``-dtype view.  Because
+    the ``S`` view strips trailing NULs, any 0x00 byte *inside* a string
+    falls back to the per-row decode loop (NULs are vanishingly rare in
+    real text, so the vectorized path dominates).
+    """
+    n = len(offsets)
+    data = np.empty(n, dtype=object)
+    data.fill("")
+    valid_indices = np.flatnonzero(validity & (lengths > 0))
+    if not len(valid_indices):
+        return data
+    starts = offsets[valid_indices].astype(np.int64)
+    sizes = lengths[valid_indices].astype(np.int64)
+    heap_array = np.frombuffer(heap, dtype=np.uint8)
+    gathered = gather_slices(heap_array, starts, sizes)
+    if (gathered == 0).any():
+        for index, start, size in zip(
+            valid_indices.tolist(), starts.tolist(), sizes.tolist()
+        ):
+            data[index] = heap[start : start + size].decode("utf-8")
+        return data
+    width = int(sizes.max())
+    padded = np.zeros((len(valid_indices), width), dtype=np.uint8)
+    ends = np.cumsum(sizes)
+    within = np.arange(len(gathered), dtype=np.int64) - np.repeat(
+        ends - sizes, sizes
+    )
+    padded[np.repeat(np.arange(len(valid_indices)), sizes), within] = gathered
+    decode = getattr(np, "strings", np.char).decode
+    decoded = decode(padded.view(f"S{width}").reshape(-1), "utf-8")
+    data[valid_indices] = decoded.astype(object)
+    return data
 
 
 class RowBlock:
@@ -76,11 +140,18 @@ class RowBlock:
             if slot.is_string:
                 offsets = np.zeros(n, dtype=np.uint32)
                 lengths = np.zeros(n, dtype=np.uint32)
-                for i in np.flatnonzero(column.validity):
-                    raw = str(column.data[i]).encode("utf-8")
-                    offsets[i] = len(heap)
-                    lengths[i] = len(raw)
-                    heap.extend(raw)
+                valid_indices = np.flatnonzero(column.validity)
+                if len(valid_indices):
+                    # One join-encoded buffer for the whole column; the
+                    # per-value (offset, length) slots follow from the
+                    # vectorized UTF-8 byte lengths by offset arithmetic.
+                    values = column.data[valid_indices]
+                    byte_lengths = utf8_byte_lengths(values)
+                    encoded = "".join(map(str, values)).encode("utf-8")
+                    ends = np.cumsum(byte_lengths)
+                    offsets[valid_indices] = len(heap) + ends - byte_lengths
+                    lengths[valid_indices] = byte_lengths
+                    heap.extend(encoded)
                 view = rows[:, slot.offset : slot.offset + 8]
                 view[:, :4] = offsets.view(np.uint8).reshape(n, 4)
                 view[:, 4:] = lengths.view(np.uint8).reshape(n, 4)
@@ -109,15 +180,9 @@ class RowBlock:
                 lengths = np.ascontiguousarray(view[:, 4:]).view(np.uint32)
                 offsets = offsets.reshape(-1)
                 lengths = lengths.reshape(-1)
-                data = np.empty(n, dtype=object)
-                for i in range(n):
-                    if validity[i]:
-                        start = int(offsets[i])
-                        data[i] = self.heap[start : start + int(lengths[i])].decode(
-                            "utf-8"
-                        )
-                    else:
-                        data[i] = ""
+                data = _decode_string_slot(
+                    self.heap, offsets, lengths, validity
+                )
             else:
                 raw = np.ascontiguousarray(
                     self.rows[:, slot.offset : slot.offset + slot.width]

@@ -12,7 +12,9 @@ from repro.sort.external import ExternalSortOperator, external_sort_table
 from repro.sort.heuristic import KeyStatistics, choose_algorithm, estimate_costs
 from repro.sort.introsort import IntroStats, intro_argsort, introsort
 from repro.sort.kernels import (
+    KWayBlockStats,
     argsort_rows,
+    kway_merge_blocks,
     merge_indices,
     merge_matrices,
     void_view,
@@ -22,6 +24,7 @@ from repro.sort.kway import (
     cascade_merge,
     cascade_merge_indices,
     kway_merge,
+    kway_merge_indices,
 )
 from repro.sort.merge_path import (
     merge_partitioned,
@@ -64,13 +67,16 @@ __all__ = [
     "intro_argsort",
     "introsort",
     "KWayStats",
+    "KWayBlockStats",
     "argsort_rows",
+    "kway_merge_blocks",
     "merge_indices",
     "merge_matrices",
     "void_view",
     "cascade_merge",
     "cascade_merge_indices",
     "kway_merge",
+    "kway_merge_indices",
     "merge_partitioned",
     "merge_path_partition",
     "merge_path_partitions",

@@ -8,12 +8,21 @@ storage".  This module implements that design for the sort operator:
 * runs are generated exactly as in :mod:`repro.sort.operator` (normalized
   keys + row-format payload), but once sorted each run is **spilled** to a
   temporary file instead of held in memory;
-* finalization streams the spilled runs back block-by-block through a k-way
-  merge, so peak memory is O(num_runs * block_rows) instead of O(n).
+* finalization streams the spilled runs back block-by-block through the
+  block-streaming k-way merge kernel
+  (:func:`repro.sort.kernels.kway_merge_blocks`), so the merge working set
+  is O(num_runs * block_rows) key rows instead of O(n), with zero per-row
+  Python between frontier refills.
 
-The spill format per run is a single ``.npz`` with the sorted key matrix,
-the payload row matrix, and the string heap -- the unified row format
-serializes trivially because it is already flat bytes.
+The spill format per run is one flat binary file of three contiguous
+sections -- the sorted key matrix, the payload row matrix, and the string
+heap -- written with whole-buffer ``tobytes()`` calls and indexed by
+offset arithmetic, so any row range reads back with a single seek.  The
+unified row format serializes trivially because it is already flat bytes.
+
+With ``SortConfig.use_vector_kernels`` off (or for cross-checking), the
+scalar fallback merges through the classic per-row tournament heap over
+the same streamed blocks.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from __future__ import annotations
 import heapq
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -28,11 +38,10 @@ import numpy as np
 
 from repro.errors import SortError
 from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
-from repro.rows.block import RowBlock
+from repro.rows.block import RowBlock, gather_slices
 from repro.rows.layout import RowLayout
-from repro.sort.kernels import argsort_rows
-from repro.sort.kway import cascade_merge_indices
-from repro.sort.operator import SortConfig
+from repro.sort.kernels import KWayBlockStats, argsort_rows, kway_merge_blocks
+from repro.sort.operator import SortConfig, SortStats
 from repro.sort.pdqsort import pdqsort
 from repro.sort.radix import VECTOR_FINISH_THRESHOLD, radix_argsort
 from repro.table.chunk import DataChunk, chunk_table
@@ -43,35 +52,97 @@ from repro.types.sortspec import SortSpec
 
 __all__ = ["SpilledRun", "ExternalSortOperator", "external_sort_table"]
 
+ROW_ID_WIDTH = 8
+"""Bytes of the row-id suffix every spilled run appends to its keys."""
+
 
 @dataclass
 class SpilledRun:
-    """A sorted run on disk: path plus enough metadata to stream it back."""
+    """A sorted run on disk: path plus the offsets to stream it back.
+
+    The file holds three contiguous sections, in order::
+
+        [0, num_rows * key_width)            sorted key matrix (uint8)
+        [rows_offset, rows_offset + n * w)   payload row matrix (uint8)
+        [heap_offset, heap_offset + heap)    string heap
+
+    Each section is written with one ``tobytes()`` buffer -- no per-row
+    serialization -- and the offset index below turns any row range into a
+    single ``seek`` + ``read``.
+    """
 
     path: str
     num_rows: int
+    key_width: int
+    row_width: int
+    heap_bytes: int
 
-    def load(self) -> tuple[np.ndarray, np.ndarray, bytes]:
-        """Read back (keys, rows, heap) of the whole run."""
-        with np.load(self.path, allow_pickle=False) as archive:
-            return (
-                archive["keys"],
-                archive["rows"],
-                archive["heap"].tobytes(),
-            )
+    @property
+    def rows_offset(self) -> int:
+        return self.num_rows * self.key_width
 
-    def iter_blocks(
-        self, block_rows: int
-    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Yield (keys, rows) slices of at most ``block_rows`` rows.
+    @property
+    def heap_offset(self) -> int:
+        return self.rows_offset + self.num_rows * self.row_width
 
-        The heap is not sliced (string offsets are run-relative); callers
-        that need strings load it once per run via :meth:`load`.
+    def _read(
+        self, offset: int, nbytes: int, stats: SortStats | None
+    ) -> bytes:
+        start = time.perf_counter()
+        with open(self.path, "rb") as fh:
+            fh.seek(offset)
+            raw = fh.read(nbytes)
+        if stats is not None:
+            stats.add_phase_seconds("spill_io", time.perf_counter() - start)
+        if len(raw) != nbytes:
+            raise SortError(f"truncated spill file {self.path}")
+        return raw
+
+    def read_key_block(
+        self, start: int, stop: int, stats: SortStats | None = None
+    ) -> np.ndarray:
+        """Key rows ``[start, stop)`` as an ``(m, key_width)`` matrix."""
+        raw = self._read(
+            start * self.key_width, (stop - start) * self.key_width, stats
+        )
+        return np.frombuffer(raw, dtype=np.uint8).reshape(
+            stop - start, self.key_width
+        )
+
+    def read_row_block(
+        self, start: int, stop: int, stats: SortStats | None = None
+    ) -> np.ndarray:
+        """Payload rows ``[start, stop)`` as an ``(m, row_width)`` matrix."""
+        raw = self._read(
+            self.rows_offset + start * self.row_width,
+            (stop - start) * self.row_width,
+            stats,
+        )
+        return np.frombuffer(raw, dtype=np.uint8).reshape(
+            stop - start, self.row_width
+        )
+
+    def read_heap(self, stats: SortStats | None = None) -> bytes:
+        """The whole string heap (offsets in rows are run-relative)."""
+        return self._read(self.heap_offset, self.heap_bytes, stats)
+
+    def iter_key_blocks(
+        self,
+        block_rows: int,
+        key_bytes: int | None = None,
+        stats: SortStats | None = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield (m, width) key blocks of at most ``block_rows`` rows.
+
+        ``key_bytes`` truncates each row to its leading bytes (the merge
+        drops the row-id suffix).  One seek+read per block.
         """
-        keys, rows, _ = self.load()
         for start in range(0, self.num_rows, block_rows):
             stop = min(start + block_rows, self.num_rows)
-            yield keys[start:stop], rows[start:stop]
+            block = self.read_key_block(start, stop, stats)
+            if key_bytes is not None and key_bytes != self.key_width:
+                block = block[:, :key_bytes]
+            yield block
 
 
 class ExternalSortOperator:
@@ -79,7 +150,10 @@ class ExternalSortOperator:
 
     The public protocol matches :class:`~repro.sort.operator.SortOperator`:
     ``sink`` chunks, then ``finalize``.  ``spill_directory`` defaults to a
-    fresh temporary directory that is removed on finalize.
+    fresh temporary directory that is removed on finalize.  ``stats``
+    records run counts, kernel-vs-scalar k-way merges, the merge's peak
+    frontier size, and per-phase (encode / run_gen / merge / spill_io)
+    wall-clock.
     """
 
     def __init__(
@@ -107,6 +181,7 @@ class ExternalSortOperator:
             for name in spec.column_names
         )
         self._next_row_id = 0
+        self.stats = SortStats()
 
     @property
     def spilled_runs(self) -> int:
@@ -144,50 +219,66 @@ class ExternalSortOperator:
         string_prefix = self.config.string_prefix
         if string_prefix is None and self._has_string_key:
             string_prefix = MAX_STRING_PREFIX
-        keys = normalize_keys(
-            table,
-            self.spec,
-            string_prefix=string_prefix,
-            include_row_id=True,
-            row_id_base=self._next_row_id,
-            row_id_width=8,
-        )
+        with self.stats.time_phase("encode"):
+            keys = normalize_keys(
+                table,
+                self.spec,
+                string_prefix=string_prefix,
+                include_row_id=True,
+                row_id_base=self._next_row_id,
+                row_id_width=ROW_ID_WIDTH,
+            )
         self._next_row_id += len(table)
         if not keys.prefix_exact:
             raise SortError(
                 "external sort requires exact key prefixes; raise "
                 "SortConfig.string_prefix or shorten the strings"
             )
-        if self._has_string_key and self.config.force_algorithm != "radix":
-            if self.config.use_vector_kernels:
-                # Stable argsort of the key bytes; the ascending row-id
-                # suffix makes this identical to full-row memcmp order.
-                order = argsort_rows(keys.matrix[:, : keys.layout.key_width])
+        with self.stats.time_phase("run_gen"):
+            if self._has_string_key and self.config.force_algorithm != "radix":
+                if self.config.use_vector_kernels:
+                    # Stable argsort of the key bytes; the ascending row-id
+                    # suffix makes this identical to full-row memcmp order.
+                    order = argsort_rows(
+                        keys.matrix[:, : keys.layout.key_width]
+                    )
+                else:
+                    raw = [
+                        keys.matrix[i].tobytes() for i in range(len(table))
+                    ]
+                    order_list = list(range(len(table)))
+                    pdqsort(order_list, lambda i, j: raw[i] < raw[j])
+                    order = np.asarray(order_list, dtype=np.int64)
             else:
-                raw = [keys.matrix[i].tobytes() for i in range(len(table))]
-                order_list = list(range(len(table)))
-                pdqsort(order_list, lambda i, j: raw[i] < raw[j])
-                order = np.asarray(order_list, dtype=np.int64)
-        else:
-            # Stable radix over the key bytes only (see SortOperator).
-            order = radix_argsort(
-                keys.matrix[:, : keys.layout.key_width],
-                vector_threshold=(
-                    VECTOR_FINISH_THRESHOLD
-                    if self.config.use_vector_kernels
-                    else None
-                ),
-            )
+                # Stable radix over the key bytes only (see SortOperator).
+                order = radix_argsort(
+                    keys.matrix[:, : keys.layout.key_width],
+                    vector_threshold=(
+                        VECTOR_FINISH_THRESHOLD
+                        if self.config.use_vector_kernels
+                        else None
+                    ),
+                )
+            block = RowBlock.from_table(table).take(np.asarray(order))
+            sorted_keys = np.ascontiguousarray(keys.matrix[order])
 
-        block = RowBlock.from_table(table).take(order)
-        path = os.path.join(self._dir, f"run-{len(self._runs):05d}.npz")
-        np.savez(
-            path,
-            keys=keys.matrix[order],
-            rows=block.rows,
-            heap=np.frombuffer(block.heap, dtype=np.uint8),
+        path = os.path.join(self._dir, f"run-{len(self._runs):05d}.bin")
+        with self.stats.time_phase("spill_io"):
+            with open(path, "wb") as fh:
+                fh.write(sorted_keys.tobytes())
+                fh.write(np.ascontiguousarray(block.rows).tobytes())
+                fh.write(block.heap)
+        self._runs.append(
+            SpilledRun(
+                path,
+                len(table),
+                keys.layout.total_width,
+                block.row_width,
+                len(block.heap),
+            )
         )
-        self._runs.append(SpilledRun(path, len(table)))
+        self.stats.runs_generated += 1
+        self.stats.rows_sorted += len(table)
 
     def finalize(self) -> Table:
         """Stream-merge the spilled runs into the sorted output table."""
@@ -199,44 +290,205 @@ class ExternalSortOperator:
         try:
             if not self._runs:
                 return Table.empty(self.schema)
-            return self._merge_streams()
+            # Time the merge phase net of the spill reads it triggers.
+            io_before = self.stats.phase_seconds.get("spill_io", 0.0)
+            start = time.perf_counter()
+            result = self._merge_streams()
+            elapsed = time.perf_counter() - start
+            io_during = (
+                self.stats.phase_seconds.get("spill_io", 0.0) - io_before
+            )
+            self.stats.add_phase_seconds("merge", elapsed - io_during)
+            return result
         finally:
             self._cleanup()
 
     def _merge_streams(self) -> Table:
-        """K-way merge of spilled runs, reading block_rows rows at a time.
+        """K-way merge of spilled runs, ``merge_block_rows`` rows at a time.
 
-        With vector kernels on, the merge order of all runs is computed in
-        one vectorized cascade (:func:`repro.sort.kway.cascade_merge_indices`)
-        instead of a per-row tournament heap; string-free payloads are then
-        gathered block-wise with zero Python per-row work.
+        With vector kernels on, the merge runs through the block-streaming
+        frontier kernel (:func:`repro.sort.kernels.kway_merge_blocks`):
+        each round refills at most one key block per run, finds the global
+        cutoff from the frontier tails, and emits everything below it with
+        one lexsort pass -- never holding more than ``k * merge_block_rows``
+        key rows.  Payload rows are gathered per emitted round with one
+        contiguous read per contributing run.  The scalar path keeps the
+        per-row tournament heap over the same streamed blocks.
         """
         layout = RowLayout.for_schema(self.schema)
-        # Load heaps fully (strings must stay addressable); keys/rows stream.
-        loaded = [run.load() for run in self._runs]
-        heaps = [heap for _, _, heap in loaded]
-        keys_list = [keys for keys, _, _ in loaded]
-        rows_list = [rows for _, rows, _ in loaded]
         has_strings = any(slot.is_string for slot in layout.slots)
-
         if self.config.use_vector_kernels:
-            # Merge on the key bytes only: every spilled run carries an
-            # 8-byte row-id suffix that ascends with run order, so the
-            # cascade's stable earlier-run-first tie handling reproduces
-            # full-key memcmp order without comparing the suffix.
-            run_ids, row_ids = cascade_merge_indices(
-                [keys[:, : keys.shape[1] - 8] for keys in keys_list]
+            return self._merge_streams_kernel(layout, has_strings)
+        return self._merge_streams_scalar(layout, has_strings)
+
+    # ------------------------------------------------------------------ #
+    # Kernel (block-streaming) merge path
+    # ------------------------------------------------------------------ #
+
+    def _merge_streams_kernel(
+        self, layout: RowLayout, has_strings: bool
+    ) -> Table:
+        stats = self.stats
+        # Merge on the key bytes only: every spilled run carries an
+        # 8-byte row-id suffix that ascends with run order, so the
+        # kernel's stable earlier-run-first tie handling reproduces
+        # full-key memcmp order without comparing the suffix.
+        merge_width = self._runs[0].key_width - ROW_ID_WIDTH
+        sources = [
+            run.iter_key_blocks(
+                self.merge_block_rows, key_bytes=merge_width, stats=stats
             )
-            if not has_strings:
-                return self._gather_blocks(layout, rows_list, run_ids, row_ids)
-            order = zip(run_ids.tolist(), row_ids.tolist())
-        else:
-            order = self._heap_order(keys_list)
+            for run in self._runs
+        ]
+        # Heaps stay resident while rows stream: string offsets are
+        # run-relative, so the bytes must remain addressable until the
+        # row that references them is emitted.
+        heaps = (
+            [np.frombuffer(run.read_heap(stats), dtype=np.uint8) for run in self._runs]
+            if has_strings
+            else None
+        )
+
+        kernel_stats = KWayBlockStats()
+        row_parts: list[np.ndarray] = []
+        heap_parts: list[bytes] = []
+        heap_cursor = 0
+        for run_ids, row_ids in kway_merge_blocks(sources, kernel_stats):
+            out_rows = self._gather_blocks(run_ids, row_ids)
+            if has_strings:
+                heap_cursor = self._rebase_string_block(
+                    layout, out_rows, run_ids, heaps, heap_parts, heap_cursor
+                )
+            row_parts.append(out_rows)
+
+        stats.kernel_kway_merges += 1
+        stats.kway_rounds += kernel_stats.rounds
+        stats.kway_peak_frontier_rows = max(
+            stats.kway_peak_frontier_rows, kernel_stats.peak_frontier_rows
+        )
+        if not row_parts:
+            return Table.empty(self.schema)
+        merged = RowBlock(
+            layout, np.concatenate(row_parts), b"".join(heap_parts)
+        )
+        return merged.to_table()
+
+    def _gather_blocks(
+        self, run_ids: np.ndarray, row_ids: np.ndarray
+    ) -> np.ndarray:
+        """Materialize one emitted round's payload rows in merge order.
+
+        Each contributing run's rows form a contiguous ascending range
+        (a prefix of its frontier), so the round needs exactly one
+        contiguous spill read per run; interleaving back into merge order
+        is a single vectorized gather.
+        """
+        parts: list[np.ndarray] = []
+        bases = np.zeros(len(self._runs), dtype=np.int64)
+        cursor = 0
+        for index in np.unique(run_ids):
+            positions = row_ids[run_ids == index]
+            lo, hi = int(positions[0]), int(positions[-1]) + 1
+            parts.append(
+                self._runs[index].read_row_block(lo, hi, self.stats)
+            )
+            bases[index] = cursor - lo
+            cursor += hi - lo
+        stacked = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return np.ascontiguousarray(stacked[bases[run_ids] + row_ids])
+
+    def _rebase_string_block(
+        self,
+        layout: RowLayout,
+        out_rows: np.ndarray,
+        run_ids: np.ndarray,
+        heaps: list[np.ndarray],
+        heap_parts: list[bytes],
+        heap_cursor: int,
+    ) -> int:
+        """Rewrite one output block's string slots onto the merged heap.
+
+        Vectorized per (string slot, source run): the referenced bytes are
+        gathered out of the run heap with one fancy-indexing pass
+        (:func:`repro.rows.block.gather_slices`) and the slot offsets are
+        rewritten to the merged heap's running cursor.  Returns the new
+        cursor.
+        """
+        for col_index, slot in enumerate(layout.slots):
+            if not slot.is_string:
+                continue
+            byte_off, bit = layout.validity_position(col_index)
+            valid = ((out_rows[:, byte_off] >> np.uint8(bit)) & 1).astype(
+                bool
+            )
+            view = out_rows[:, slot.offset : slot.offset + 8]
+            offsets = np.ascontiguousarray(view[:, :4]).view(np.uint32)
+            offsets = offsets.reshape(-1).copy()
+            lengths = (
+                np.ascontiguousarray(view[:, 4:]).view(np.uint32).reshape(-1)
+            )
+            for index in np.unique(run_ids):
+                selected = np.flatnonzero(valid & (run_ids == index))
+                if not len(selected):
+                    continue
+                sel_lengths = lengths[selected].astype(np.int64)
+                gathered = gather_slices(
+                    heaps[index],
+                    offsets[selected].astype(np.int64),
+                    sel_lengths,
+                )
+                ends = np.cumsum(sel_lengths)
+                offsets[selected] = (
+                    heap_cursor + ends - sel_lengths
+                ).astype(np.uint32)
+                heap_parts.append(gathered.tobytes())
+                heap_cursor += int(ends[-1]) if len(ends) else 0
+            out_rows[:, slot.offset : slot.offset + 4] = offsets.view(
+                np.uint8
+            ).reshape(-1, 4)
+        return heap_cursor
+
+    # ------------------------------------------------------------------ #
+    # Scalar (tournament heap) merge path
+    # ------------------------------------------------------------------ #
+
+    def _merge_streams_scalar(
+        self, layout: RowLayout, has_strings: bool
+    ) -> Table:
+        self.stats.scalar_kway_merges += 1
+        heaps = (
+            [run.read_heap(self.stats) for run in self._runs]
+            if has_strings
+            else [b""] * len(self._runs)
+        )
 
         out_blocks: list[RowBlock] = []
         pending_rows: list[np.ndarray] = []
         pending_heap_parts: list[bytes] = []
         pending_heap_bytes = 0
+        row_cache: dict[int, tuple[int, np.ndarray]] = {}
+
+        def fetch_row(run_index: int, position: int) -> np.ndarray:
+            """Payload row by position, reading block-sized slices."""
+            cached = row_cache.get(run_index)
+            if cached is None or not (
+                cached[0] <= position < cached[0] + len(cached[1])
+            ):
+                start = (
+                    position // self.merge_block_rows
+                ) * self.merge_block_rows
+                stop = min(
+                    start + self.merge_block_rows,
+                    self._runs[run_index].num_rows,
+                )
+                cached = (
+                    start,
+                    self._runs[run_index].read_row_block(
+                        start, stop, self.stats
+                    ),
+                )
+                row_cache[run_index] = cached
+            return cached[1][position - cached[0]]
 
         def flush_pending() -> None:
             nonlocal pending_heap_bytes
@@ -250,16 +502,16 @@ class ExternalSortOperator:
             pending_heap_bytes = 0
 
         result: Table | None = None
-        for run_index, position in order:
+        for run_index, position in self._heap_order():
             if has_strings:
-                row = rows_list[run_index][position].copy()
+                row = fetch_row(run_index, position).copy()
                 row, heap_part = _rebase_strings(
                     layout, row, heaps[run_index], pending_heap_bytes
                 )
                 pending_heap_parts.append(heap_part)
                 pending_heap_bytes += len(heap_part)
             else:
-                row = rows_list[run_index][position]
+                row = fetch_row(run_index, position)
             pending_rows.append(row)
             if len(pending_rows) >= self.merge_block_rows:
                 flush_pending()
@@ -269,49 +521,37 @@ class ExternalSortOperator:
             result = table if result is None else result.concat(table)
         return result if result is not None else Table.empty(self.schema)
 
-    @staticmethod
-    def _heap_order(keys_list: list[np.ndarray]) -> Iterator[tuple[int, int]]:
-        """Scalar merge order: a tournament heap over per-row key bytes."""
+    def _heap_order(self) -> Iterator[tuple[int, int]]:
+        """Scalar merge order: a tournament heap over per-row key bytes.
+
+        Keys stream block-by-block from the spill files (same bounded
+        reads as the kernel path); each popped row costs one Python heap
+        operation and one ``tobytes`` -- the per-tuple overhead the kernel
+        path eliminates.
+        """
+
+        def raw_rows(run: SpilledRun) -> Iterator[bytes]:
+            for block in run.iter_key_blocks(
+                self.merge_block_rows, stats=self.stats
+            ):
+                for i in range(len(block)):
+                    yield block[i].tobytes()
+
+        streams = [raw_rows(run) for run in self._runs]
         heap: list[tuple[bytes, int, int]] = []
-        for run_index, keys in enumerate(keys_list):
-            if len(keys):
-                heap.append((keys[0].tobytes(), run_index, 0))
+        for run_index, stream in enumerate(streams):
+            first = next(stream, None)
+            if first is not None:
+                heap.append((first, run_index, 0))
         heapq.heapify(heap)
         while heap:
             _, run_index, position = heapq.heappop(heap)
             yield run_index, position
-            next_position = position + 1
-            if next_position < len(keys_list[run_index]):
+            following = next(streams[run_index], None)
+            if following is not None:
                 heapq.heappush(
-                    heap,
-                    (
-                        keys_list[run_index][next_position].tobytes(),
-                        run_index,
-                        next_position,
-                    ),
+                    heap, (following, run_index, position + 1)
                 )
-
-    def _gather_blocks(
-        self,
-        layout: RowLayout,
-        rows_list: list[np.ndarray],
-        run_ids: np.ndarray,
-        row_ids: np.ndarray,
-    ) -> Table:
-        """Emit the merged output by block-wise vectorized gather (no strings)."""
-        if not len(run_ids):
-            return Table.empty(self.schema)
-        counts = np.array([len(rows) for rows in rows_list], dtype=np.int64)
-        offsets = np.concatenate(([0], np.cumsum(counts)))
-        gather = offsets[run_ids] + row_ids
-        stacked = np.concatenate(rows_list)
-        result: Table | None = None
-        for start in range(0, len(gather), self.merge_block_rows):
-            stop = min(start + self.merge_block_rows, len(gather))
-            block = RowBlock(layout, stacked[gather[start:stop]], b"")
-            table = block.to_table()
-            result = table if result is None else result.concat(table)
-        return result if result is not None else Table.empty(self.schema)
 
     def _cleanup(self) -> None:
         for run in self._runs:
@@ -349,7 +589,8 @@ def _rebase_strings(
 ) -> tuple[np.ndarray, bytes]:
     """Copy a row's strings out of its run heap into the output heap.
 
-    Returns the adjusted row and the bytes to append to the output heap.
+    Scalar-path helper; returns the adjusted row and the bytes to append
+    to the output heap.
     """
     parts: list[bytes] = []
     cursor = heap_base

@@ -24,12 +24,20 @@ segment-wise comparator for truncated VARCHAR prefixes.
 from __future__ import annotations
 
 import functools
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import SortError
 
-__all__ = ["void_view", "argsort_rows", "merge_indices", "merge_matrices"]
+__all__ = [
+    "void_view",
+    "argsort_rows",
+    "merge_indices",
+    "merge_matrices",
+    "KWayBlockStats",
+    "kway_merge_blocks",
+]
 
 
 @functools.lru_cache(maxsize=None)
@@ -176,3 +184,177 @@ def merge_matrices(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray
     """
     perm = merge_indices(a, b)
     return np.concatenate([a, b])[perm], perm
+
+
+# ---------------------------------------------------------------------- #
+# Block-streaming k-way merge
+# ---------------------------------------------------------------------- #
+
+
+class KWayBlockStats:
+    """Counters describing one block-streaming k-way merge.
+
+    ``peak_frontier_rows`` is the maximum number of key rows buffered
+    across all run frontiers at any point -- the merge's working set, which
+    stays bounded by ``k * block_rows`` no matter how large the runs are.
+    """
+
+    __slots__ = ("rounds", "rows_emitted", "refills", "peak_frontier_rows")
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.rows_emitted = 0
+        self.refills = 0
+        self.peak_frontier_rows = 0
+
+
+def _count_below(
+    columns: Sequence[np.ndarray], cutoff: tuple[int, ...]
+) -> tuple[int, int]:
+    """``(lt, le)`` counts of sorted frontier rows vs. a cutoff key.
+
+    Progressive binary search: after narrowing on word ``j``, positions
+    ``[0, lo)`` are strictly below the cutoff and ``[lo, hi)`` tie it on
+    every word so far, so the final ``lo`` counts rows < cutoff and the
+    final ``hi`` rows <= cutoff.  Costs O(words * log n) -- no per-row
+    work.
+    """
+    lo, hi = 0, len(columns[0])
+    for column, word in zip(columns, cutoff):
+        segment = column[lo:hi]
+        # np.uint64, not Python int: mixing int with a uint64 array
+        # promotes to float64, which rounds words above 2**53.
+        value = np.uint64(word)
+        left = lo + int(np.searchsorted(segment, value, side="left"))
+        right = lo + int(np.searchsorted(segment, value, side="right"))
+        lo, hi = left, right
+        if lo == hi:
+            break
+    return lo, hi
+
+
+def kway_merge_blocks(
+    sources: Sequence[Iterable[np.ndarray]],
+    stats: KWayBlockStats | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Streaming k-way merge of sorted runs, one bounded block at a time.
+
+    ``sources`` holds one iterable per run, each yielding successive
+    ``(m, width)`` uint8 key-matrix blocks of that run in sorted order (all
+    runs share one width).  Yields ``(run_ids, row_ids)`` int64 arrays:
+    each round's globally-sorted slice of the merge, where ``row_ids`` are
+    absolute row positions within their run.
+
+    Instead of a per-row tournament, every round works on the buffered
+    *frontier* of each run:
+
+    1. refill any drained frontier with its run's next block;
+    2. the global **cutoff** is the smallest frontier-tail key over runs
+       that still have unread blocks -- every unread row of any run is >=
+       its own frontier tail >= the cutoff, so a buffered row < cutoff is
+       always safe to emit, and a row == cutoff is safe in runs at or
+       before the cutoff's owner (later runs must wait for the owner's
+       unread equal keys, or stability would break);
+    3. the counts of emittable rows per frontier are found by binary
+       search (:func:`_count_below`) and the selected prefixes of all
+       frontiers are ordered with one stable ``np.lexsort`` over the
+       uint64 word columns (ties resolve to the earlier run, matching the
+       scalar heap).
+
+    Progress is guaranteed: the run holding the cutoff drains its whole
+    frontier each round.  At most one block per run is buffered, so the
+    working set never exceeds ``k * block_rows`` key rows (reported via
+    ``stats.peak_frontier_rows``); per-round Python cost is O(k), with no
+    per-row interpretation between refills.
+    """
+    iterators = [iter(source) for source in sources]
+    k = len(iterators)
+    frontiers: list[tuple[np.ndarray, ...] | None] = [None] * k
+    starts = [0] * k  # absolute row index of each frontier's first row
+    exhausted = [False] * k
+
+    while True:
+        for index in range(k):
+            if frontiers[index] is not None or exhausted[index]:
+                continue
+            while True:  # skip empty blocks a source may yield
+                try:
+                    block = next(iterators[index])
+                except StopIteration:
+                    exhausted[index] = True
+                    break
+                if len(block):
+                    frontiers[index] = tuple(_chunk_columns(block))
+                    if stats is not None:
+                        stats.refills += 1
+                    break
+        live = [index for index in range(k) if frontiers[index] is not None]
+        if not live:
+            return
+        if stats is not None:
+            stats.rounds += 1
+            buffered = sum(len(frontiers[i][0]) for i in live)
+            if buffered > stats.peak_frontier_rows:
+                stats.peak_frontier_rows = buffered
+
+        # Cutoff: min frontier-tail key over runs with unread blocks.
+        # Fully-buffered runs impose no bound (nothing unseen remains).
+        # The cutoff *owner* is the smallest such run index: its unread
+        # blocks may still hold keys equal to the cutoff, so for
+        # stability only runs at or before it may emit rows == cutoff;
+        # later runs emit strictly-below rows this round.
+        cutoff: tuple[int, ...] | None = None
+        cutoff_run = -1
+        for index in live:
+            if exhausted[index]:
+                continue
+            tail = tuple(int(column[-1]) for column in frontiers[index])
+            if cutoff is None or tail < cutoff:
+                cutoff = tail
+                cutoff_run = index
+
+        emit_columns: list[tuple[np.ndarray, ...]] = []
+        emit_runs: list[np.ndarray] = []
+        emit_rows: list[np.ndarray] = []
+        for index in live:
+            columns = frontiers[index]
+            length = len(columns[0])
+            if cutoff is None:
+                take = length
+            else:
+                below, at_or_below = _count_below(columns, cutoff)
+                take = at_or_below if index <= cutoff_run else below
+            if take == 0:
+                continue
+            emit_columns.append(tuple(column[:take] for column in columns))
+            emit_runs.append(np.full(take, index, dtype=np.int64))
+            emit_rows.append(
+                np.arange(starts[index], starts[index] + take, dtype=np.int64)
+            )
+            starts[index] += take
+            frontiers[index] = (
+                None
+                if take == length
+                else tuple(column[take:] for column in columns)
+            )
+
+        if not emit_runs:
+            # The run holding the cutoff always emits at least its tail
+            # row, so an empty round means a source yielded unsorted data.
+            raise SortError("k-way merge made no progress; runs not sorted?")
+        if len(emit_runs) == 1:
+            run_ids, row_ids = emit_runs[0], emit_rows[0]
+        else:
+            # One stable lexsort over the selected prefixes IS the k-way
+            # merge: each prefix is sorted, and concatenation in run order
+            # makes ties resolve to the earlier run.
+            merged = tuple(
+                np.concatenate([columns[word] for columns in emit_columns])
+                for word in reversed(range(len(emit_columns[0])))
+            )
+            order = np.lexsort(merged)
+            run_ids = np.concatenate(emit_runs)[order]
+            row_ids = np.concatenate(emit_rows)[order]
+        if stats is not None:
+            stats.rows_emitted += len(run_ids)
+        yield run_ids, row_ids

@@ -18,9 +18,18 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.sort.kernels import merge_indices
+from repro.sort.kernels import KWayBlockStats, kway_merge_blocks, merge_indices
 
-__all__ = ["KWayStats", "kway_merge", "cascade_merge", "cascade_merge_indices"]
+__all__ = [
+    "KWayStats",
+    "kway_merge",
+    "cascade_merge",
+    "cascade_merge_indices",
+    "kway_merge_indices",
+]
+
+DEFAULT_FRONTIER_ROWS = 4096
+"""Frontier block size of the streaming k-way kernel (rows per run)."""
 
 Less = Callable[[Any, Any], bool]
 
@@ -180,3 +189,42 @@ def cascade_merge_indices(
         entries = paired
     _, run_ids, row_ids = entries[0]
     return run_ids, row_ids
+
+
+def kway_merge_indices(
+    runs: Sequence[np.ndarray],
+    block_rows: int = DEFAULT_FRONTIER_ROWS,
+    stats: KWayStats | None = None,
+    block_stats: KWayBlockStats | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-pass vectorized k-way merge of sorted normalized-key matrices.
+
+    Same contract as :func:`cascade_merge_indices` -- ``(run_ids, row_ids)``
+    with ties stable toward the earlier run -- but built on the
+    block-streaming frontier kernel
+    (:func:`repro.sort.kernels.kway_merge_blocks`): every row is touched
+    once instead of once per cascade round, and the kernel's working set is
+    ``k * block_rows`` key rows regardless of run sizes.
+    """
+
+    def blocks_of(matrix: np.ndarray):
+        contiguous = np.ascontiguousarray(matrix)
+        for start in range(0, len(contiguous), block_rows):
+            yield contiguous[start : start + block_rows]
+
+    kernel_stats = block_stats or KWayBlockStats()
+    run_parts: list[np.ndarray] = []
+    row_parts: list[np.ndarray] = []
+    sources = [blocks_of(matrix) for matrix in runs if len(matrix)]
+    alive = [index for index, matrix in enumerate(runs) if len(matrix)]
+    remap = np.asarray(alive, dtype=np.int64)
+    for run_ids, row_ids in kway_merge_blocks(sources, kernel_stats):
+        run_parts.append(remap[run_ids])
+        row_parts.append(row_ids)
+    if stats is not None:
+        stats.rounds += kernel_stats.rounds
+        stats.moves += kernel_stats.rows_emitted
+    if not run_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(run_parts), np.concatenate(row_parts)

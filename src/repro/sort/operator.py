@@ -21,6 +21,8 @@ then produces the fully sorted table.  The stages mirror the paper:
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -112,7 +114,16 @@ class SortConfig:
 
 @dataclass
 class SortStats:
-    """What the operator did: run counts, algorithm, merge work."""
+    """What the operator did: run counts, algorithm, merge work.
+
+    ``kernel_kway_merges`` / ``scalar_kway_merges`` count external k-way
+    merge phases by path (block-streaming kernel vs. per-row tournament
+    heap); ``kway_rounds`` and ``kway_peak_frontier_rows`` describe the
+    kernel's frontier loop.  ``phase_seconds`` accumulates wall-clock per
+    pipeline phase: ``encode`` (key normalization), ``run_gen`` (sorting
+    runs), ``merge`` (merging runs, I/O excluded), and ``spill_io``
+    (reading/writing spill files).
+    """
 
     rows_sorted: int = 0
     runs_generated: int = 0
@@ -121,8 +132,27 @@ class SortStats:
     merge_comparisons: int = 0
     kernel_merges: int = 0
     scalar_merges: int = 0
+    kernel_kway_merges: int = 0
+    scalar_kway_merges: int = 0
+    kway_rounds: int = 0
+    kway_peak_frontier_rows: int = 0
     prefix_exact: bool = True
     radix: RadixStats = field(default_factory=RadixStats)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def add_phase_seconds(self, phase: str, seconds: float) -> None:
+        self.phase_seconds[phase] = (
+            self.phase_seconds.get(phase, 0.0) + seconds
+        )
+
+    @contextmanager
+    def time_phase(self, phase: str):
+        """Accumulate the wall-clock of a ``with`` block into a phase."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase_seconds(phase, time.perf_counter() - start)
 
 
 @dataclass
@@ -238,14 +268,15 @@ class SortOperator:
         string_prefix = self.config.string_prefix
         if string_prefix is None and self._has_string_key:
             string_prefix = MAX_STRING_PREFIX
-        keys = normalize_keys(
-            table,
-            self.spec,
-            string_prefix=string_prefix,
-            include_row_id=True,
-            row_id_base=self._next_row_id,
-            row_id_width=8,
-        )
+        with self.stats.time_phase("encode"):
+            keys = normalize_keys(
+                table,
+                self.spec,
+                string_prefix=string_prefix,
+                include_row_id=True,
+                row_id_base=self._next_row_id,
+                row_id_width=8,
+            )
         self._key_layout = keys.layout
         self._next_row_id += len(table)
         self.stats.prefix_exact = self.stats.prefix_exact and keys.prefix_exact
@@ -256,25 +287,27 @@ class SortOperator:
             # to pdqsort with full-string comparisons.
             algorithm = "pdqsort"
         self.stats.algorithm = algorithm
-        if algorithm == "radix":
-            # Radix sort is stable, so only the key bytes need sorting --
-            # the row-id suffix exists for merge-time tie breaks, and
-            # spending passes on its (unique) bytes would be wasted work.
-            order = radix_argsort(
-                keys.matrix[:, : keys.layout.key_width],
-                self.stats.radix,
-                self.config.lsd_threshold,
-                vector_threshold=(
-                    VECTOR_FINISH_THRESHOLD
-                    if self.config.use_vector_kernels
-                    else None
-                ),
-            )
-        else:
-            order = self._pdq_argsort(table, keys)
+        with self.stats.time_phase("run_gen"):
+            if algorithm == "radix":
+                # Radix sort is stable, so only the key bytes need sorting
+                # -- the row-id suffix exists for merge-time tie breaks,
+                # and spending passes on its (unique) bytes would be
+                # wasted work.
+                order = radix_argsort(
+                    keys.matrix[:, : keys.layout.key_width],
+                    self.stats.radix,
+                    self.config.lsd_threshold,
+                    vector_threshold=(
+                        VECTOR_FINISH_THRESHOLD
+                        if self.config.use_vector_kernels
+                        else None
+                    ),
+                )
+            else:
+                order = self._pdq_argsort(table, keys)
 
-        sorted_keys = keys.matrix[order]
-        payload = RowBlock.from_table(table).take(np.asarray(order))
+            sorted_keys = keys.matrix[order]
+            payload = RowBlock.from_table(table).take(np.asarray(order))
         self._runs.append(
             SortedRun(sorted_keys, payload, keys.layout.key_width)
         )
@@ -431,14 +464,15 @@ class SortOperator:
         if not self._runs:
             return Table.empty(self.schema)
         runs = self._runs
-        while len(runs) > 1:
-            self.stats.merge_rounds += 1
-            merged = []
-            for i in range(0, len(runs) - 1, 2):
-                merged.append(self._merge_two(runs[i], runs[i + 1]))
-            if len(runs) % 2 == 1:
-                merged.append(runs[-1])
-            runs = merged
+        with self.stats.time_phase("merge"):
+            while len(runs) > 1:
+                self.stats.merge_rounds += 1
+                merged = []
+                for i in range(0, len(runs) - 1, 2):
+                    merged.append(self._merge_two(runs[i], runs[i + 1]))
+                if len(runs) % 2 == 1:
+                    merged.append(runs[-1])
+                runs = merged
         self._runs = runs
         return runs[0].payload.to_table()
 
