@@ -26,7 +26,15 @@ Quickstart::
 """
 
 from repro.aggregate import Aggregate, group_by
-from repro.errors import ReproError
+from repro.errors import (
+    ReproError,
+    SortCancelledError,
+    SortError,
+    SpillCapacityError,
+    SpillCorruptionError,
+    SpillError,
+    SpillIOError,
+)
 from repro.join import ie_join, inequality_join, merge_join
 from repro.keys import normalize_keys
 from repro.sort import (
@@ -60,6 +68,12 @@ __all__ = [
     "Aggregate",
     "group_by",
     "ReproError",
+    "SortCancelledError",
+    "SortError",
+    "SpillCapacityError",
+    "SpillCorruptionError",
+    "SpillError",
+    "SpillIOError",
     "ie_join",
     "inequality_join",
     "merge_join",

@@ -119,6 +119,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="spill sorted runs to disk (out-of-core sort)",
     )
     sort_cmd.add_argument(
+        "--spill-dir",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help=(
+            "failover spill directory for --external (repeatable; tried "
+            "in order when the primary spill target keeps failing)"
+        ),
+    )
+    sort_cmd.add_argument(
+        "--no-spill-checksums",
+        action="store_true",
+        help="skip CRC32 verification of spill file reads (--external)",
+    )
+    sort_cmd.add_argument(
         "--run-threshold",
         type=int,
         default=None,
@@ -173,8 +188,13 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         kwargs["force_algorithm"] = args.algorithm
     if args.run_threshold:
         kwargs["run_threshold"] = args.run_threshold
-    config = SortConfig(**kwargs)
-    if args.external:
+    config = SortConfig(
+        external=args.external,
+        spill_directories=tuple(args.spill_dir),
+        verify_spill_checksums=not args.no_spill_checksums,
+        **kwargs,
+    )
+    if config.external:
         result = external_sort_table(table, args.by, config)
     else:
         result = sort_table(table, args.by, config)

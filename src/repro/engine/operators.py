@@ -105,7 +105,14 @@ class FilterOperator(PhysicalOperator):
 
 
 class SortExecOperator(PhysicalOperator):
-    """The full-sort pipeline breaker wrapping the paper's sort operator."""
+    """The full-sort pipeline breaker wrapping the paper's sort operator.
+
+    With ``SortConfig.external`` set, ORDER BY runs through the spilling
+    :class:`repro.sort.external.ExternalSortOperator` instead -- same
+    config object carries the spill knobs (failover directories, retry
+    policy, checksum verification), so the fault-tolerance ladder is
+    reachable end-to-end from ``Database(sort_config=...)``.
+    """
 
     def __init__(
         self,
@@ -120,11 +127,22 @@ class SortExecOperator(PhysicalOperator):
         self.last_stats = None
 
     def chunks(self) -> Iterator[DataChunk]:
-        sorter = SortOperator(self.schema, self.spec, self.config)
-        for chunk in self.child.chunks():
-            sorter.sink(chunk)
-        result = sorter.finalize()
-        self.last_stats = sorter.stats
+        if self.config.external:
+            from repro.sort.external import ExternalSortOperator
+
+            with ExternalSortOperator(
+                self.schema, self.spec, self.config
+            ) as sorter:
+                for chunk in self.child.chunks():
+                    sorter.sink(chunk)
+                result = sorter.finalize()
+                self.last_stats = sorter.stats
+        else:
+            sorter = SortOperator(self.schema, self.spec, self.config)
+            for chunk in self.child.chunks():
+                sorter.sink(chunk)
+            result = sorter.finalize()
+            self.last_stats = sorter.stats
         yield from chunk_table(result, self.config.vector_size)
 
 

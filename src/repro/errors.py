@@ -31,6 +31,41 @@ class SortError(ReproError):
     """A sort operator was configured or driven incorrectly."""
 
 
+class SortCancelledError(SortError):
+    """The sort was cancelled before it produced a result."""
+
+
+class SpillError(SortError):
+    """Base class for external-sort spill failures.
+
+    Every spill failure names the run file it concerns via ``path`` so
+    callers (and operators) can report *which* spill file went bad.
+    """
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        if path is not None and path not in message:
+            message = f"{message} [spill file: {path}]"
+        super().__init__(message)
+        self.path = path
+
+
+class SpillCorruptionError(SpillError):
+    """A spill file failed an integrity check.
+
+    Raised for a bad magic number, an unsupported format version, a
+    truncated section, or a CRC32 mismatch -- instead of letting the
+    corruption surface as an opaque numpy shape/decode error mid-merge.
+    """
+
+
+class SpillIOError(SpillError):
+    """The operating system failed a spill read/write we could not mask."""
+
+
+class SpillCapacityError(SpillIOError):
+    """No spill target could absorb a run (e.g. persistent ``ENOSPC``)."""
+
+
 class KeyEncodingError(ReproError):
     """Key normalization failed (unsupported type, bad prefix length, ...)."""
 

@@ -8,7 +8,19 @@ from repro.sort.analysis import (
     run_generation_comparisons,
     run_generation_share,
 )
-from repro.sort.external import ExternalSortOperator, external_sort_table
+from repro.sort.external import (
+    ExternalSortOperator,
+    InMemoryRun,
+    SpilledRun,
+    external_sort_table,
+)
+from repro.sort.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultStats,
+    InjectedFault,
+    SpillIO,
+)
 from repro.sort.heuristic import KeyStatistics, choose_algorithm, estimate_costs
 from repro.sort.introsort import IntroStats, intro_argsort, introsort
 from repro.sort.kernels import (
@@ -25,6 +37,7 @@ from repro.sort.kway import (
     cascade_merge_indices,
     kway_merge,
     kway_merge_indices,
+    kway_merge_stream,
 )
 from repro.sort.merge_path import (
     merge_partitioned,
@@ -40,6 +53,7 @@ from repro.sort.operator import (
     sort_table,
 )
 from repro.sort.pdqsort import PdqStats, pdq_argsort, pdqsort
+from repro.sort.spillfile import SpillHeader, build_header, read_header
 from repro.sort.radix import (
     INSERTION_SORT_THRESHOLD,
     LSD_WIDTH_THRESHOLD,
@@ -59,7 +73,17 @@ __all__ = [
     "run_generation_comparisons",
     "run_generation_share",
     "ExternalSortOperator",
+    "InMemoryRun",
+    "SpilledRun",
     "external_sort_table",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultStats",
+    "InjectedFault",
+    "SpillIO",
+    "SpillHeader",
+    "build_header",
+    "read_header",
     "KeyStatistics",
     "choose_algorithm",
     "estimate_costs",
@@ -77,6 +101,7 @@ __all__ = [
     "cascade_merge_indices",
     "kway_merge",
     "kway_merge_indices",
+    "kway_merge_stream",
     "merge_partitioned",
     "merge_path_partition",
     "merge_path_partitions",

@@ -14,11 +14,33 @@ storage".  This module implements that design for the sort operator:
   is O(num_runs * block_rows) key rows instead of O(n), with zero per-row
   Python between frontier refills.
 
-The spill format per run is one flat binary file of three contiguous
-sections -- the sorted key matrix, the payload row matrix, and the string
-heap -- written with whole-buffer ``tobytes()`` calls and indexed by
-offset arithmetic, so any row range reads back with a single seek.  The
-unified row format serializes trivially because it is already flat bytes.
+The spill format per run is one file of three contiguous data sections --
+the sorted key matrix, the payload row matrix, and the string heap --
+preceded by a versioned, checksummed header (:mod:`repro.sort.spillfile`).
+Sections are written with whole-buffer ``tobytes()`` calls and indexed by
+offset arithmetic, so any row range reads back with a single seek; every
+block read verifies the CRC32 pages it touches, so a truncated or
+bit-flipped file raises :class:`repro.errors.SpillCorruptionError` naming
+the run instead of an opaque numpy error mid-merge.
+
+A production sorter is judged by how it fails, so spill I/O is fault
+tolerant end to end (all of it routed through a swappable
+:class:`repro.sort.faults.SpillIO`, which is also the fault-injection
+point for the tests).  The degradation ladder on write failure:
+
+1. **retry** -- transient errors are retried with bounded exponential
+   backoff (``SortConfig.spill_retries`` / ``spill_retry_backoff_s``);
+2. **failover** -- on persistent failure (e.g. ``ENOSPC``) the run is
+   redirected to the next directory in ``SortConfig.spill_directories``;
+3. **memory fallback** -- when no spill target is writable the run is
+   kept resident (:class:`InMemoryRun`, same streaming interface) and the
+   run threshold halves, degrading to a reduced-memory in-process merge
+   rather than failing the query (raise instead with
+   ``SortConfig.allow_memory_fallback=False``).
+
+The operator is a context manager; ``close()`` (idempotent, also run by
+``finalize`` and ``cancel``) always removes the temp files, recording any
+removal failure in ``SortStats.cleanup_errors`` instead of swallowing it.
 
 With ``SortConfig.use_vector_kernels`` off (or for cross-checking), the
 scalar fallback merges through the classic per-row tournament heap over
@@ -31,79 +53,230 @@ import heapq
 import os
 import tempfile
 import time
-from dataclasses import dataclass
-from typing import Iterator
+import warnings
+import zlib
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import SortError
+from repro.errors import (
+    SortCancelledError,
+    SortError,
+    SpillCapacityError,
+    SpillCorruptionError,
+    SpillIOError,
+)
 from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
 from repro.rows.block import RowBlock, gather_slices
 from repro.rows.layout import RowLayout
-from repro.sort.kernels import KWayBlockStats, argsort_rows, kway_merge_blocks
+from repro.sort.faults import SpillIO
+from repro.sort.kernels import KWayBlockStats, argsort_rows
+from repro.sort.kway import kway_merge_stream
 from repro.sort.operator import SortConfig, SortStats
 from repro.sort.pdqsort import pdqsort
 from repro.sort.radix import VECTOR_FINISH_THRESHOLD, radix_argsort
+from repro.sort.spillfile import (
+    SECTION_NAMES,
+    SpillHeader,
+    build_header,
+    read_header,
+)
 from repro.table.chunk import DataChunk, chunk_table
 from repro.table.table import Table
 from repro.types.datatypes import TypeId
 from repro.types.schema import Schema
 from repro.types.sortspec import SortSpec
 
-__all__ = ["SpilledRun", "ExternalSortOperator", "external_sort_table"]
+__all__ = [
+    "SpilledRun",
+    "InMemoryRun",
+    "ExternalSortOperator",
+    "external_sort_table",
+]
 
 ROW_ID_WIDTH = 8
 """Bytes of the row-id suffix every spilled run appends to its keys."""
 
+_BACKOFF_CAP_S = 1.0
+"""Upper bound of one exponential-backoff sleep between write retries."""
 
-@dataclass
+_KEYS, _ROWS, _HEAP = range(3)
+
+
 class SpilledRun:
-    """A sorted run on disk: path plus the offsets to stream it back.
+    """A sorted run on disk: path, validated header, and block readers.
 
-    The file holds three contiguous sections, in order::
-
-        [0, num_rows * key_width)            sorted key matrix (uint8)
-        [rows_offset, rows_offset + n * w)   payload row matrix (uint8)
-        [heap_offset, heap_offset + heap)    string heap
-
-    Each section is written with one ``tobytes()`` buffer -- no per-row
-    serialization -- and the offset index below turns any row range into a
-    single ``seek`` + ``read``.
+    The file layout is :mod:`repro.sort.spillfile`: a checksummed header
+    followed by three contiguous sections (sorted key matrix, payload
+    row matrix, string heap), each written with one ``tobytes()`` buffer
+    -- no per-row serialization -- so any row range reads back as a
+    single ``seek`` + ``read``.  With ``verify`` on (the default), every
+    read checks the CRC32 pages it covers and raises
+    :class:`SpillCorruptionError` on mismatch or truncation;
+    OS-level read failures surface as :class:`SpillIOError`.  Both carry
+    the offending ``path``.
     """
 
-    path: str
-    num_rows: int
-    key_width: int
-    row_width: int
-    heap_bytes: int
+    on_disk = True
+
+    def __init__(
+        self,
+        path: str,
+        header: SpillHeader,
+        io: SpillIO | None = None,
+        verify: bool = True,
+    ) -> None:
+        self.path = path
+        self.header = header
+        self.io = io or SpillIO()
+        self.verify = verify
+
+    @classmethod
+    def open(
+        cls, path: str, io: SpillIO | None = None, verify: bool = True
+    ) -> "SpilledRun":
+        """Attach to an existing spill file, validating its header."""
+        io = io or SpillIO()
+        try:
+            header = read_header(io, path)
+        except OSError as error:
+            raise SpillIOError(
+                f"spill header read failed: {error}", path
+            ) from error
+        return cls(path, header, io, verify)
 
     @property
-    def rows_offset(self) -> int:
-        return self.num_rows * self.key_width
+    def num_rows(self) -> int:
+        return self.header.num_rows
 
     @property
-    def heap_offset(self) -> int:
-        return self.rows_offset + self.num_rows * self.row_width
+    def key_width(self) -> int:
+        return self.header.key_width
 
-    def _read(
+    @property
+    def row_width(self) -> int:
+        return self.header.row_width
+
+    @property
+    def heap_bytes(self) -> int:
+        return self.header.heap_bytes
+
+    def verify_header(self, stats: SortStats | None = None) -> None:
+        """Re-read the on-disk header and check it matches this run's.
+
+        Catches a replaced, truncated, or header-corrupted file before
+        any geometry derived from the in-memory header is trusted.
+        """
+        try:
+            on_disk = read_header(self.io, self.path)
+        except OSError as error:
+            raise SpillIOError(
+                f"spill header read failed: {error}", self.path
+            ) from error
+        if stats is not None:
+            stats.checksum_verifications += 1
+        if on_disk != self.header:
+            if stats is not None:
+                stats.checksum_failures += 1
+            raise SpillCorruptionError(
+                "on-disk spill header does not match the run that was "
+                "written",
+                self.path,
+            )
+
+    def _raw_read(
         self, offset: int, nbytes: int, stats: SortStats | None
     ) -> bytes:
         start = time.perf_counter()
-        with open(self.path, "rb") as fh:
-            fh.seek(offset)
-            raw = fh.read(nbytes)
-        if stats is not None:
-            stats.add_phase_seconds("spill_io", time.perf_counter() - start)
-        if len(raw) != nbytes:
-            raise SortError(f"truncated spill file {self.path}")
-        return raw
+        try:
+            return self.io.read(self.path, offset, nbytes)
+        except OSError as error:
+            raise SpillIOError(
+                f"spill read failed: {error}", self.path
+            ) from error
+        finally:
+            if stats is not None:
+                stats.add_phase_seconds(
+                    "spill_io", time.perf_counter() - start
+                )
+
+    def _read_section(
+        self,
+        section: int,
+        start: int,
+        nbytes: int,
+        stats: SortStats | None,
+    ) -> bytes:
+        """Bytes ``[start, start+nbytes)`` of a section, CRC-verified.
+
+        Verification is page-granular: the read is widened to the CRC
+        pages it touches, each covered page is checked against the
+        header's table, and the requested slice is returned -- so
+        integrity never requires reading more than one page beyond the
+        block on either side.
+        """
+        header = self.header
+        length = header.section_length(section)
+        name = SECTION_NAMES[section]
+        if start < 0 or nbytes < 0 or start + nbytes > length:
+            raise SpillCorruptionError(
+                f"read of [{start}, {start + nbytes}) outside the "
+                f"{name} section (length {length})",
+                self.path,
+            )
+        if nbytes == 0:
+            return b""
+        base = header.section_offset(section)
+        if not self.verify:
+            raw = self._raw_read(base + start, nbytes, stats)
+            if len(raw) != nbytes:
+                raise SpillCorruptionError(
+                    f"truncated {name} section "
+                    f"(got {len(raw)} of {nbytes} bytes)",
+                    self.path,
+                )
+            return raw
+        page = header.page_size
+        first = start // page
+        last = -(-(start + nbytes) // page)
+        aligned_start = first * page
+        aligned_stop = min(last * page, length)
+        raw = self._raw_read(
+            base + aligned_start, aligned_stop - aligned_start, stats
+        )
+        if len(raw) != aligned_stop - aligned_start:
+            raise SpillCorruptionError(
+                f"truncated {name} section (got {len(raw)} of "
+                f"{aligned_stop - aligned_start} bytes at offset "
+                f"{aligned_start})",
+                self.path,
+            )
+        crcs = header.page_crcs[section]
+        view = memoryview(raw)
+        for index in range(first, last):
+            lo = index * page - aligned_start
+            hi = min((index + 1) * page, length) - aligned_start
+            if stats is not None:
+                stats.checksum_verifications += 1
+            if zlib.crc32(view[lo:hi]) != crcs[index]:
+                if stats is not None:
+                    stats.checksum_failures += 1
+                raise SpillCorruptionError(
+                    f"CRC32 mismatch in {name} section page {index}",
+                    self.path,
+                )
+        offset = start - aligned_start
+        return raw[offset : offset + nbytes]
 
     def read_key_block(
         self, start: int, stop: int, stats: SortStats | None = None
     ) -> np.ndarray:
         """Key rows ``[start, stop)`` as an ``(m, key_width)`` matrix."""
-        raw = self._read(
-            start * self.key_width, (stop - start) * self.key_width, stats
+        raw = self._read_section(
+            _KEYS,
+            start * self.key_width,
+            (stop - start) * self.key_width,
+            stats,
         )
         return np.frombuffer(raw, dtype=np.uint8).reshape(
             stop - start, self.key_width
@@ -113,8 +286,9 @@ class SpilledRun:
         self, start: int, stop: int, stats: SortStats | None = None
     ) -> np.ndarray:
         """Payload rows ``[start, stop)`` as an ``(m, row_width)`` matrix."""
-        raw = self._read(
-            self.rows_offset + start * self.row_width,
+        raw = self._read_section(
+            _ROWS,
+            start * self.row_width,
             (stop - start) * self.row_width,
             stats,
         )
@@ -124,7 +298,7 @@ class SpilledRun:
 
     def read_heap(self, stats: SortStats | None = None) -> bytes:
         """The whole string heap (offsets in rows are run-relative)."""
-        return self._read(self.heap_offset, self.heap_bytes, stats)
+        return self._read_section(_HEAP, 0, self.heap_bytes, stats)
 
     def iter_key_blocks(
         self,
@@ -145,15 +319,82 @@ class SpilledRun:
             yield block
 
 
+class InMemoryRun:
+    """A sorted run kept resident: the no-spill-target degradation rung.
+
+    Implements the same streaming read interface as :class:`SpilledRun`
+    (``read_key_block`` / ``read_row_block`` / ``read_heap`` /
+    ``iter_key_blocks``), so the k-way merge works unchanged over a mix
+    of spilled and in-memory runs when some spills failed over to memory.
+    """
+
+    on_disk = False
+    path = "<memory>"
+
+    def __init__(self, keys: np.ndarray, rows: np.ndarray, heap: bytes) -> None:
+        self._keys = np.ascontiguousarray(keys)
+        self._rows = np.ascontiguousarray(rows)
+        self._heap = heap
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._keys)
+
+    @property
+    def key_width(self) -> int:
+        return self._keys.shape[1]
+
+    @property
+    def row_width(self) -> int:
+        return self._rows.shape[1]
+
+    @property
+    def heap_bytes(self) -> int:
+        return len(self._heap)
+
+    def read_key_block(
+        self, start: int, stop: int, stats: SortStats | None = None
+    ) -> np.ndarray:
+        return self._keys[start:stop]
+
+    def read_row_block(
+        self, start: int, stop: int, stats: SortStats | None = None
+    ) -> np.ndarray:
+        return self._rows[start:stop]
+
+    def read_heap(self, stats: SortStats | None = None) -> bytes:
+        return self._heap
+
+    def iter_key_blocks(
+        self,
+        block_rows: int,
+        key_bytes: int | None = None,
+        stats: SortStats | None = None,
+    ) -> Iterator[np.ndarray]:
+        for start in range(0, self.num_rows, block_rows):
+            block = self._keys[start : min(start + block_rows, self.num_rows)]
+            if key_bytes is not None and key_bytes != self.key_width:
+                block = block[:, :key_bytes]
+            yield block
+
+
 class ExternalSortOperator:
     """Sort that spills sorted runs to disk and streams the merge.
 
-    The public protocol matches :class:`~repro.sort.operator.SortOperator`:
-    ``sink`` chunks, then ``finalize``.  ``spill_directory`` defaults to a
-    fresh temporary directory that is removed on finalize.  ``stats``
-    records run counts, kernel-vs-scalar k-way merges, the merge's peak
-    frontier size, and per-phase (encode / run_gen / merge / spill_io)
-    wall-clock.
+    The public protocol matches :class:`~repro.sort.operator.SortOperator`
+    -- ``sink`` chunks, then ``finalize`` -- plus a fault-tolerant
+    lifecycle: the operator is a context manager, ``close()`` always
+    removes its temp files (recording failures in
+    ``SortStats.cleanup_errors``), and ``cancel()`` aborts the sort at
+    the next merge checkpoint with guaranteed cleanup.
+    ``spill_directory`` defaults to a fresh temporary directory;
+    ``SortConfig.spill_directories`` names failover targets tried in
+    order when writes to the primary keep failing, after which runs fall
+    back to memory.  ``stats`` records run counts, kernel-vs-scalar
+    k-way merges, the merge's peak frontier size, per-phase
+    (encode / run_gen / merge / spill_io) wall-clock, and the fault
+    counters (retries, failovers, memory fallbacks, checksum
+    verifications/failures, cleanup errors).
     """
 
     def __init__(
@@ -163,19 +404,25 @@ class ExternalSortOperator:
         config: SortConfig | None = None,
         spill_directory: str | None = None,
         merge_block_rows: int = 4096,
+        io: SpillIO | None = None,
     ) -> None:
         if merge_block_rows <= 0:
             raise SortError("merge_block_rows must be positive")
         self.schema = schema
         self.spec = spec
         self.config = config or SortConfig()
+        self._io = io or SpillIO()
         self._own_dir = spill_directory is None
         self._dir = spill_directory or tempfile.mkdtemp(prefix="repro-spill-")
         self.merge_block_rows = merge_block_rows
         self._buffer: list[DataChunk] = []
         self._buffered_rows = 0
-        self._runs: list[SpilledRun] = []
+        self._runs: list[SpilledRun | InMemoryRun] = []
         self._finalized = False
+        self._closed = False
+        self._cancelled = False
+        self._merging = False
+        self._degraded = False
         self._has_string_key = any(
             schema.column(name).dtype.type_id is TypeId.VARCHAR
             for name in spec.column_names
@@ -183,27 +430,156 @@ class ExternalSortOperator:
         self._next_row_id = 0
         self.stats = SortStats()
 
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "ExternalSortOperator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Release all resources: buffered chunks, spill files, temp dir.
+
+        Idempotent; also invoked by ``finalize`` (success or failure),
+        ``cancel``, and context-manager exit.  Removal failures are
+        recorded in ``SortStats.cleanup_errors`` and warned about --
+        never silently swallowed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._buffer.clear()
+        self._buffered_rows = 0
+        for run in self._runs:
+            if run.on_disk:
+                self._remove_file(run.path)
+        if self._own_dir:
+            try:
+                os.rmdir(self._dir)
+            except FileNotFoundError:
+                pass
+            except OSError as error:
+                self._record_cleanup_error(self._dir, error)
+
+    def cancel(self) -> None:
+        """Abort the sort; temp files are removed, results are refused.
+
+        Safe to call from any point, including a merge-progress hook:
+        during a merge only the cancelled flag is set, and the merge
+        raises :class:`SortCancelledError` at its next round checkpoint
+        (cleanup then runs in ``finalize``'s ``finally``); outside a
+        merge, cleanup happens immediately.
+        """
+        self._cancelled = True
+        if not self._merging:
+            self.close()
+
+    def _check_cancelled(self) -> None:
+        if self._cancelled:
+            raise SortCancelledError("external sort was cancelled")
+
+    def _record_cleanup_error(self, target: str, error: OSError) -> None:
+        message = f"{target}: {error}"
+        self.stats.cleanup_errors.append(message)
+        warnings.warn(
+            f"external sort failed to clean up {message}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _remove_file(self, path: str) -> None:
+        """Best-effort removal; failures are recorded, not raised."""
+        try:
+            self._io.remove(path)
+        except FileNotFoundError:
+            pass
+        except OSError as error:
+            self._record_cleanup_error(path, error)
+
+    # ------------------------------------------------------------------ #
+    # Sink + spill
+    # ------------------------------------------------------------------ #
+
     @property
     def spilled_runs(self) -> int:
         return len(self._runs)
 
     @property
     def spilled_bytes(self) -> int:
-        return sum(
-            os.path.getsize(run.path)
-            for run in self._runs
-            if os.path.exists(run.path)
-        )
+        total = 0
+        for run in self._runs:
+            if not run.on_disk:
+                continue
+            try:
+                total += self._io.file_size(run.path)
+            except OSError:
+                pass
+        return total
+
+    @property
+    def _run_threshold(self) -> int:
+        # Reduced-memory degradation: once runs stay resident, cut them
+        # at half the configured threshold to curb buffer growth.
+        threshold = self.config.run_threshold
+        return max(1, threshold // 2) if self._degraded else threshold
 
     def sink(self, chunk: DataChunk) -> None:
+        self._check_cancelled()
         if self._finalized:
             raise SortError("cannot sink into a finalized sort")
+        if self._closed:
+            raise SortError("cannot sink into a closed sort")
         if len(chunk) == 0:
             return
         self._buffer.append(chunk)
         self._buffered_rows += len(chunk)
-        if self._buffered_rows >= self.config.run_threshold:
+        if self._buffered_rows >= self._run_threshold:
             self._spill_run()
+
+    def _spill_targets(self) -> Iterator[str]:
+        """Candidate directories for the next run file, in failover order."""
+        yield self._dir
+        for directory in self.config.spill_directories:
+            try:
+                os.makedirs(directory, exist_ok=True)
+            except OSError:
+                continue  # an uncreatable failover target is skipped
+            yield directory
+
+    def _write_run_file(
+        self, filename: str, sections: Sequence[bytes]
+    ) -> str | None:
+        """Write one run file through the retry -> failover ladder.
+
+        Per candidate directory, transient ``OSError`` failures are
+        retried ``SortConfig.spill_retries`` times with bounded
+        exponential backoff; a directory that keeps failing is failed
+        over.  Returns the written path, or ``None`` when every target
+        was exhausted (the caller degrades to an in-memory run).
+        Partial files from failed attempts are removed best-effort.
+        """
+        config = self.config
+        for position, directory in enumerate(self._spill_targets()):
+            if position > 0:
+                self.stats.spill_failovers += 1
+            path = os.path.join(directory, filename)
+            for attempt in range(config.spill_retries + 1):
+                try:
+                    with self.stats.time_phase("spill_io"):
+                        self._io.write_file(path, sections)
+                    return path
+                except OSError:
+                    self._remove_file(path)
+                    if attempt < config.spill_retries:
+                        self.stats.spill_retries += 1
+                        delay = config.spill_retry_backoff_s * (2**attempt)
+                        if delay:
+                            time.sleep(min(delay, _BACKOFF_CAP_S))
+        return None
 
     def _spill_run(self) -> None:
         if not self._buffer:
@@ -261,35 +637,83 @@ class ExternalSortOperator:
                 )
             block = RowBlock.from_table(table).take(np.asarray(order))
             sorted_keys = np.ascontiguousarray(keys.matrix[order])
+            sorted_rows = np.ascontiguousarray(block.rows)
 
-        path = os.path.join(self._dir, f"run-{len(self._runs):05d}.bin")
-        with self.stats.time_phase("spill_io"):
-            with open(path, "wb") as fh:
-                fh.write(sorted_keys.tobytes())
-                fh.write(np.ascontiguousarray(block.rows).tobytes())
-                fh.write(block.heap)
-        self._runs.append(
-            SpilledRun(
-                path,
-                len(table),
-                keys.layout.total_width,
-                block.row_width,
-                len(block.heap),
-            )
-        )
+        self._store_run(sorted_keys, sorted_rows, block.heap)
         self.stats.runs_generated += 1
         self.stats.rows_sorted += len(table)
 
+    def _store_run(
+        self, sorted_keys: np.ndarray, sorted_rows: np.ndarray, heap: bytes
+    ) -> None:
+        """Spill one sorted run, degrading to memory when disk is gone."""
+        filename = f"run-{len(self._runs):05d}.bin"
+        path = None
+        if not self._degraded:
+            keys_bytes = sorted_keys.tobytes()
+            rows_bytes = sorted_rows.tobytes()
+            header = build_header(
+                len(sorted_keys),
+                sorted_keys.shape[1],
+                sorted_rows.shape[1],
+                (keys_bytes, rows_bytes, heap),
+            )
+            path = self._write_run_file(
+                filename, [header.pack(), keys_bytes, rows_bytes, heap]
+            )
+        if path is not None:
+            self._runs.append(
+                SpilledRun(
+                    path,
+                    header,
+                    self._io,
+                    verify=self.config.verify_spill_checksums,
+                )
+            )
+            return
+        if not self.config.allow_memory_fallback:
+            raise SpillCapacityError(
+                "no spill target could absorb the run "
+                f"(primary {self._dir!r}, "
+                f"{len(self.config.spill_directories)} failover "
+                "directories); memory fallback is disabled",
+                os.path.join(self._dir, filename),
+            )
+        if not self._degraded:
+            self._degraded = True
+            warnings.warn(
+                "external sort: no spill target is writable; degrading "
+                "to in-memory runs at half the run threshold",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self.stats.memory_run_fallbacks += 1
+        self._runs.append(InMemoryRun(sorted_keys, sorted_rows, heap))
+
+    # ------------------------------------------------------------------ #
+    # Finalize
+    # ------------------------------------------------------------------ #
+
     def finalize(self) -> Table:
-        """Stream-merge the spilled runs into the sorted output table."""
+        """Stream-merge the spilled runs into the sorted output table.
+
+        Cleanup is guaranteed: whether the merge succeeds, raises, or is
+        cancelled, ``close()`` runs and removes every temp file.
+        """
         if self._finalized:
             raise SortError("sort already finalized")
+        self._check_cancelled()
+        if self._closed:
+            raise SortError("cannot finalize a closed sort")
         self._finalized = True
-        if self._buffer:
-            self._spill_run()
+        self._merging = True
         try:
+            if self._buffer:
+                self._spill_run()
             if not self._runs:
                 return Table.empty(self.schema)
+            if self.config.verify_spill_checksums:
+                self._verify_run_headers()
             # Time the merge phase net of the spill reads it triggers.
             io_before = self.stats.phase_seconds.get("spill_io", 0.0)
             start = time.perf_counter()
@@ -301,7 +725,14 @@ class ExternalSortOperator:
             self.stats.add_phase_seconds("merge", elapsed - io_during)
             return result
         finally:
-            self._cleanup()
+            self._merging = False
+            self.close()
+
+    def _verify_run_headers(self) -> None:
+        """Re-validate every on-disk run header before trusting it."""
+        for run in self._runs:
+            if run.on_disk:
+                run.verify_header(self.stats)
 
     def _merge_streams(self) -> Table:
         """K-way merge of spilled runs, ``merge_block_rows`` rows at a time.
@@ -313,7 +744,8 @@ class ExternalSortOperator:
         one lexsort pass -- never holding more than ``k * merge_block_rows``
         key rows.  Payload rows are gathered per emitted round with one
         contiguous read per contributing run.  The scalar path keeps the
-        per-row tournament heap over the same streamed blocks.
+        per-row tournament heap over the same streamed blocks.  Both paths
+        poll the cancellation flag at block/round granularity.
         """
         layout = RowLayout.for_schema(self.schema)
         has_strings = any(slot.is_string for slot in layout.slots)
@@ -353,7 +785,10 @@ class ExternalSortOperator:
         row_parts: list[np.ndarray] = []
         heap_parts: list[bytes] = []
         heap_cursor = 0
-        for run_ids, row_ids in kway_merge_blocks(sources, kernel_stats):
+        rounds = kway_merge_stream(
+            sources, kernel_stats, on_round=self._check_cancelled
+        )
+        for run_ids, row_ids in rounds:
             out_rows = self._gather_blocks(run_ids, row_ids)
             if has_strings:
                 heap_cursor = self._rebase_string_block(
@@ -503,6 +938,7 @@ class ExternalSortOperator:
 
         result: Table | None = None
         for run_index, position in self._heap_order():
+            self._check_cancelled()
             if has_strings:
                 row = fetch_row(run_index, position).copy()
                 row, heap_part = _rebase_strings(
@@ -530,7 +966,7 @@ class ExternalSortOperator:
         path eliminates.
         """
 
-        def raw_rows(run: SpilledRun) -> Iterator[bytes]:
+        def raw_rows(run: SpilledRun | InMemoryRun) -> Iterator[bytes]:
             for block in run.iter_key_blocks(
                 self.merge_block_rows, stats=self.stats
             ):
@@ -553,18 +989,6 @@ class ExternalSortOperator:
                     heap, (following, run_index, position + 1)
                 )
 
-    def _cleanup(self) -> None:
-        for run in self._runs:
-            try:
-                os.remove(run.path)
-            except OSError:
-                pass
-        if self._own_dir:
-            try:
-                os.rmdir(self._dir)
-            except OSError:
-                pass
-
 
 def external_sort_table(
     table: Table,
@@ -576,12 +1000,12 @@ def external_sort_table(
     if isinstance(spec, str):
         spec = SortSpec.of(*[part.strip() for part in spec.split(",")])
     config = config or SortConfig()
-    operator = ExternalSortOperator(
+    with ExternalSortOperator(
         table.schema, spec, config, spill_directory
-    )
-    for chunk in chunk_table(table, config.vector_size):
-        operator.sink(chunk)
-    return operator.finalize()
+    ) as operator:
+        for chunk in chunk_table(table, config.vector_size):
+            operator.sink(chunk)
+        return operator.finalize()
 
 
 def _rebase_strings(

@@ -1,0 +1,249 @@
+"""Deterministic fault injection for the external sort's spill I/O.
+
+Production sorters are judged by how they fail, not just by peak
+throughput: a full disk, a truncated file, or a flipped bit must surface
+as a *typed* error (or be masked by retry/failover) -- never as an opaque
+numpy shape error three layers up.  This module provides the two pieces
+that make those failure paths testable without monkeypatching ``os``:
+
+* :class:`SpillIO` -- the real filesystem backend.  Every spill byte the
+  external sort reads, writes, or removes goes through one of these, so
+  swapping the instance swaps the (simulated) storage behaviour.
+* :class:`FaultInjector` -- a :class:`SpillIO` that injects faults at
+  deterministic, seed-driven points: ``ENOSPC`` on write, short writes,
+  silent tail truncation, bit-flipped or short reads, slow I/O, and
+  failing removals.  Faults are described declaratively with
+  :class:`InjectedFault`; the injector counts operations and fires each
+  fault at its configured index, so a test (or the randomized suite) can
+  replay the exact same failure forever.
+
+The injector never reaches into library internals: it only perturbs the
+bytes and errnos the filesystem itself could produce.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultStats",
+    "InjectedFault",
+    "SpillIO",
+]
+
+
+class SpillIO:
+    """Real filesystem backend for spill files.
+
+    The external sort performs exactly three kinds of storage operation,
+    all routed through this object: whole-file sequential writes, ranged
+    reads, and removals.  Subclasses (the fault injector, or a future
+    remote/async backend) override these three methods.
+    """
+
+    def write_file(self, path: str, sections: Sequence[bytes]) -> None:
+        """Write ``sections`` contiguously to ``path`` (created/truncated)."""
+        with open(path, "wb") as fh:
+            for section in sections:
+                fh.write(section)
+
+    def read(self, path: str, offset: int, nbytes: int) -> bytes:
+        """Read up to ``nbytes`` at ``offset``; may return short at EOF."""
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            return fh.read(nbytes)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def file_size(self, path: str) -> int:
+        return os.path.getsize(path)
+
+
+FAULT_KINDS = (
+    "enospc",  # write raises OSError(ENOSPC) before any byte lands
+    "short_write",  # write persists a prefix, then raises OSError(EIO)
+    "truncate",  # write silently loses its tail (no error raised)
+    "bitflip",  # read returns the data with one bit flipped
+    "short_read",  # read returns fewer bytes than the file holds
+    "slow_io",  # the operation succeeds after an injected delay
+    "cleanup_error",  # remove raises OSError(EACCES)
+)
+
+_OP_OF_KIND = {
+    "enospc": "write",
+    "short_write": "write",
+    "truncate": "write",
+    "bitflip": "read",
+    "short_read": "read",
+    "slow_io": "any",
+    "cleanup_error": "remove",
+}
+
+
+@dataclass
+class InjectedFault:
+    """One declaratively scheduled fault.
+
+    The fault fires on the operations of its kind (reads for read
+    faults, writes for write faults, ...) whose *matching-operation
+    index* -- counted per fault, only over operations whose path contains
+    ``path_substring`` when one is given -- falls in
+    ``[at, at + times)``.  ``times=None`` makes the fault persistent:
+    it fires on every matching operation from ``at`` onwards, which is
+    how a permanently full disk or an unwritable directory is modelled.
+    """
+
+    kind: str
+    at: int = 0
+    times: int | None = 1
+    path_substring: str | None = None
+    delay_s: float = 0.002  # only used by "slow_io"
+    _seen: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise ValueError("fault index `at` must be non-negative")
+
+    @property
+    def op(self) -> str:
+        return _OP_OF_KIND[self.kind]
+
+    def matches(self, op: str, path: str) -> bool:
+        """Advance this fault's counter for ``op`` and report firing."""
+        if self.op != op and self.op != "any":
+            return False
+        if self.path_substring is not None and (
+            self.path_substring not in path
+        ):
+            return False
+        seen = self._seen
+        self._seen += 1
+        if seen < self.at:
+            return False
+        if self.times is not None and seen >= self.at + self.times:
+            return False
+        return True
+
+
+@dataclass
+class FaultStats:
+    """What the injector saw and did."""
+
+    reads: int = 0
+    writes: int = 0
+    removes: int = 0
+    fired: dict[str, int] = field(default_factory=dict)
+    slow_seconds: float = 0.0
+
+    def record_fired(self, kind: str) -> None:
+        self.fired[kind] = self.fired.get(kind, 0) + 1
+
+
+class FaultInjector(SpillIO):
+    """A :class:`SpillIO` that injects the faults it was armed with.
+
+    Determinism: the *position* of each fault is fixed by its
+    :class:`InjectedFault` indices, and the *content* perturbation (which
+    bit flips, how many tail bytes vanish) is drawn from
+    ``random.Random(seed)`` -- same seed, same corruption, forever.
+
+    ``on_op(op, path, index)`` is called before every operation; tests
+    use it to trigger out-of-band events (e.g. cancelling the operator
+    mid-merge) at an exact, reproducible point.
+    """
+
+    def __init__(
+        self,
+        faults: Iterable[InjectedFault] = (),
+        seed: int = 0,
+        on_op: Callable[[str, str, int], None] | None = None,
+    ) -> None:
+        self.faults = list(faults)
+        self.stats = FaultStats()
+        self.on_op = on_op
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    # Operation plumbing
+    # ------------------------------------------------------------------ #
+
+    def _begin(self, op: str, path: str, index: int) -> list[InjectedFault]:
+        if self.on_op is not None:
+            self.on_op(op, path, index)
+        active = [f for f in self.faults if f.matches(op, path)]
+        for fault in active:
+            self.stats.record_fired(fault.kind)
+            if fault.kind == "slow_io":
+                time.sleep(fault.delay_s)
+                self.stats.slow_seconds += fault.delay_s
+        return [f for f in active if f.kind != "slow_io"]
+
+    def _chop(self, size: int, cap: int) -> int:
+        """How many tail bytes a truncation/short op loses (>= 1)."""
+        if size <= 1:
+            return size
+        return 1 + self._rng.randrange(min(cap, size - 1))
+
+    # ------------------------------------------------------------------ #
+    # SpillIO overrides
+    # ------------------------------------------------------------------ #
+
+    def write_file(self, path: str, sections: Sequence[bytes]) -> None:
+        index = self.stats.writes
+        self.stats.writes += 1
+        active = self._begin("write", path, index)
+        data = b"".join(sections)
+        for fault in active:
+            if fault.kind == "enospc":
+                raise OSError(
+                    errno.ENOSPC,
+                    "No space left on device (injected)",
+                    path,
+                )
+            if fault.kind == "short_write":
+                super().write_file(path, [data[: max(1, len(data) // 2)]])
+                raise OSError(errno.EIO, "short write (injected)", path)
+            if fault.kind == "truncate":
+                lost = self._chop(len(data), cap=64)
+                super().write_file(path, [data[: len(data) - lost]])
+                return  # silent: the caller believes the write succeeded
+        super().write_file(path, [data])
+
+    def read(self, path: str, offset: int, nbytes: int) -> bytes:
+        index = self.stats.reads
+        self.stats.reads += 1
+        active = self._begin("read", path, index)
+        raw = super().read(path, offset, nbytes)
+        for fault in active:
+            if fault.kind == "short_read" and raw:
+                raw = raw[: len(raw) - self._chop(len(raw), cap=32)]
+            elif fault.kind == "bitflip" and raw:
+                flipped = bytearray(raw)
+                position = self._rng.randrange(len(flipped))
+                flipped[position] ^= 1 << self._rng.randrange(8)
+                raw = bytes(flipped)
+        return raw
+
+    def remove(self, path: str) -> None:
+        index = self.stats.removes
+        self.stats.removes += 1
+        active = self._begin("remove", path, index)
+        for fault in active:
+            if fault.kind == "cleanup_error":
+                raise OSError(
+                    errno.EACCES, "injected cleanup failure", path
+                )
+        super().remove(path)

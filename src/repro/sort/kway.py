@@ -26,6 +26,7 @@ __all__ = [
     "cascade_merge",
     "cascade_merge_indices",
     "kway_merge_indices",
+    "kway_merge_stream",
 ]
 
 DEFAULT_FRONTIER_ROWS = 4096
@@ -189,6 +190,27 @@ def cascade_merge_indices(
         entries = paired
     _, run_ids, row_ids = entries[0]
     return run_ids, row_ids
+
+
+def kway_merge_stream(
+    sources: Sequence[Iterable[np.ndarray]],
+    block_stats: KWayBlockStats | None = None,
+    on_round: Callable[[], None] | None = None,
+):
+    """Drive the block-streaming k-way kernel with per-round checkpoints.
+
+    Yields the kernel's ``(run_ids, row_ids)`` rounds unchanged, but
+    invokes ``on_round`` before emitting each one.  The callback is the
+    cooperative-cancellation (and progress) hook of long-running merges:
+    the external sort raises :class:`repro.errors.SortCancelledError`
+    from it, unwinding the merge between rounds -- never mid-read --
+    so cleanup always sees a consistent set of spill files.
+    """
+    stats = block_stats or KWayBlockStats()
+    for run_ids, row_ids in kway_merge_blocks(sources, stats):
+        if on_round is not None:
+            on_round()
+        yield run_ids, row_ids
 
 
 def kway_merge_indices(

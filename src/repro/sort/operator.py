@@ -93,6 +93,25 @@ class SortConfig:
             :mod:`repro.sort.kernels` (whole-row argsort, searchsorted
             merge, vectorized radix bucket finishing) wherever memcmp
             order is exact; off forces the scalar row-at-a-time paths.
+        external: make the engine's ORDER BY run through the
+            spilling :class:`repro.sort.external.ExternalSortOperator`
+            instead of the in-memory operator.
+        spill_directories: ordered failover targets for spill files.
+            The external sort writes each run to its primary directory
+            first; on persistent write failure (e.g. ``ENOSPC``) it
+            fails over to these, in order, before degrading to an
+            in-memory run.
+        spill_retries: transient-failure write retries per directory
+            (bounded exponential backoff between attempts).
+        spill_retry_backoff_s: initial backoff; doubles per retry,
+            capped at 1 second.  Zero disables sleeping (tests).
+        verify_spill_checksums: verify the per-page CRC32 checksums of
+            every spill block read (and each run's header at merge
+            start).  On by default; off trades integrity for a little
+            read throughput.
+        allow_memory_fallback: when no spill target is writable, keep
+            runs in memory (reduced-memory degradation) instead of
+            raising :class:`repro.errors.SpillCapacityError`.
     """
 
     run_threshold: int = DEFAULT_RUN_THRESHOLD
@@ -101,6 +120,12 @@ class SortConfig:
     force_algorithm: str | None = None
     vector_size: int = VECTOR_SIZE
     use_vector_kernels: bool = True
+    external: bool = False
+    spill_directories: tuple[str, ...] = ()
+    spill_retries: int = 2
+    spill_retry_backoff_s: float = 0.01
+    verify_spill_checksums: bool = True
+    allow_memory_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.run_threshold <= 0:
@@ -109,6 +134,14 @@ class SortConfig:
             raise SortError(
                 f"force_algorithm must be None, 'radix', 'pdqsort' or "
                 f"'heuristic', got {self.force_algorithm!r}"
+            )
+        if self.spill_retries < 0:
+            raise SortError("spill_retries must be non-negative")
+        if self.spill_retry_backoff_s < 0:
+            raise SortError("spill_retry_backoff_s must be non-negative")
+        if not isinstance(self.spill_directories, tuple):
+            object.__setattr__(
+                self, "spill_directories", tuple(self.spill_directories)
             )
 
 
@@ -123,6 +156,15 @@ class SortStats:
     pipeline phase: ``encode`` (key normalization), ``run_gen`` (sorting
     runs), ``merge`` (merging runs, I/O excluded), and ``spill_io``
     (reading/writing spill files).
+
+    The fault counters describe the external sort's degradation ladder:
+    ``spill_retries`` (write attempts retried after a transient error),
+    ``spill_failovers`` (runs redirected to a secondary spill
+    directory), ``memory_run_fallbacks`` (runs kept in memory because no
+    spill target was writable), ``checksum_verifications`` /
+    ``checksum_failures`` (CRC32 pages checked on spill reads), and
+    ``cleanup_errors`` (temp files/directories that could not be
+    removed -- recorded, warned about, never silently swallowed).
     """
 
     rows_sorted: int = 0
@@ -137,6 +179,12 @@ class SortStats:
     kway_rounds: int = 0
     kway_peak_frontier_rows: int = 0
     prefix_exact: bool = True
+    spill_retries: int = 0
+    spill_failovers: int = 0
+    memory_run_fallbacks: int = 0
+    checksum_verifications: int = 0
+    checksum_failures: int = 0
+    cleanup_errors: list[str] = field(default_factory=list)
     radix: RadixStats = field(default_factory=RadixStats)
     phase_seconds: dict[str, float] = field(default_factory=dict)
 

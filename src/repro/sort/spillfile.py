@@ -1,0 +1,236 @@
+"""The checksummed on-disk format of external-sort spill files.
+
+A spill file holds one sorted run as three contiguous data sections
+(sorted key matrix, payload row matrix, string heap) preceded by a
+versioned header::
+
+    +--------------------------------------------------------------+
+    | fixed header (44 bytes, little-endian)                       |
+    |   magic "RSPL" | version | header_bytes | num_rows           |
+    |   key_width | row_width | heap_bytes | page_size             |
+    |   crc_count | header_crc32                                   |
+    +--------------------------------------------------------------+
+    | page CRC32 table: crc_count x u32                            |
+    |   (keys pages, then rows pages, then heap pages)             |
+    +--------------------------------------------------------------+
+    | keys  section: num_rows x key_width bytes                    |
+    | rows  section: num_rows x row_width bytes                    |
+    | heap  section: heap_bytes bytes                              |
+    +--------------------------------------------------------------+
+
+Integrity is page-granular *within* each section: section bytes are
+covered by CRC32 checksums over ``page_size``-byte pages (the last page
+of a section may be short), so a block read verifies exactly the pages it
+touches -- no whole-file scan, and the merge's working set stays bounded.
+``header_crc32`` covers the fixed header (with the CRC field zeroed) plus
+the page table, so a damaged header is detected before any geometry
+derived from it is trusted.
+
+Every mismatch raises :class:`repro.errors.SpillCorruptionError` naming
+the file, instead of surfacing later as a numpy shape/decode error.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import SpillCorruptionError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "SECTION_NAMES",
+    "SPILL_PAGE_SIZE",
+    "SpillHeader",
+    "build_header",
+    "read_header",
+]
+
+MAGIC = b"RSPL"
+FORMAT_VERSION = 1
+SPILL_PAGE_SIZE = 1 << 12
+"""Default CRC page size (4 KiB).
+
+Verified reads widen to page boundaries, so the page size bounds the
+extra bytes a small read drags in (at most one page on either side).
+4 KiB keeps that widening negligible even for the merge's narrow
+payload-row gathers while the per-page ``zlib.crc32`` calls stay cheap;
+the acceptance bar is the <10% end-to-end overhead asserted by
+``benchmarks/bench_fault_overhead.py``.
+"""
+
+SECTION_NAMES = ("keys", "rows", "heap")
+
+_FIXED = struct.Struct("<4sIIQIIQIII")
+"""magic, version, header_bytes, num_rows, key_width, row_width,
+heap_bytes, page_size, crc_count, header_crc32."""
+
+
+def _page_count(nbytes: int, page_size: int) -> int:
+    return -(-nbytes // page_size) if nbytes else 0
+
+
+def _page_crcs(data: bytes | memoryview, page_size: int) -> tuple[int, ...]:
+    view = memoryview(data)
+    return tuple(
+        zlib.crc32(view[start : start + page_size])
+        for start in range(0, len(view), page_size)
+    )
+
+
+@dataclass(frozen=True)
+class SpillHeader:
+    """Parsed (or freshly built) spill-file header.
+
+    ``page_crcs`` holds one CRC tuple per section, in
+    :data:`SECTION_NAMES` order.  All byte offsets below are absolute
+    file offsets.
+    """
+
+    num_rows: int
+    key_width: int
+    row_width: int
+    heap_bytes: int
+    page_size: int
+    page_crcs: tuple[tuple[int, ...], ...]
+
+    @property
+    def crc_count(self) -> int:
+        return sum(len(crcs) for crcs in self.page_crcs)
+
+    @property
+    def header_bytes(self) -> int:
+        return _FIXED.size + 4 * self.crc_count
+
+    def section_length(self, section: int) -> int:
+        return (
+            self.num_rows * self.key_width,
+            self.num_rows * self.row_width,
+            self.heap_bytes,
+        )[section]
+
+    def section_offset(self, section: int) -> int:
+        offset = self.header_bytes
+        for index in range(section):
+            offset += self.section_length(index)
+        return offset
+
+    @property
+    def file_bytes(self) -> int:
+        return self.section_offset(len(SECTION_NAMES) - 1) + self.heap_bytes
+
+    def pack(self) -> bytes:
+        """Serialize header + page table, computing ``header_crc32``."""
+        table = struct.pack(
+            f"<{self.crc_count}I",
+            *(crc for crcs in self.page_crcs for crc in crcs),
+        )
+        fixed_fields = (
+            MAGIC,
+            FORMAT_VERSION,
+            self.header_bytes,
+            self.num_rows,
+            self.key_width,
+            self.row_width,
+            self.heap_bytes,
+            self.page_size,
+            self.crc_count,
+        )
+        crc = zlib.crc32(table, zlib.crc32(_FIXED.pack(*fixed_fields, 0)))
+        return _FIXED.pack(*fixed_fields, crc) + table
+
+
+def build_header(
+    num_rows: int,
+    key_width: int,
+    row_width: int,
+    sections: tuple[bytes | memoryview, bytes | memoryview, bytes],
+    page_size: int = SPILL_PAGE_SIZE,
+) -> SpillHeader:
+    """Header for a run about to be written, CRCs computed per page."""
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    return SpillHeader(
+        num_rows=num_rows,
+        key_width=key_width,
+        row_width=row_width,
+        heap_bytes=len(sections[2]),
+        page_size=page_size,
+        page_crcs=tuple(
+            _page_crcs(section, page_size) for section in sections
+        ),
+    )
+
+
+def read_header(io, path: str) -> SpillHeader:
+    """Read and validate the header of the spill file at ``path``.
+
+    ``io`` is a :class:`repro.sort.faults.SpillIO`.  Raises
+    :class:`SpillCorruptionError` on a bad magic, unsupported version,
+    truncated header, or header-CRC mismatch.
+    """
+    fixed = io.read(path, 0, _FIXED.size)
+    if len(fixed) != _FIXED.size:
+        raise SpillCorruptionError(
+            f"truncated spill header ({len(fixed)} of {_FIXED.size} bytes)",
+            path,
+        )
+    (
+        magic,
+        version,
+        header_bytes,
+        num_rows,
+        key_width,
+        row_width,
+        heap_bytes,
+        page_size,
+        crc_count,
+        header_crc,
+    ) = _FIXED.unpack(fixed)
+    if magic != MAGIC:
+        raise SpillCorruptionError(
+            f"bad spill magic {magic!r} (expected {MAGIC!r})", path
+        )
+    if version != FORMAT_VERSION:
+        raise SpillCorruptionError(
+            f"unsupported spill format version {version} "
+            f"(this build reads version {FORMAT_VERSION})",
+            path,
+        )
+    if page_size <= 0 or header_bytes != _FIXED.size + 4 * crc_count:
+        raise SpillCorruptionError(
+            "inconsistent spill header geometry", path
+        )
+    table = io.read(path, _FIXED.size, 4 * crc_count)
+    if len(table) != 4 * crc_count:
+        raise SpillCorruptionError("truncated spill page-CRC table", path)
+    expected = zlib.crc32(table, zlib.crc32(fixed[:-4] + b"\x00" * 4))
+    if expected != header_crc:
+        raise SpillCorruptionError(
+            f"spill header CRC mismatch (stored {header_crc:#010x}, "
+            f"computed {expected:#010x})",
+            path,
+        )
+    flat = struct.unpack(f"<{crc_count}I", table)
+    lengths = (num_rows * key_width, num_rows * row_width, heap_bytes)
+    counts = [_page_count(length, page_size) for length in lengths]
+    if sum(counts) != crc_count:
+        raise SpillCorruptionError(
+            "spill page-CRC table does not match the section geometry",
+            path,
+        )
+    crcs: list[tuple[int, ...]] = []
+    cursor = 0
+    for count in counts:
+        crcs.append(flat[cursor : cursor + count])
+        cursor += count
+    return SpillHeader(
+        num_rows=num_rows,
+        key_width=key_width,
+        row_width=row_width,
+        heap_bytes=heap_bytes,
+        page_size=page_size,
+        page_crcs=tuple(crcs),
+    )

@@ -1,0 +1,546 @@
+"""Fault tolerance of the external sort: integrity, injection, recovery.
+
+Every failure the spill path can hit is driven through the deterministic
+injection harness (:mod:`repro.sort.faults`) -- no monkeypatching of
+``os`` internals.  The acceptance bar: for any injected single fault the
+sort either completes with byte-identical output to the fault-free run
+(after retry / failover / memory fallback) or raises a typed
+:class:`SpillError` subclass naming the offending run file -- never a
+bare numpy/OS error -- and leaves zero temp files behind either way.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from test_external_kway import assert_byte_identical, mixed_table
+from repro.engine import Database
+from repro.errors import (
+    SortCancelledError,
+    SortError,
+    SpillCapacityError,
+    SpillCorruptionError,
+    SpillError,
+)
+from repro.sort.external import ExternalSortOperator, InMemoryRun, SpilledRun
+from repro.sort.faults import FaultInjector, InjectedFault, SpillIO
+from repro.sort.operator import SortConfig, sort_table
+from repro.sort.spillfile import FORMAT_VERSION, MAGIC, read_header
+from repro.table.chunk import chunk_table
+from repro.types.sortspec import SortSpec
+
+SPEC = "a, s DESC, f"
+
+_FIXED = struct.Struct("<4sIIQIIQIII")  # mirror of spillfile._FIXED
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        run_threshold=500,
+        spill_retries=2,
+        spill_retry_backoff_s=0.0,
+    )
+    defaults.update(overrides)
+    return SortConfig(**defaults)
+
+
+def build_operator(table, tmp_path, io=None, config=None, **config_overrides):
+    return ExternalSortOperator(
+        table.schema,
+        SortSpec.of(*[part.strip() for part in SPEC.split(",")]),
+        config or fast_config(**config_overrides),
+        spill_directory=str(tmp_path),
+        io=io,
+    )
+
+
+def run_sort(operator, table, chunk_rows=256):
+    with operator:
+        for chunk in chunk_table(table, chunk_rows):
+            operator.sink(chunk)
+        return operator.finalize()
+
+
+def expected_result(table):
+    return sort_table(table, SPEC, SortConfig())
+
+
+def assert_no_spill_files(*directories):
+    for directory in directories:
+        assert os.path.isdir(directory)
+        assert os.listdir(directory) == []
+
+
+class TestSpillIntegrity:
+    def test_clean_run_verifies_checksums(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        operator = build_operator(table, tmp_path)
+        result = run_sort(operator, table)
+        assert_byte_identical(result, expected_result(table))
+        # Per-run header re-validation plus CRC pages on every block read.
+        assert operator.stats.checksum_verifications > (
+            operator.stats.runs_generated
+        )
+        assert operator.stats.checksum_failures == 0
+        assert_no_spill_files(tmp_path)
+
+    def test_silently_truncated_spill_detected(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector(
+            [InjectedFault("truncate", at=1)], seed=7
+        )
+        operator = build_operator(table, tmp_path, io=injector)
+        with pytest.raises(SpillCorruptionError) as info:
+            run_sort(operator, table)
+        assert info.value.path is not None
+        assert str(tmp_path) in info.value.path
+        assert_no_spill_files(tmp_path)
+
+    def test_bit_flipped_read_detected(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector(
+            [InjectedFault("bitflip", at=9)], seed=3
+        )
+        operator = build_operator(table, tmp_path, io=injector)
+        with pytest.raises(SpillCorruptionError) as info:
+            run_sort(operator, table)
+        assert info.value.path is not None
+        assert operator.stats.checksum_failures <= 1
+        assert_no_spill_files(tmp_path)
+
+    def test_wrong_magic_rejected(self, rng, tmp_path):
+        table = mixed_table(rng, 1200)
+        operator = build_operator(table, tmp_path)
+        with operator:
+            for chunk in chunk_table(table, 256):
+                operator.sink(chunk)
+            path = operator._runs[0].path
+            with open(path, "r+b") as fh:
+                fh.write(b"NOPE")
+            with pytest.raises(SpillCorruptionError, match="magic"):
+                operator.finalize()
+        assert_no_spill_files(tmp_path)
+
+    def test_wrong_version_rejected(self, rng, tmp_path):
+        table = mixed_table(rng, 1200)
+        operator = build_operator(table, tmp_path)
+        with operator:
+            for chunk in chunk_table(table, 256):
+                operator.sink(chunk)
+            path = operator._runs[0].path
+            # Repack the fixed header with a future version and a *valid*
+            # CRC so the version check itself must reject the file.
+            with open(path, "r+b") as fh:
+                fixed = fh.read(_FIXED.size)
+                fields = list(_FIXED.unpack(fixed))
+                fields[1] = FORMAT_VERSION + 1
+                crc_count = fields[8]
+                fh.seek(_FIXED.size)
+                table_bytes = fh.read(4 * crc_count)
+                fields[9] = 0
+                crc = zlib.crc32(table_bytes, zlib.crc32(_FIXED.pack(*fields)))
+                fields[9] = crc
+                fh.seek(0)
+                fh.write(_FIXED.pack(*fields))
+            with pytest.raises(SpillCorruptionError, match="version"):
+                operator.finalize()
+        assert_no_spill_files(tmp_path)
+
+    def test_spilled_run_open_round_trip(self, rng, tmp_path):
+        table = mixed_table(rng, 1200)
+        operator = build_operator(table, tmp_path)
+        with operator:
+            for chunk in chunk_table(table, 256):
+                operator.sink(chunk)
+            original = operator._runs[0]
+            reopened = SpilledRun.open(original.path)
+            assert reopened.header == original.header
+            assert MAGIC == b"RSPL"
+            assert (
+                reopened.read_key_block(0, reopened.num_rows).tobytes()
+                == original.read_key_block(0, original.num_rows).tobytes()
+            )
+            assert reopened.read_heap() == original.read_heap()
+
+    def test_corrupt_header_never_reaches_numpy(self, rng, tmp_path):
+        """Garbage over the whole header still fails typed, not numpy."""
+        table = mixed_table(rng, 1200)
+        operator = build_operator(table, tmp_path)
+        with operator:
+            for chunk in chunk_table(table, 256):
+                operator.sink(chunk)
+            path = operator._runs[0].path
+            with open(path, "r+b") as fh:
+                fh.write(bytes(range(48)))
+            with pytest.raises(SpillCorruptionError):
+                operator.finalize()
+        assert_no_spill_files(tmp_path)
+
+
+class TestRetryFailoverFallback:
+    def test_transient_enospc_retried(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector(
+            [InjectedFault("enospc", at=1, times=2)]
+        )
+        operator = build_operator(table, tmp_path, io=injector)
+        result = run_sort(operator, table)
+        assert_byte_identical(result, expected_result(table))
+        assert operator.stats.spill_retries >= 2
+        assert operator.stats.spill_failovers == 0
+        assert operator.stats.memory_run_fallbacks == 0
+        assert_no_spill_files(tmp_path)
+
+    def test_short_write_retried(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector(
+            [InjectedFault("short_write", at=0, times=1)]
+        )
+        operator = build_operator(table, tmp_path, io=injector)
+        result = run_sort(operator, table)
+        assert_byte_identical(result, expected_result(table))
+        assert operator.stats.spill_retries >= 1
+        assert_no_spill_files(tmp_path)
+
+    def test_persistent_enospc_fails_over_to_secondary(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        primary = tmp_path / "primary"
+        secondary = tmp_path / "secondary"
+        primary.mkdir()
+        injector = FaultInjector(
+            [
+                InjectedFault(
+                    "enospc", times=None, path_substring=str(primary)
+                )
+            ]
+        )
+        operator = build_operator(
+            table,
+            primary,
+            io=injector,
+            config=fast_config(spill_directories=(str(secondary),)),
+        )
+        result = run_sort(operator, table)
+        assert_byte_identical(result, expected_result(table))
+        assert operator.stats.spill_failovers == (
+            operator.stats.runs_generated
+        )
+        assert operator.stats.memory_run_fallbacks == 0
+        assert_no_spill_files(primary, secondary)
+
+    def test_no_writable_target_degrades_to_memory(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector([InjectedFault("enospc", times=None)])
+        operator = build_operator(
+            table, tmp_path, io=injector, spill_retries=1
+        )
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            result = run_sort(operator, table)
+        assert_byte_identical(result, expected_result(table))
+        assert operator.stats.memory_run_fallbacks == (
+            operator.stats.runs_generated
+        )
+        assert operator.stats.memory_run_fallbacks > 0
+        # Disk was only attempted for the first run; later runs skip it.
+        assert injector.stats.writes <= operator.config.spill_retries + 1
+        assert all(isinstance(r, InMemoryRun) for r in operator._runs)
+        assert_no_spill_files(tmp_path)
+
+    def test_degraded_mode_halves_run_threshold(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector([InjectedFault("enospc", times=None)])
+        operator = build_operator(
+            table, tmp_path, io=injector, spill_retries=0, run_threshold=1000
+        )
+        with pytest.warns(RuntimeWarning):
+            with operator:
+                for chunk in chunk_table(table, 250):
+                    operator.sink(chunk)
+                # After degradation the threshold halves: 2000 rows cut
+                # into 1000-row first run + 500-row reduced runs.
+                assert operator._run_threshold == 500
+                assert operator.stats.runs_generated >= 3
+                operator.finalize()
+
+    def test_memory_fallback_disabled_raises_capacity_error(
+        self, rng, tmp_path
+    ):
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector([InjectedFault("enospc", times=None)])
+        operator = build_operator(
+            table,
+            tmp_path,
+            io=injector,
+            spill_retries=0,
+            allow_memory_fallback=False,
+        )
+        with pytest.raises(SpillCapacityError) as info:
+            run_sort(operator, table)
+        assert info.value.path is not None
+        assert_no_spill_files(tmp_path)
+
+    def test_uncreatable_failover_directory_skipped(self, rng, tmp_path):
+        table = mixed_table(rng, 1200)
+        primary = tmp_path / "primary"
+        primary.mkdir()
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        injector = FaultInjector(
+            [InjectedFault("enospc", times=None, path_substring=str(primary))]
+        )
+        operator = build_operator(
+            table,
+            primary,
+            io=injector,
+            config=fast_config(
+                spill_retries=0,
+                spill_directories=(str(blocker / "sub"),),
+            ),
+        )
+        # The only failover target cannot be created (its parent is a
+        # file); it must be skipped, landing on the memory fallback
+        # instead of crashing with NotADirectoryError.
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            result = run_sort(operator, table)
+        assert_byte_identical(result, expected_result(table))
+        assert operator.stats.memory_run_fallbacks > 0
+        assert_no_spill_files(primary)
+
+
+class TestLifecycleAndCleanup:
+    def test_context_manager_cleans_up_when_sink_raises(self, rng):
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector([InjectedFault("enospc", times=None)])
+        operator = ExternalSortOperator(
+            table.schema,
+            SortSpec.of("a"),
+            fast_config(spill_retries=0, allow_memory_fallback=False),
+            io=injector,
+        )
+        own_dir = operator._dir
+        with pytest.raises(SpillCapacityError):
+            with operator:
+                for chunk in chunk_table(table, 256):
+                    operator.sink(chunk)
+                operator.finalize()
+        # The operator-owned mkdtemp directory is gone, not leaked.
+        assert not os.path.exists(own_dir)
+        assert operator._closed
+
+    def test_own_directory_removed_without_finalize(self, rng):
+        table = mixed_table(rng, 300)
+        operator = ExternalSortOperator(
+            table.schema, SortSpec.of("a"), fast_config()
+        )
+        own_dir = operator._dir
+        with operator:
+            for chunk in chunk_table(table, 100):
+                operator.sink(chunk)
+            # finalize never called: __exit__ must still clean up
+        assert not os.path.exists(own_dir)
+
+    def test_close_is_idempotent_and_blocks_reuse(self, rng, tmp_path):
+        table = mixed_table(rng, 300)
+        operator = build_operator(table, tmp_path)
+        operator.close()
+        operator.close()
+        with pytest.raises(SortError):
+            operator.sink(next(chunk_table(table, 100)))
+        with pytest.raises(SortError):
+            operator.finalize()
+
+    def test_cancel_before_finalize_cleans_up(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        operator = build_operator(table, tmp_path)
+        for chunk in chunk_table(table, 256):
+            operator.sink(chunk)
+        assert operator.spilled_runs > 0
+        operator.cancel()
+        assert_no_spill_files(tmp_path)
+        with pytest.raises(SortCancelledError):
+            operator.finalize()
+
+    @pytest.mark.parametrize("use_vector_kernels", [True, False])
+    def test_cancel_mid_merge(self, rng, tmp_path, use_vector_kernels):
+        table = mixed_table(rng, 2000)
+        state = {"operator": None, "merge_reads": 0}
+
+        def on_op(op, path, index):
+            operator = state["operator"]
+            if operator is None or not operator._merging or op != "read":
+                return
+            state["merge_reads"] += 1
+            if state["merge_reads"] == 4:
+                operator.cancel()
+
+        injector = FaultInjector(on_op=on_op)
+        operator = build_operator(
+            table,
+            tmp_path,
+            io=injector,
+            config=fast_config(use_vector_kernels=use_vector_kernels),
+        )
+        state["operator"] = operator
+        with pytest.raises(SortCancelledError):
+            run_sort(operator, table)
+        assert state["merge_reads"] >= 4
+        assert_no_spill_files(tmp_path)
+
+    def test_cleanup_errors_recorded_not_swallowed(self, rng, tmp_path):
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector(
+            [InjectedFault("cleanup_error", at=0, times=1)]
+        )
+        operator = build_operator(table, tmp_path, io=injector)
+        with pytest.warns(RuntimeWarning, match="clean up"):
+            result = run_sort(operator, table)
+        assert_byte_identical(result, expected_result(table))
+        assert len(operator.stats.cleanup_errors) == 1
+        assert "run-00000" in operator.stats.cleanup_errors[0]
+        # The one file whose removal failed is still there; the rest went.
+        leftovers = os.listdir(tmp_path)
+        assert len(leftovers) == 1
+
+    def test_merge_failure_still_cleans_up(self, rng, tmp_path):
+        """finalize() cleanup runs even when the merge itself raises."""
+        table = mixed_table(rng, 2000)
+        injector = FaultInjector([InjectedFault("short_read", at=6)])
+        operator = build_operator(table, tmp_path, io=injector)
+        with pytest.raises(SpillError):
+            run_sort(operator, table)
+        assert_no_spill_files(tmp_path)
+
+
+class TestRandomizedSingleFault:
+    """The acceptance criterion, executed literally.
+
+    For every fault kind at every plausible injection point: either the
+    sort completes byte-identical to the fault-free run, or it raises a
+    typed :class:`SpillError` subclass carrying the run path -- and in
+    both cases no temp files survive.
+    """
+
+    KINDS = ("enospc", "short_write", "truncate", "bitflip", "short_read")
+
+    @pytest.mark.parametrize("use_vector_kernels", [True, False])
+    def test_any_single_fault_recovers_or_raises_typed(
+        self, rng, tmp_path, use_vector_kernels
+    ):
+        table = mixed_table(rng, 1500)
+        config = fast_config(
+            run_threshold=400, use_vector_kernels=use_vector_kernels
+        )
+
+        # Fault-free pass: learn the op counts and the expected bytes.
+        baseline_io = FaultInjector()
+        baseline_dir = tmp_path / "baseline"
+        baseline_dir.mkdir()
+        operator = build_operator(
+            table, baseline_dir, io=baseline_io, config=config
+        )
+        expected = run_sort(operator, table)
+        op_counts = {
+            "write": baseline_io.stats.writes,
+            "read": baseline_io.stats.reads,
+        }
+        assert op_counts["write"] >= 3 and op_counts["read"] >= 6
+
+        draw = np.random.default_rng(20260806 + use_vector_kernels)
+        for trial in range(24):
+            kind = self.KINDS[int(draw.integers(len(self.KINDS)))]
+            op = "write" if kind in ("enospc", "short_write", "truncate") else "read"
+            at = int(draw.integers(op_counts[op]))
+            injector = FaultInjector(
+                [InjectedFault(kind, at=at)], seed=trial
+            )
+            spill_dir = tmp_path / f"trial-{trial}"
+            spill_dir.mkdir()
+            operator = build_operator(
+                table, spill_dir, io=injector, config=config
+            )
+            try:
+                result = run_sort(operator, table)
+            except SpillError as error:
+                assert error.path is not None, (kind, at)
+            else:
+                assert_byte_identical(result, expected)
+            assert injector.stats.fired.get(kind) == 1, (kind, at)
+            assert_no_spill_files(spill_dir)
+
+
+class TestEngineWiring:
+    def test_database_order_by_through_external_sort(self, rng):
+        table = mixed_table(rng, 1500)
+        external_db = Database(
+            sort_config=fast_config(external=True, run_threshold=300)
+        )
+        in_memory_db = Database()
+        external_db.register("t", table)
+        in_memory_db.register("t", table)
+        query = "SELECT a, s, f, seq FROM t ORDER BY a DESC, s"
+        assert_byte_identical(
+            external_db.execute(query), in_memory_db.execute(query)
+        )
+
+    def test_cli_external_sort_with_spill_dir(self, rng, tmp_path):
+        from repro.cli import main
+        from repro.table.io import read_csv, write_csv
+
+        table = mixed_table(rng, 400).select(["a", "f", "seq"])
+        source = tmp_path / "in.csv"
+        target = tmp_path / "out.csv"
+        write_csv(table, str(source))
+        code = main(
+            [
+                "sort",
+                str(source),
+                "--by",
+                "a DESC, seq",
+                "--external",
+                "--run-threshold",
+                "100",
+                "--spill-dir",
+                str(tmp_path / "failover"),
+                "-o",
+                str(target),
+            ]
+        )
+        assert code == 0
+        result = read_csv(str(target))
+        assert result.num_rows == table.num_rows
+        expected = sort_table(table, "a DESC, seq", SortConfig())
+        assert [
+            result.column("seq").data[i] for i in range(result.num_rows)
+        ] == [
+            expected.column("seq").data[i] for i in range(expected.num_rows)
+        ]
+
+
+class TestSpillIOContract:
+    def test_real_spill_io_round_trip(self, tmp_path):
+        io = SpillIO()
+        path = str(tmp_path / "x.bin")
+        io.write_file(path, [b"abc", b"defg"])
+        assert io.read(path, 0, 7) == b"abcdefg"
+        assert io.read(path, 3, 4) == b"defg"
+        assert io.file_size(path) == 7
+        io.remove(path)
+        assert not os.path.exists(path)
+
+    def test_injected_fault_validation(self):
+        with pytest.raises(ValueError):
+            InjectedFault("meteor-strike")
+        with pytest.raises(ValueError):
+            InjectedFault("enospc", at=-1)
+
+    def test_header_reader_rejects_truncation(self, tmp_path):
+        path = str(tmp_path / "tiny.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"RSPL")
+        with pytest.raises(SpillCorruptionError, match="truncated"):
+            read_header(SpillIO(), path)
