@@ -139,6 +139,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="rows per sorted run (forces multi-run merging when small)",
     )
+    sort_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for multi-core sorting (morsel-driven run "
+            "generation + Merge-Path merges over shared memory; 1 = serial, "
+            "output is byte-identical either way)"
+        ),
+    )
 
     sql_cmd = commands.add_parser("sql", help="run a SQL query over CSVs")
     sql_cmd.add_argument("query", help="the SELECT statement")
@@ -188,6 +199,10 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         kwargs["force_algorithm"] = args.algorithm
     if args.run_threshold:
         kwargs["run_threshold"] = args.run_threshold
+    if args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    if args.workers > 1:
+        kwargs["num_workers"] = args.workers
     config = SortConfig(
         external=args.external,
         spill_directories=tuple(args.spill_dir),

@@ -112,6 +112,12 @@ class SortExecOperator(PhysicalOperator):
     config object carries the spill knobs (failover directories, retry
     policy, checksum verification), so the fault-tolerance ladder is
     reachable end-to-end from ``Database(sort_config=...)``.
+
+    ``SortConfig.num_workers > 1`` routes either operator's run
+    generation (and the in-memory cascade merges) through the
+    multi-core executor of :mod:`repro.sort.parallel_exec`; the
+    measured parallel schedule lands in ``last_stats`` next to the
+    usual counters.
     """
 
     def __init__(

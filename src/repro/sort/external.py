@@ -73,6 +73,7 @@ from repro.sort.faults import SpillIO
 from repro.sort.kernels import KWayBlockStats, argsort_rows
 from repro.sort.kway import kway_merge_stream
 from repro.sort.operator import SortConfig, SortStats
+from repro.sort.parallel_exec import ParallelSortExecutor
 from repro.sort.pdqsort import pdqsort
 from repro.sort.radix import VECTOR_FINISH_THRESHOLD, radix_argsort
 from repro.sort.spillfile import (
@@ -428,6 +429,7 @@ class ExternalSortOperator:
             for name in spec.column_names
         )
         self._next_row_id = 0
+        self._parallel: ParallelSortExecutor | None = None
         self.stats = SortStats()
 
     # ------------------------------------------------------------------ #
@@ -452,6 +454,9 @@ class ExternalSortOperator:
         if self._closed:
             return
         self._closed = True
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
         self._buffer.clear()
         self._buffered_rows = 0
         for run in self._runs:
@@ -499,6 +504,28 @@ class ExternalSortOperator:
             pass
         except OSError as error:
             self._record_cleanup_error(path, error)
+
+    # ------------------------------------------------------------------ #
+    # Parallel run generation
+    # ------------------------------------------------------------------ #
+
+    def _parallel_argsort(self, keys) -> np.ndarray | None:
+        """Morsel-parallel sort of one run's keys; ``None`` falls back.
+
+        Parallel run generation feeds the unchanged (serial, streaming)
+        k-way spill merge: each spilled run is byte-identical to its
+        serial counterpart because stable sorts of the same key bytes
+        produce the same permutation.
+        """
+        if self.config.num_workers <= 1 or not self.config.use_vector_kernels:
+            return None
+        if self._parallel is None:
+            self._parallel = ParallelSortExecutor(
+                self.config.num_workers, self.config.parallel_morsel_rows
+            )
+        return self._parallel.argsort(
+            keys.matrix, keys.layout.key_width, self.stats
+        )
 
     # ------------------------------------------------------------------ #
     # Sink + spill
@@ -611,7 +638,10 @@ class ExternalSortOperator:
                 "SortConfig.string_prefix or shorten the strings"
             )
         with self.stats.time_phase("run_gen"):
-            if self._has_string_key and self.config.force_algorithm != "radix":
+            order = self._parallel_argsort(keys)
+            if order is not None:
+                pass
+            elif self._has_string_key and self.config.force_algorithm != "radix":
                 if self.config.use_vector_kernels:
                     # Stable argsort of the key bytes; the ascending row-id
                     # suffix makes this identical to full-row memcmp order.

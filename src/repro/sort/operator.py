@@ -32,6 +32,10 @@ from repro.errors import SortError
 from repro.keys.normalizer import MAX_STRING_PREFIX, NormalizedKeys, normalize_keys
 from repro.rows.block import RowBlock
 from repro.sort.kernels import argsort_rows, merge_indices
+from repro.sort.parallel_exec import (
+    DEFAULT_MORSEL_ROWS as DEFAULT_PARALLEL_MORSEL_ROWS,
+    ParallelSortExecutor,
+)
 from repro.sort.pdqsort import pdqsort
 from repro.sort.radix import (
     LSD_WIDTH_THRESHOLD,
@@ -112,6 +116,16 @@ class SortConfig:
         allow_memory_fallback: when no spill target is writable, keep
             runs in memory (reduced-memory degradation) instead of
             raising :class:`repro.errors.SpillCapacityError`.
+        num_workers: worker processes for the multi-core parallel path
+            (:mod:`repro.sort.parallel_exec`): morsel-driven run
+            generation plus Merge-Path-partitioned merges over shared
+            memory.  ``1`` (the default) keeps everything serial; any
+            value is byte-identical to the serial kernels, and the
+            parallel path silently falls back to serial when vector
+            kernels are off, string prefixes are inexact, or the
+            platform lacks ``fork``/POSIX shared memory.
+        parallel_morsel_rows: rows per run-generation morsel of the
+            parallel path.
     """
 
     run_threshold: int = DEFAULT_RUN_THRESHOLD
@@ -126,10 +140,16 @@ class SortConfig:
     spill_retry_backoff_s: float = 0.01
     verify_spill_checksums: bool = True
     allow_memory_fallback: bool = True
+    num_workers: int = 1
+    parallel_morsel_rows: int = DEFAULT_PARALLEL_MORSEL_ROWS
 
     def __post_init__(self) -> None:
         if self.run_threshold <= 0:
             raise SortError("run_threshold must be positive")
+        if self.num_workers < 1:
+            raise SortError("num_workers must be at least 1")
+        if self.parallel_morsel_rows < 1:
+            raise SortError("parallel_morsel_rows must be at least 1")
         if self.force_algorithm not in (None, "radix", "pdqsort", "heuristic"):
             raise SortError(
                 f"force_algorithm must be None, 'radix', 'pdqsort' or "
@@ -165,6 +185,17 @@ class SortStats:
     ``checksum_failures`` (CRC32 pages checked on spill reads), and
     ``cleanup_errors`` (temp files/directories that could not be
     removed -- recorded, warned about, never silently swallowed).
+
+    The parallel counters describe the multi-core executor
+    (:mod:`repro.sort.parallel_exec`) when ``SortConfig.num_workers > 1``
+    actually ran work: ``parallel_workers`` (pool size),
+    ``parallel_task_rows`` / ``parallel_task_seconds`` (per parallel
+    phase, the rows and wall-clock of every dispatched task in
+    submission order), ``parallel_worker_seconds`` (busy time per pool
+    worker slot), and ``parallel_makespan_s`` (parent-observed
+    wall-clock of all parallel phases) -- the measured schedule that
+    :class:`repro.engine.parallel.PhaseModel` predictions are checked
+    against.
     """
 
     rows_sorted: int = 0
@@ -187,6 +218,13 @@ class SortStats:
     cleanup_errors: list[str] = field(default_factory=list)
     radix: RadixStats = field(default_factory=RadixStats)
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    parallel_workers: int = 0
+    parallel_task_rows: dict[str, list[int]] = field(default_factory=dict)
+    parallel_task_seconds: dict[str, list[float]] = field(
+        default_factory=dict
+    )
+    parallel_worker_seconds: dict[int, float] = field(default_factory=dict)
+    parallel_makespan_s: float = 0.0
 
     def add_phase_seconds(self, phase: str, seconds: float) -> None:
         self.phase_seconds[phase] = (
@@ -255,11 +293,37 @@ class SortOperator:
         self._next_row_id = 0
         self._finalized = False
         self._key_layout = None
+        self._parallel: ParallelSortExecutor | None = None
         self.stats = SortStats()
         self._has_string_key = any(
             schema.column(name).dtype.type_id is TypeId.VARCHAR
             for name in spec.column_names
         )
+
+    # ------------------------------------------------------------------ #
+    # Parallel execution
+    # ------------------------------------------------------------------ #
+
+    def _parallel_executor(self) -> ParallelSortExecutor | None:
+        """The lazily-created multi-core executor, or ``None`` if serial.
+
+        The parallel path requires the vector kernels (the executor runs
+        them in its workers) and is only byte-identical when memcmp over
+        key bytes is the exact order, so inexact string prefixes also
+        force serial execution (checked per run at the call sites).
+        """
+        if self.config.num_workers <= 1 or not self.config.use_vector_kernels:
+            return None
+        if self._parallel is None:
+            self._parallel = ParallelSortExecutor(
+                self.config.num_workers, self.config.parallel_morsel_rows
+            )
+        return self._parallel
+
+    def _close_parallel(self) -> None:
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
 
     # ------------------------------------------------------------------ #
     # Sink
@@ -336,7 +400,21 @@ class SortOperator:
             algorithm = "pdqsort"
         self.stats.algorithm = algorithm
         with self.stats.time_phase("run_gen"):
-            if algorithm == "radix":
+            order = None
+            executor = self._parallel_executor()
+            if executor is not None and keys.prefix_exact:
+                # Morsel-driven parallel run generation: stable sorts of
+                # the same key bytes, so the permutation -- and the run --
+                # is byte-identical to whichever serial algorithm was
+                # chosen (both radix and the kernel argsort are stable).
+                order = executor.argsort(
+                    keys.matrix, keys.layout.key_width, self.stats
+                )
+                if order is not None:
+                    self.stats.algorithm = "parallel-morsel"
+            if order is not None:
+                pass
+            elif algorithm == "radix":
                 # Radix sort is stable, so only the key bytes need sorting
                 # -- the row-id suffix exists for merge-time tie breaks,
                 # and spending passes on its (unique) bytes would be
@@ -490,9 +568,18 @@ class SortOperator:
         memcmp order without touching the suffix.
         """
         key_width = left.key_width
-        perm = merge_indices(
-            left.keys[:, :key_width], right.keys[:, :key_width]
-        )
+        perm = None
+        executor = self._parallel_executor()
+        if executor is not None:
+            # Merge-Path-partitioned parallel merge; ties resolve to the
+            # left (earlier, lower-row-id) run exactly like the kernel.
+            perm = executor.merge_two(
+                left.keys, right.keys, key_width, self.stats
+            )
+        if perm is None:
+            perm = merge_indices(
+                left.keys[:, :key_width], right.keys[:, :key_width]
+            )
         merged_keys = np.concatenate([left.keys, right.keys])[perm]
         payload = left.payload.concat(right.payload).take(perm)
         self.stats.kernel_merges += 1
@@ -507,22 +594,25 @@ class SortOperator:
         if self._finalized:
             raise SortError("sort already finalized")
         self._finalized = True
-        if self._buffer:
-            self._generate_run()
-        if not self._runs:
-            return Table.empty(self.schema)
-        runs = self._runs
-        with self.stats.time_phase("merge"):
-            while len(runs) > 1:
-                self.stats.merge_rounds += 1
-                merged = []
-                for i in range(0, len(runs) - 1, 2):
-                    merged.append(self._merge_two(runs[i], runs[i + 1]))
-                if len(runs) % 2 == 1:
-                    merged.append(runs[-1])
-                runs = merged
-        self._runs = runs
-        return runs[0].payload.to_table()
+        try:
+            if self._buffer:
+                self._generate_run()
+            if not self._runs:
+                return Table.empty(self.schema)
+            runs = self._runs
+            with self.stats.time_phase("merge"):
+                while len(runs) > 1:
+                    self.stats.merge_rounds += 1
+                    merged = []
+                    for i in range(0, len(runs) - 1, 2):
+                        merged.append(self._merge_two(runs[i], runs[i + 1]))
+                    if len(runs) % 2 == 1:
+                        merged.append(runs[-1])
+                    runs = merged
+            self._runs = runs
+            return runs[0].payload.to_table()
+        finally:
+            self._close_parallel()
 
 
 def sort_table(

@@ -57,3 +57,24 @@ def reference_sort(table: Table, spec: SortSpec) -> Table:
 
     rows.sort(key=functools.cmp_to_key(compare))
     return table.take(np.array(rows, dtype=np.int64))
+
+
+@pytest.fixture(autouse=True, scope="session")
+def no_resource_leaks():
+    """Session guard: tests must not leak spill dirs or shared memory.
+
+    Any ``repro-spill-*`` directory under the system temp root or
+    ``repro-sort-*`` POSIX shared-memory segment created during the run
+    and still present at teardown is a cleanup bug in an operator (or a
+    test that bypassed ``tmp_path``), so the whole session fails.
+    """
+    import glob
+    import tempfile
+
+    spill_pattern = os.path.join(tempfile.gettempdir(), "repro-spill-*")
+    shm_pattern = "/dev/shm/repro-sort-*"
+    before = set(glob.glob(spill_pattern)) | set(glob.glob(shm_pattern))
+    yield
+    after = set(glob.glob(spill_pattern)) | set(glob.glob(shm_pattern))
+    leaked = sorted(after - before)
+    assert not leaked, f"tests leaked spill/shared-memory resources: {leaked}"

@@ -1,0 +1,195 @@
+"""Property-based oracle tests: every pipeline vs. a Python tuple-key sort.
+
+The oracle builds, per row, an actual Python *tuple key* (NULL rank,
+NaN rank, possibly direction-reversed value) whose plain ``sorted()``
+order is the ORDER BY semantics of :mod:`repro.types.sortspec` --
+including NULLS FIRST/LAST placement (independent of direction) and
+NaN-after-all-floats (before, under DESC).  Because ``sorted()`` is
+stable, the oracle also pins tie order to input order, which every
+pipeline reproduces via the row-id key suffix.
+
+Each seed-deterministic random table is then pushed through the
+in-memory operator (vector kernels on and off), the spilling external
+operator, the parallel (multi-core) configuration, and Top-N, and each
+result must match the oracle byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from test_external_kway import assert_byte_identical
+from repro.sort.external import external_sort_table
+from repro.sort.operator import SortConfig, sort_table
+from repro.sort.parallel_exec import parallel_platform_supported
+from repro.sort.topn import TopNOperator
+from repro.table.chunk import chunk_table
+from repro.table.table import Table
+from repro.types.sortspec import SortSpec
+
+
+class _Reversed:
+    """Wraps a comparable so ``sorted`` orders it descending."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        # Needed so tuple comparison falls through to later sort keys
+        # when this key ties.
+        return self.value == other.value
+
+
+def oracle_order(table: Table, spec: SortSpec) -> np.ndarray:
+    """Row permutation from ``sorted()`` over Python tuple keys."""
+    key_indices = [table.schema.index_of(k.column) for k in spec.keys]
+    rows = [table.row(i) for i in range(table.num_rows)]
+
+    def tuple_key(index: int):
+        parts = []
+        for col, key in zip(key_indices, spec.keys):
+            value = rows[index][col]
+            if value is None:
+                # NULL placement ignores direction; the inner slot is
+                # never compared against a non-NULL row's (disjoint rank).
+                parts.append((0 if key.nulls_first else 1, 0))
+                continue
+            if isinstance(value, float) and math.isnan(value):
+                inner = (1, 0.0)  # after every float, ascending
+            else:
+                inner = (0, value)
+            if key.descending:
+                inner = _Reversed(inner)
+            parts.append((1 if key.nulls_first else 0, inner))
+        return tuple(parts)
+
+    order = sorted(range(table.num_rows), key=tuple_key)
+    return np.asarray(order, dtype=np.int64)
+
+
+def oracle_sort(table: Table, spec: SortSpec) -> Table:
+    if table.num_rows == 0:
+        return table
+    return table.take(oracle_order(table, spec))
+
+
+def random_table(rng: np.random.Generator, n: int) -> Table:
+    """Ints, strings, floats; NULLs in all three; NaNs among the floats."""
+    ints = rng.integers(-40, 40, max(n, 1))
+    strs = rng.integers(0, 25, max(n, 1))
+    floats = rng.uniform(-10, 10, max(n, 1))
+    nan_mask = rng.random(max(n, 1)) < 0.15
+    null_mask = rng.random((3, max(n, 1))) < 0.12
+    return Table.from_pydict(
+        {
+            "i": [
+                None if null_mask[0][k] else int(ints[k]) for k in range(n)
+            ],
+            "s": [
+                None if null_mask[1][k] else f"v{strs[k]:02d}"
+                for k in range(n)
+            ],
+            "f": [
+                None
+                if null_mask[2][k]
+                else (float("nan") if nan_mask[k] else float(floats[k]))
+                for k in range(n)
+            ],
+            "row_id": list(range(n)),
+        }
+    )
+
+
+SPECS = [
+    "i",
+    "i DESC",
+    "f",
+    "f DESC NULLS FIRST",
+    "s NULLS FIRST, i DESC",
+    "f DESC, s, i NULLS FIRST",
+]
+
+SIZES = [0, 1, 2, 700, 1500]
+
+
+@pytest.mark.parametrize("spec_text", SPECS)
+@pytest.mark.parametrize("size", SIZES)
+def test_in_memory_matches_oracle(spec_text, size):
+    rng = np.random.default_rng(hash((spec_text, size)) % (1 << 32))
+    table = random_table(rng, size)
+    spec = SortSpec.of(*[p.strip() for p in spec_text.split(",")])
+    expected = oracle_sort(table, spec)
+    for use_kernels in (True, False):
+        result = sort_table(
+            table,
+            spec,
+            SortConfig(run_threshold=500, use_vector_kernels=use_kernels),
+        )
+        assert_byte_identical(expected, result)
+
+
+@pytest.mark.parametrize("spec_text", ["i", "f DESC, s", "s NULLS FIRST, f"])
+def test_external_matches_oracle(tmp_path, spec_text):
+    rng = np.random.default_rng(hash(spec_text) % (1 << 32))
+    table = random_table(rng, 1400)
+    spec = SortSpec.of(*[p.strip() for p in spec_text.split(",")])
+    expected = oracle_sort(table, spec)
+    result = external_sort_table(
+        table, spec, SortConfig(run_threshold=400), str(tmp_path)
+    )
+    assert_byte_identical(expected, result)
+
+
+@pytest.mark.skipif(
+    not parallel_platform_supported(),
+    reason="platform lacks fork/POSIX shared memory",
+)
+@pytest.mark.parametrize("spec_text", ["i DESC", "f, s DESC"])
+def test_parallel_matches_oracle(spec_text):
+    rng = np.random.default_rng(hash(spec_text) % (1 << 32))
+    table = random_table(rng, 1600)
+    spec = SortSpec.of(*[p.strip() for p in spec_text.split(",")])
+    expected = oracle_sort(table, spec)
+    result = sort_table(
+        table,
+        spec,
+        SortConfig(
+            run_threshold=800, num_workers=2, parallel_morsel_rows=300
+        ),
+    )
+    assert_byte_identical(expected, result)
+
+
+@pytest.mark.parametrize("limit,offset", [(10, 0), (25, 5), (1000, 0), (7, 3)])
+def test_topn_matches_oracle_prefix(limit, offset):
+    rng = np.random.default_rng(limit * 100 + offset)
+    table = random_table(rng, 900)
+    spec = SortSpec.of("f DESC", "i")
+    expected = oracle_sort(table, spec).slice(
+        min(offset, table.num_rows),
+        min(offset + limit, table.num_rows),
+    )
+    operator = TopNOperator(table.schema, spec, limit, offset)
+    for chunk in chunk_table(table, 128):
+        operator.sink(chunk)
+    assert_byte_identical(expected, operator.finalize())
+
+
+def test_oracle_agrees_with_reference_sort():
+    """The tuple-key oracle and the cmp-based reference must coincide."""
+    from conftest import reference_sort
+
+    rng = np.random.default_rng(99)
+    table = random_table(rng, 400)
+    spec = SortSpec.of("f DESC NULLS FIRST", "s", "i DESC")
+    assert_byte_identical(
+        reference_sort(table, spec), oracle_sort(table, spec)
+    )
