@@ -140,6 +140,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rows per sorted run (forces multi-run merging when small)",
     )
     sort_cmd.add_argument(
+        "--no-compress-keys",
+        action="store_true",
+        help=(
+            "disable runtime key compression (keep full-width normalized "
+            "keys; compression narrows key columns to the byte widths "
+            "their observed value ranges need)"
+        ),
+    )
+    sort_cmd.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -207,6 +216,7 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         external=args.external,
         spill_directories=tuple(args.spill_dir),
         verify_spill_checksums=not args.no_spill_checksums,
+        compress_keys=not args.no_compress_keys,
         **kwargs,
     )
     if config.external:

@@ -14,7 +14,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import KeyEncodingError
-from repro.keys.normalizer import KeyLayout, KeySegment
+from repro.keys.normalizer import MODE_FOLDED, KeyLayout, KeySegment
 from repro.types.datatypes import TypeId
 
 __all__ = ["decode_segment", "decode_key_row"]
@@ -48,16 +48,53 @@ def _decode_float(raw: bytes) -> float:
     return value
 
 
-def decode_segment(raw: bytes, segment: KeySegment) -> Any:
-    """Decode one segment's bytes (NULL byte + value bytes) to a value.
+def _uncompress_segment(raw: bytes, segment: KeySegment) -> bytes | None:
+    """Compressed segment bytes -> full-width ascending value bytes.
 
-    Returns ``None`` for NULL.  VARCHAR returns the stored prefix with
-    padding stripped (which equals the original string only if it fit).
+    Undoes the stored-code transform of a ``nobyte``/``folded`` segment
+    (NULL fold, DESC-in-code-domain, bias) and re-serializes the code at
+    the type's declared width, so the plain typed decoders below apply
+    unchanged.  Returns ``None`` for the reserved NULL code.
+    """
+    stored = int.from_bytes(raw, "big")
+    code_range = segment.code_range
+    if segment.mode == MODE_FOLDED:
+        if segment.key.nulls_first:
+            if stored == 0:
+                return None
+            stored -= 1
+        elif stored == code_range:
+            return None
+    if not 0 <= stored < code_range:
+        raise KeyEncodingError(
+            f"stored code {stored} outside range {code_range} of segment "
+            f"{segment.key.column!r}"
+        )
+    if segment.key.descending:
+        stored = (code_range - 1) - stored
+    code = stored + segment.bias
+    width = segment.dtype.fixed_width
+    assert width is not None
+    return code.to_bytes(width, "big")
+
+
+def decode_segment(raw: bytes, segment: KeySegment) -> Any:
+    """Decode one segment's bytes to a value.
+
+    For ``plain`` segments ``raw`` is the NULL byte plus value bytes; for
+    compressed segments it is the stored code bytes alone.  Returns
+    ``None`` for NULL.  VARCHAR returns the stored prefix with padding
+    stripped (which equals the original string only if it fit).
     """
     if len(raw) != segment.total_width:
         raise KeyEncodingError(
             f"segment needs {segment.total_width} bytes, got {len(raw)}"
         )
+    if not segment.has_null_byte:
+        value_bytes = _uncompress_segment(raw, segment)
+        if value_bytes is None:
+            return None
+        return _decode_fixed(value_bytes, segment)
     null_byte, value_bytes = raw[0], raw[1:]
     if null_byte == segment.null_byte_for_null:
         return None
@@ -65,9 +102,14 @@ def decode_segment(raw: bytes, segment: KeySegment) -> Any:
         raise KeyEncodingError(f"invalid NULL indicator byte {null_byte:#x}")
     if segment.key.descending:
         value_bytes = bytes(0xFF - b for b in value_bytes)
-    dtype = segment.dtype
-    if dtype.type_id is TypeId.VARCHAR:
+    if segment.dtype.type_id is TypeId.VARCHAR:
         return value_bytes.rstrip(b"\x00").decode("utf-8", errors="replace")
+    return _decode_fixed(value_bytes, segment)
+
+
+def _decode_fixed(value_bytes: bytes, segment: KeySegment) -> Any:
+    """Decode full-width ascending value bytes of a fixed-width type."""
+    dtype = segment.dtype
     if dtype.is_float:
         return _decode_float(value_bytes)
     if dtype.is_signed:

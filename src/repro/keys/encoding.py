@@ -38,6 +38,7 @@ __all__ = [
     "encode_string",
     "encode_scalar",
     "encode_fixed_column",
+    "fixed_column_codes",
     "encode_string_column",
     "utf8_byte_lengths",
     "invert_bytes",
@@ -132,12 +133,12 @@ def invert_bytes(encoded: bytes) -> bytes:
 # ---------------------------------------------------------------------- #
 
 
-def encode_fixed_column(values: np.ndarray, dtype: DataType) -> np.ndarray:
-    """Encode a fixed-width column into an (n, width) uint8 matrix.
+def _order_bits(values: np.ndarray, dtype: DataType) -> np.ndarray:
+    """The order-preserving unsigned bit pattern of each value.
 
-    The whole transform is vectorized: reinterpret, bias/flip, byteswap to
-    big-endian, then view as bytes.  This is the "convert one vector at a
-    time" step of the paper's pipeline.
+    This is the type transform of the paper's Figure 7 *before* the
+    big-endian byte serialization: an unsigned array (of the type's
+    natural width) whose integer order equals the value order.
     """
     width = dtype.fixed_width
     if width is None:
@@ -156,6 +157,30 @@ def encode_fixed_column(values: np.ndarray, dtype: DataType) -> np.ndarray:
         bits = np.ascontiguousarray(values).view(unsigned) ^ sign_bit
     else:
         bits = np.ascontiguousarray(values).astype(unsigned, copy=False)
+    return bits
+
+
+def fixed_column_codes(values: np.ndarray, dtype: DataType) -> np.ndarray:
+    """Order-preserving unsigned codes of a fixed-width column, as uint64.
+
+    The code domain the key-compression layer works in
+    (:mod:`repro.keys.compression`): integer comparison of the returned
+    codes equals value order, so per-column min/max statistics, the
+    bias-to-unsigned subtraction, and the width truncation all become
+    plain unsigned arithmetic.
+    """
+    return _order_bits(values, dtype).astype(np.uint64, copy=False)
+
+
+def encode_fixed_column(values: np.ndarray, dtype: DataType) -> np.ndarray:
+    """Encode a fixed-width column into an (n, width) uint8 matrix.
+
+    The whole transform is vectorized: reinterpret, bias/flip, byteswap to
+    big-endian, then view as bytes.  This is the "convert one vector at a
+    time" step of the paper's pipeline.
+    """
+    width = dtype.fixed_width
+    bits = _order_bits(values, dtype)
     big_endian = bits.astype(bits.dtype.newbyteorder(">"), copy=False)
     return np.ascontiguousarray(big_endian).view(np.uint8).reshape(len(values), width)
 

@@ -30,6 +30,7 @@ from repro.keys.encoding import (
     encode_fixed_column,
     encode_scalar,
     encode_string_column,
+    fixed_column_codes,
     invert_bytes,
     utf8_byte_lengths,
 )
@@ -40,12 +41,16 @@ from repro.types.sortspec import SortKey, SortSpec
 __all__ = [
     "DEFAULT_STRING_PREFIX",
     "MAX_STRING_PREFIX",
+    "MODE_PLAIN",
+    "MODE_NOBYTE",
+    "MODE_FOLDED",
     "KeySegment",
     "KeyLayout",
     "NormalizedKeys",
     "build_layout",
     "normalize_keys",
     "normalized_key_for_row",
+    "write_compressed_segment",
 ]
 
 DEFAULT_STRING_PREFIX = 12
@@ -53,6 +58,18 @@ DEFAULT_STRING_PREFIX = 12
 
 MAX_STRING_PREFIX = 12
 """Upper bound DuckDB places on the runtime-chosen string prefix."""
+
+MODE_PLAIN = "plain"
+"""Full-width segment with a leading NULL indicator byte (today's layout)."""
+
+MODE_NOBYTE = "nobyte"
+"""Compressed segment: biased codes at minimal width, no NULL byte (the
+column has no NULLs in any run seen so far)."""
+
+MODE_FOLDED = "folded"
+"""Compressed segment: biased codes at minimal width with the NULL
+indicator folded into the value -- the extreme code point is reserved for
+NULL (0 under NULLS FIRST, ``code_range`` under NULLS LAST)."""
 
 
 @dataclass(frozen=True)
@@ -62,11 +79,21 @@ class KeySegment:
     Attributes:
         key: the sort key (column, direction, null placement).
         dtype: the column's logical type.
-        offset: byte offset of this segment's NULL byte within the key row.
+        offset: byte offset of this segment within the key row (the NULL
+            byte for ``plain`` segments, the first value byte otherwise).
         value_width: bytes used by the encoded value (excludes the NULL byte).
         prefix_exact: True unless this is a VARCHAR segment whose prefix
             truncates some value (memcmp on the segment then needs a
             full-string tie-break).
+        mode: ``plain`` (NULL byte + full-width encoding), ``nobyte`` or
+            ``folded`` (see the module constants).  VARCHAR segments are
+            always ``plain``.
+        bias: for compressed modes, the minimum order-preserving code over
+            the column's valid values; stored codes are relative to it.
+        code_range: for compressed modes, ``max_code - bias + 1`` -- the
+            number of distinct valid codes the segment can hold.  DESC is
+            applied in this domain (``rel -> code_range - 1 - rel``) rather
+            than by byte inversion.
     """
 
     key: SortKey
@@ -74,10 +101,17 @@ class KeySegment:
     offset: int
     value_width: int
     prefix_exact: bool = True
+    mode: str = MODE_PLAIN
+    bias: int = 0
+    code_range: int = 1
 
     @property
     def total_width(self) -> int:
-        return 1 + self.value_width
+        return self.value_width + (1 if self.mode == MODE_PLAIN else 0)
+
+    @property
+    def has_null_byte(self) -> bool:
+        return self.mode == MODE_PLAIN
 
     @property
     def null_byte_for_null(self) -> int:
@@ -240,6 +274,41 @@ class NormalizedKeys:
         return flat.astype(np.int64)
 
 
+def write_compressed_segment(
+    matrix: np.ndarray,
+    segment: KeySegment,
+    codes: np.ndarray,
+    valid: np.ndarray | None,
+) -> None:
+    """Write a compressed (``nobyte``/``folded``) segment's bytes.
+
+    ``codes`` are the uint64 order-preserving codes of the column
+    (:func:`repro.keys.encoding.fixed_column_codes`); ``valid`` is the
+    validity mask or None for an all-valid column.  Rows where ``valid``
+    is False may hold arbitrary codes (the column's NULL filler): their
+    relative code may wrap during the bias subtraction, which is harmless
+    because they are unconditionally overwritten with the NULL code.
+
+    Shared by :func:`normalize_keys` and the layout-rebase path in
+    :mod:`repro.keys.compression` so both agree byte-for-byte.
+    """
+    width = segment.value_width
+    rel = codes - np.uint64(segment.bias)
+    if segment.key.descending:
+        rel = np.uint64(segment.code_range - 1) - rel
+    if segment.mode == MODE_FOLDED:
+        if segment.key.nulls_first:
+            rel = rel + np.uint64(1)
+            null_code = np.uint64(0)
+        else:
+            null_code = np.uint64(segment.code_range)
+        if valid is not None and not valid.all():
+            rel[~valid] = null_code
+    big = np.ascontiguousarray(rel.astype(">u8")).view(np.uint8)
+    start = segment.offset
+    matrix[:, start : start + width] = big.reshape(len(codes), 8)[:, 8 - width :]
+
+
 def normalize_keys(
     table: Table,
     spec: SortSpec,
@@ -247,6 +316,7 @@ def normalize_keys(
     include_row_id: bool = True,
     row_id_base: int = 0,
     row_id_width: int | None = None,
+    layout: KeyLayout | None = None,
 ) -> NormalizedKeys:
     """Encode the sort-key columns of ``table`` into normalized keys.
 
@@ -255,13 +325,31 @@ def normalize_keys(
     (inverted for DESC), and an optional big-endian row-id suffix follows.
     ``row_id_base`` offsets the generated row ids (the sort operator gives
     each run a distinct base so ids are globally unique and stable).
+
+    When ``layout`` is given it is used as-is -- this is how the sort
+    operator applies a compressed layout built from column statistics
+    (:mod:`repro.keys.compression`); ``string_prefix``/``row_id_width``
+    are then ignored.  Compressed segments must cover the table's values
+    (``bias``/``code_range`` from a stats pass that saw this table).
     """
-    layout = build_layout(table, spec, string_prefix, include_row_id, row_id_width)
+    if layout is None:
+        layout = build_layout(
+            table, spec, string_prefix, include_row_id, row_id_width
+        )
     n = table.num_rows
-    matrix = np.zeros((n, layout.total_width), dtype=np.uint8)
+    # The matrix is written segment-by-segment below; only NULL value
+    # bytes and the row-id gap need explicit zeroing, so start from
+    # uninitialized memory instead of a zeroed page.
+    matrix = np.empty((n, layout.total_width), dtype=np.uint8)
     prefix_exact = True
     for segment in layout.segments:
         column = table.column(segment.key.column)
+        prefix_exact = prefix_exact and segment.prefix_exact
+        if not segment.has_null_byte:
+            codes = fixed_column_codes(column.data, segment.dtype)
+            valid = column.validity if column.has_nulls else None
+            write_compressed_segment(matrix, segment, codes, valid)
+            continue
         start = segment.offset
         # NULL indicator byte.
         valid = column.validity
@@ -273,12 +361,16 @@ def normalize_keys(
         # Value bytes.
         if segment.dtype.type_id is TypeId.VARCHAR:
             encoded = encode_string_column(column.data, segment.value_width)
-            # Exactness was settled by the layout's single prefix scan.
-            prefix_exact = prefix_exact and segment.prefix_exact
         else:
             encoded = encode_fixed_column(column.data, segment.dtype)
         if segment.key.descending:
-            encoded = 0xFF - encoded
+            # In-place byte inversion -- unless the encoder returned a view
+            # aliasing the column's own buffer (possible for unsigned
+            # types whose big-endian cast is a no-op, e.g. BOOLEAN).
+            if np.shares_memory(encoded, column.data):
+                encoded = 0xFF - encoded
+            else:
+                np.subtract(0xFF, encoded, out=encoded)
         matrix[:, start + 1 : start + 1 + segment.value_width] = encoded
         # NULL rows get constant (zero) value bytes so all NULLs tie.
         if column.has_nulls:
@@ -310,6 +402,9 @@ def normalized_key_for_row(
     """
     out = bytearray()
     for value, segment in zip(row, layout.segments):
+        if not segment.has_null_byte:
+            out.extend(_compressed_scalar_bytes(value, segment))
+            continue
         if value is None:
             out.append(segment.null_byte_for_null)
             out.extend(b"\x00" * segment.value_width)
@@ -320,3 +415,28 @@ def normalized_key_for_row(
             encoded = invert_bytes(encoded)
         out.extend(encoded)
     return bytes(out)
+
+
+def _compressed_scalar_bytes(value, segment: KeySegment) -> bytes:
+    """Scalar mirror of :func:`write_compressed_segment` for one value."""
+    code_range = segment.code_range
+    if value is None:
+        if segment.mode != MODE_FOLDED:
+            raise KeyEncodingError(
+                f"NULL in {segment.mode!r} segment {segment.key.column!r}"
+            )
+        stored = 0 if segment.key.nulls_first else code_range
+    else:
+        arr = np.array([value], dtype=segment.dtype.numpy_dtype)
+        rel = int(fixed_column_codes(arr, segment.dtype)[0]) - segment.bias
+        if not 0 <= rel < code_range:
+            raise KeyEncodingError(
+                f"value {value!r} outside compressed range of segment "
+                f"{segment.key.column!r}"
+            )
+        if segment.key.descending:
+            rel = (code_range - 1) - rel
+        stored = rel + 1 if (
+            segment.mode == MODE_FOLDED and segment.key.nulls_first
+        ) else rel
+    return stored.to_bytes(segment.value_width, "big")

@@ -14,6 +14,19 @@ storage".  This module implements that design for the sort operator:
   is O(num_runs * block_rows) key rows instead of O(n), with zero per-row
   Python between frontier refills.
 
+Runs are encoded under the runtime key-compression layer
+(:mod:`repro.keys.compression`) unless ``SortConfig.compress_keys`` is
+off: each run's layout comes from one monotone statistics accumulator,
+so layouts only ever widen run-to-run and the merge rebases earlier
+(narrower) runs onto the final layout block-by-block as it streams them
+-- spilled key bytes shrink without a re-spill pass.  Each spill header
+carries its run's serialized layout in the format-v2 ``extra`` blob.
+When the key segments alone can reconstruct every column exactly
+(``key_carried_eligible``: all columns are fixed-width non-float sort
+keys), runs are spilled **key-carried**: the payload row matrix and heap
+sections are empty and the output table is decoded straight from the
+merged key rows, cutting spill volume by the full payload width.
+
 The spill format per run is one file of three contiguous data sections --
 the sorted key matrix, the payload row matrix, and the string heap --
 preceded by a versioned, checksummed header (:mod:`repro.sort.spillfile`).
@@ -66,16 +79,29 @@ from repro.errors import (
     SpillCorruptionError,
     SpillIOError,
 )
-from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
+from repro.keys.compression import (
+    KeyStatsAccumulator,
+    decode_key_table,
+    key_carried_eligible,
+    plain_key_width,
+    rebase_matrix,
+    serialize_layout,
+)
+from repro.keys.normalizer import (
+    MAX_STRING_PREFIX,
+    KeyLayout,
+    normalize_keys,
+)
 from repro.rows.block import RowBlock, gather_slices
 from repro.rows.layout import RowLayout
 from repro.sort.faults import SpillIO
-from repro.sort.kernels import KWayBlockStats, argsort_rows
+from repro.sort.heuristic import vector_sort_rows
+from repro.sort.kernels import KWayBlockStats
 from repro.sort.kway import kway_merge_stream
 from repro.sort.operator import SortConfig, SortStats
 from repro.sort.parallel_exec import ParallelSortExecutor
 from repro.sort.pdqsort import pdqsort
-from repro.sort.radix import VECTOR_FINISH_THRESHOLD, radix_argsort
+from repro.sort.radix import radix_argsort
 from repro.sort.spillfile import (
     SECTION_NAMES,
     SpillHeader,
@@ -126,11 +152,15 @@ class SpilledRun:
         header: SpillHeader,
         io: SpillIO | None = None,
         verify: bool = True,
+        layout: KeyLayout | None = None,
     ) -> None:
         self.path = path
         self.header = header
         self.io = io or SpillIO()
         self.verify = verify
+        #: the run's compressed key layout (``None`` for uncompressed
+        #: runs); also serialized in ``header.extra`` for re-attachment.
+        self.layout = layout
 
     @classmethod
     def open(
@@ -332,10 +362,17 @@ class InMemoryRun:
     on_disk = False
     path = "<memory>"
 
-    def __init__(self, keys: np.ndarray, rows: np.ndarray, heap: bytes) -> None:
+    def __init__(
+        self,
+        keys: np.ndarray,
+        rows: np.ndarray,
+        heap: bytes,
+        layout: KeyLayout | None = None,
+    ) -> None:
         self._keys = np.ascontiguousarray(keys)
         self._rows = np.ascontiguousarray(rows)
         self._heap = heap
+        self.layout = layout
 
     @property
     def num_rows(self) -> int:
@@ -430,6 +467,25 @@ class ExternalSortOperator:
         )
         self._next_row_id = 0
         self._parallel: ParallelSortExecutor | None = None
+        # Key compression: per-run layouts come from one monotone stats
+        # accumulator, so layouts only widen run-to-run and every earlier
+        # run rebases losslessly onto the final (widest) layout during the
+        # merge.  A user-forced string_prefix pins the layout, so it
+        # disables compression (same rule as SortOperator).
+        self._compress = (
+            self.config.compress_keys and self.config.string_prefix is None
+        )
+        self._key_acc = (
+            KeyStatsAccumulator(schema, spec) if self._compress else None
+        )
+        # Key-carried runs: when the key segments alone can reconstruct
+        # every column exactly, spill the sorted keys and nothing else.
+        self._key_carried = (
+            self._compress
+            and self.config.use_vector_kernels
+            and key_carried_eligible(schema, spec)
+        )
+        self._final_layout: KeyLayout | None = None
         self.stats = SortStats()
 
     # ------------------------------------------------------------------ #
@@ -617,21 +673,41 @@ class ExternalSortOperator:
         self._buffer.clear()
         self._buffered_rows = 0
 
-        # Lock VARCHAR prefixes to the cap so every spilled run shares one
-        # key layout -- the streamed merge compares keys across runs.
-        string_prefix = self.config.string_prefix
-        if string_prefix is None and self._has_string_key:
-            string_prefix = MAX_STRING_PREFIX
         with self.stats.time_phase("encode"):
-            keys = normalize_keys(
-                table,
-                self.spec,
-                string_prefix=string_prefix,
-                include_row_id=True,
-                row_id_base=self._next_row_id,
-                row_id_width=ROW_ID_WIDTH,
-            )
+            if self._compress:
+                # The accumulator has seen every row so far, so this run's
+                # layout is at least as wide as every earlier run's; the
+                # merge rebases narrower runs onto the final layout.
+                self._key_acc.update(table)
+                layout = self._key_acc.build_layout(
+                    include_row_id=True, row_id_width=ROW_ID_WIDTH
+                )
+                keys = normalize_keys(
+                    table,
+                    self.spec,
+                    include_row_id=True,
+                    row_id_base=self._next_row_id,
+                    row_id_width=ROW_ID_WIDTH,
+                    layout=layout,
+                )
+            else:
+                # Lock VARCHAR prefixes to the cap so every spilled run
+                # shares one key layout -- the streamed merge compares
+                # keys across runs.
+                string_prefix = self.config.string_prefix
+                if string_prefix is None and self._has_string_key:
+                    string_prefix = MAX_STRING_PREFIX
+                keys = normalize_keys(
+                    table,
+                    self.spec,
+                    string_prefix=string_prefix,
+                    include_row_id=True,
+                    row_id_base=self._next_row_id,
+                    row_id_width=ROW_ID_WIDTH,
+                )
         self._next_row_id += len(table)
+        self.stats.key_width_used = keys.layout.key_width
+        self.stats.key_width_full = plain_key_width(keys.layout)
         if not keys.prefix_exact:
             raise SortError(
                 "external sort requires exact key prefixes; raise "
@@ -641,40 +717,52 @@ class ExternalSortOperator:
             order = self._parallel_argsort(keys)
             if order is not None:
                 pass
+            elif self.config.use_vector_kernels:
+                # Stable vectorized sort of the key bytes (MSD radix or
+                # argsort/lexsort per the width/skew heuristic); the
+                # ascending row-id suffix makes any stable kernel's
+                # permutation identical to full-row memcmp order.
+                order = vector_sort_rows(
+                    keys.matrix[:, : keys.layout.key_width],
+                    keys.layout.key_width,
+                    self.stats,
+                    self.stats.radix,
+                )
             elif self._has_string_key and self.config.force_algorithm != "radix":
-                if self.config.use_vector_kernels:
-                    # Stable argsort of the key bytes; the ascending row-id
-                    # suffix makes this identical to full-row memcmp order.
-                    order = argsort_rows(
-                        keys.matrix[:, : keys.layout.key_width]
-                    )
-                else:
-                    raw = [
-                        keys.matrix[i].tobytes() for i in range(len(table))
-                    ]
-                    order_list = list(range(len(table)))
-                    pdqsort(order_list, lambda i, j: raw[i] < raw[j])
-                    order = np.asarray(order_list, dtype=np.int64)
+                raw = [
+                    keys.matrix[i].tobytes() for i in range(len(table))
+                ]
+                order_list = list(range(len(table)))
+                pdqsort(order_list, lambda i, j: raw[i] < raw[j])
+                order = np.asarray(order_list, dtype=np.int64)
             else:
                 # Stable radix over the key bytes only (see SortOperator).
                 order = radix_argsort(
                     keys.matrix[:, : keys.layout.key_width],
-                    vector_threshold=(
-                        VECTOR_FINISH_THRESHOLD
-                        if self.config.use_vector_kernels
-                        else None
-                    ),
+                    vector_threshold=None,
                 )
-            block = RowBlock.from_table(table).take(np.asarray(order))
             sorted_keys = np.ascontiguousarray(keys.matrix[order])
-            sorted_rows = np.ascontiguousarray(block.rows)
+            if self._key_carried:
+                # The keys alone reconstruct every column: spill nothing
+                # else.  Payload rows and heap shrink to zero bytes.
+                sorted_rows = np.empty((len(table), 0), dtype=np.uint8)
+                heap = b""
+                self.stats.key_carried_runs += 1
+            else:
+                block = RowBlock.from_table(table).take(np.asarray(order))
+                sorted_rows = np.ascontiguousarray(block.rows)
+                heap = block.heap
 
-        self._store_run(sorted_keys, sorted_rows, block.heap)
+        self._store_run(sorted_keys, sorted_rows, heap, keys.layout)
         self.stats.runs_generated += 1
         self.stats.rows_sorted += len(table)
 
     def _store_run(
-        self, sorted_keys: np.ndarray, sorted_rows: np.ndarray, heap: bytes
+        self,
+        sorted_keys: np.ndarray,
+        sorted_rows: np.ndarray,
+        heap: bytes,
+        layout: KeyLayout | None = None,
     ) -> None:
         """Spill one sorted run, degrading to memory when disk is gone."""
         filename = f"run-{len(self._runs):05d}.bin"
@@ -687,6 +775,11 @@ class ExternalSortOperator:
                 sorted_keys.shape[1],
                 sorted_rows.shape[1],
                 (keys_bytes, rows_bytes, heap),
+                extra=(
+                    serialize_layout(layout)
+                    if self._compress and layout is not None
+                    else b""
+                ),
             )
             path = self._write_run_file(
                 filename, [header.pack(), keys_bytes, rows_bytes, heap]
@@ -698,6 +791,7 @@ class ExternalSortOperator:
                     header,
                     self._io,
                     verify=self.config.verify_spill_checksums,
+                    layout=layout if self._compress else None,
                 )
             )
             return
@@ -718,7 +812,14 @@ class ExternalSortOperator:
                 stacklevel=3,
             )
         self.stats.memory_run_fallbacks += 1
-        self._runs.append(InMemoryRun(sorted_keys, sorted_rows, heap))
+        self._runs.append(
+            InMemoryRun(
+                sorted_keys,
+                sorted_rows,
+                heap,
+                layout=layout if self._compress else None,
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Finalize
@@ -742,6 +843,19 @@ class ExternalSortOperator:
                 self._spill_run()
             if not self._runs:
                 return Table.empty(self.schema)
+            if self._compress:
+                # The widest (= final) layout; earlier, narrower runs are
+                # rebased onto it block-by-block as the merge streams them.
+                self._final_layout = self._key_acc.build_layout(
+                    include_row_id=True, row_id_width=ROW_ID_WIDTH
+                )
+                self.stats.key_width_used = self._final_layout.key_width
+                self.stats.key_width_full = plain_key_width(
+                    self._final_layout
+                )
+                for run in self._runs:
+                    if run.layout != self._final_layout:
+                        self.stats.key_layout_rebases += 1
             if self.config.verify_spill_checksums:
                 self._verify_run_headers()
             # Time the merge phase net of the spill reads it triggers.
@@ -794,13 +908,15 @@ class ExternalSortOperator:
         # Merge on the key bytes only: every spilled run carries an
         # 8-byte row-id suffix that ascends with run order, so the
         # kernel's stable earlier-run-first tie handling reproduces
-        # full-key memcmp order without comparing the suffix.
-        merge_width = self._runs[0].key_width - ROW_ID_WIDTH
+        # full-key memcmp order without comparing the suffix.  Under key
+        # compression the merge width is the final layout's; narrower
+        # runs rebase per block inside the source iterators.
+        if self._final_layout is not None:
+            merge_width = self._final_layout.key_width
+        else:
+            merge_width = self._runs[0].key_width - ROW_ID_WIDTH
         sources = [
-            run.iter_key_blocks(
-                self.merge_block_rows, key_bytes=merge_width, stats=stats
-            )
-            for run in self._runs
+            self._key_block_source(run, merge_width) for run in self._runs
         ]
         # Heaps stay resident while rows stream: string offsets are
         # run-relative, so the bytes must remain addressable until the
@@ -813,12 +929,19 @@ class ExternalSortOperator:
 
         kernel_stats = KWayBlockStats()
         row_parts: list[np.ndarray] = []
+        key_parts: list[np.ndarray] = []
         heap_parts: list[bytes] = []
         heap_cursor = 0
         rounds = kway_merge_stream(
             sources, kernel_stats, on_round=self._check_cancelled
         )
         for run_ids, row_ids in rounds:
+            if self._key_carried:
+                # No payload was spilled; re-read the emitted key rows
+                # (rebased onto the final layout) and decode them back
+                # into columns after the merge.
+                key_parts.append(self._gather_key_blocks(run_ids, row_ids))
+                continue
             out_rows = self._gather_blocks(run_ids, row_ids)
             if has_strings:
                 heap_cursor = self._rebase_string_block(
@@ -831,6 +954,15 @@ class ExternalSortOperator:
         stats.kway_peak_frontier_rows = max(
             stats.kway_peak_frontier_rows, kernel_stats.peak_frontier_rows
         )
+        if self._key_carried:
+            if not key_parts:
+                return Table.empty(self.schema)
+            matrix = (
+                key_parts[0]
+                if len(key_parts) == 1
+                else np.concatenate(key_parts)
+            )
+            return decode_key_table(matrix, self._final_layout, self.schema)
         if not row_parts:
             return Table.empty(self.schema)
         merged = RowBlock(
@@ -857,6 +989,51 @@ class ExternalSortOperator:
             parts.append(
                 self._runs[index].read_row_block(lo, hi, self.stats)
             )
+            bases[index] = cursor - lo
+            cursor += hi - lo
+        stacked = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return np.ascontiguousarray(stacked[bases[run_ids] + row_ids])
+
+    def _key_block_source(
+        self, run: "SpilledRun | InMemoryRun", merge_width: int
+    ) -> Iterator[np.ndarray]:
+        """Stream a run's key blocks, rebased for merging, key bytes only.
+
+        Each block is read with one seek, rebased onto the final key
+        layout when the run was written under a narrower one, and
+        truncated to ``merge_width`` (the merge drops the row-id suffix).
+        """
+        final = self._final_layout
+        for start in range(0, run.num_rows, self.merge_block_rows):
+            stop = min(start + self.merge_block_rows, run.num_rows)
+            block = run.read_key_block(start, stop, self.stats)
+            if final is not None and run.layout is not None:
+                block = rebase_matrix(block, run.layout, final)
+            if block.shape[1] != merge_width:
+                block = block[:, :merge_width]
+            yield block
+
+    def _gather_key_blocks(
+        self, run_ids: np.ndarray, row_ids: np.ndarray
+    ) -> np.ndarray:
+        """One emitted round's full key rows in merge order (key-carried).
+
+        Mirror of :meth:`_gather_blocks` over the keys section: one
+        contiguous read per contributing run, rebased onto the final
+        layout, then a single vectorized gather back into merge order.
+        """
+        parts: list[np.ndarray] = []
+        bases = np.zeros(len(self._runs), dtype=np.int64)
+        cursor = 0
+        final = self._final_layout
+        for index in np.unique(run_ids):
+            positions = row_ids[run_ids == index]
+            lo, hi = int(positions[0]), int(positions[-1]) + 1
+            run = self._runs[index]
+            block = run.read_key_block(lo, hi, self.stats)
+            if final is not None and run.layout is not None:
+                block = rebase_matrix(block, run.layout, final)
+            parts.append(block)
             bases[index] = cursor - lo
             cursor += hi - lo
         stacked = parts[0] if len(parts) == 1 else np.concatenate(parts)
@@ -997,9 +1174,15 @@ class ExternalSortOperator:
         """
 
         def raw_rows(run: SpilledRun | InMemoryRun) -> Iterator[bytes]:
-            for block in run.iter_key_blocks(
-                self.merge_block_rows, stats=self.stats
-            ):
+            # Full-width rows (row-id suffix included, globally ascending)
+            # so heap ties never happen; compressed runs rebase onto the
+            # final layout first so bytes compare across runs.
+            final = self._final_layout
+            for start in range(0, run.num_rows, self.merge_block_rows):
+                stop = min(start + self.merge_block_rows, run.num_rows)
+                block = run.read_key_block(start, stop, self.stats)
+                if final is not None and run.layout is not None:
+                    block = rebase_matrix(block, run.layout, final)
                 for i in range(len(block)):
                     yield block[i].tobytes()
 

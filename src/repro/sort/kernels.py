@@ -33,6 +33,8 @@ from repro.errors import SortError
 __all__ = [
     "void_view",
     "argsort_rows",
+    "radix_argsort_rows",
+    "RADIX_FINISH_ROWS",
     "merge_indices",
     "merge_matrices",
     "KWayBlockStats",
@@ -97,21 +99,25 @@ def _chunk_columns(matrix: np.ndarray) -> list[np.ndarray]:
     big-endian word and converted to native endianness: comparing the word
     list lexicographically equals comparing the rows with memcmp, and each
     word column sorts/searches at full native-integer speed.
+
+    The whole matrix is processed with three whole-matrix operations at
+    most -- one zero-pad (only when the width is not a multiple of 8), one
+    byte-swapping cast, one transpose copy -- instead of a pad + cast per
+    word.  The returned word columns are contiguous views sharing a single
+    backing buffer (callers and tests rely on this: re-chunking a block
+    never allocates per-word temporaries).
     """
     _check_matrix(matrix)
     n, width = matrix.shape
-    contiguous = np.ascontiguousarray(matrix)
-    columns = []
-    for start in range(0, width, 8):
-        stop = min(start + 8, width)
-        if stop - start == 8:
-            chunk = contiguous[:, start:stop]
-        else:
-            chunk = np.zeros((n, 8), dtype=np.uint8)
-            chunk[:, : stop - start] = contiguous[:, start:stop]
-        big_endian = np.ascontiguousarray(chunk).view(">u8").reshape(n)
-        columns.append(big_endian.astype(np.uint64, copy=False))
-    return columns
+    words = (width + 7) // 8
+    if width % 8:
+        padded = np.zeros((n, words * 8), dtype=np.uint8)
+        padded[:, :width] = matrix
+    else:
+        padded = np.ascontiguousarray(matrix)
+    swapped = padded.view(">u8").astype(np.uint64, copy=False)
+    stacked = np.ascontiguousarray(swapped.T)
+    return [stacked[word] for word in range(words)]
 
 
 def argsort_rows(matrix: np.ndarray) -> np.ndarray:
@@ -127,6 +133,96 @@ def argsort_rows(matrix: np.ndarray) -> np.ndarray:
     else:
         order = np.lexsort(tuple(reversed(columns)))
     return order.astype(np.int64, copy=False)
+
+
+RADIX_FINISH_ROWS = 1 << 10
+"""Spans at or below this row count are finished with :func:`argsort_rows`
+over the remaining key bytes instead of further MSD partitioning."""
+
+
+def radix_argsort_rows(matrix: np.ndarray, stats=None) -> np.ndarray:
+    """Stable MSD radix argsort of whole key rows, fully vectorized.
+
+    The paper's Section VI-B radix sort, with every per-row step a numpy
+    primitive: the histogram of the active byte is one ``np.bincount``, and
+    the stable counting-sort scatter is numpy's stable ``np.argsort`` of
+    the uint8 column (which *is* a counting sort internally).  Recursion is
+    an explicit stack of ``(start, stop, byte)`` spans; per span:
+
+    * single occupied bucket -> skip-copy (no data movement), descend to
+      the next byte;
+    * otherwise scatter once, then split into bucket spans from the
+      histogram's cumulative sum.  Adjacent small buckets are coalesced
+      into one span so the finisher below amortizes across them.
+
+    Spans of at most :data:`RADIX_FINISH_ROWS` rows (and spans at the last
+    byte) are finished with :func:`argsort_rows` over the *remaining* bytes
+    -- starting at the span's current byte, because a coalesced span still
+    mixes leading-byte values.
+
+    ``stats``, if given, must expose the
+    :class:`repro.sort.radix.RadixStats` interface (duck-typed; this module
+    cannot import :mod:`repro.sort.radix`, which imports it).  The result
+    is byte-for-byte the permutation :func:`argsort_rows` returns -- both
+    are stable sorts of the same rows.
+    """
+    _check_matrix(matrix)
+    n, width = matrix.shape
+    order = np.arange(n, dtype=np.int64)
+    if n <= 1:
+        return order
+    contiguous = np.ascontiguousarray(matrix)
+    stack: list[tuple[int, int, int]] = [(0, n, 0)]
+    while stack:
+        start, stop, byte = stack.pop()
+        count = stop - start
+        if count <= 1:
+            continue
+        if count <= RADIX_FINISH_ROWS or byte >= width - 1:
+            span = order[start:stop]
+            suffix = contiguous[span, byte:]
+            order[start:stop] = span[argsort_rows(suffix)]
+            if stats is not None:
+                stats.vector_finished_buckets += 1
+                stats.rows_moved += count
+            continue
+        column = contiguous[order[start:stop], byte]
+        histogram = np.bincount(column, minlength=256)
+        occupied = np.flatnonzero(histogram)
+        if len(occupied) == 1:
+            # Skip-copy: one bucket holds every row, no movement needed.
+            if stats is not None:
+                stats.record_pass(0, skipped=True)
+            stack.append((start, stop, byte + 1))
+            continue
+        scatter = np.argsort(column, kind="stable")
+        order[start:stop] = order[start:stop][scatter]
+        if stats is not None:
+            stats.record_pass(count, skipped=False)
+        # Bucket spans from the histogram prefix sums.  Occupied buckets
+        # are adjacent in the scattered order, so small neighbours can be
+        # coalesced into one span for the argsort finisher.
+        ends = np.cumsum(histogram)
+        acc_start = acc_end = -1
+        for bucket in occupied:
+            bucket_end = start + int(ends[bucket])
+            bucket_start = bucket_end - int(histogram[bucket])
+            size = bucket_end - bucket_start
+            if size > RADIX_FINISH_ROWS:
+                if acc_start >= 0:
+                    stack.append((acc_start, acc_end, byte))
+                    acc_start = -1
+                stack.append((bucket_start, bucket_end, byte + 1))
+            elif acc_start < 0:
+                acc_start, acc_end = bucket_start, bucket_end
+            elif bucket_end - acc_start <= RADIX_FINISH_ROWS:
+                acc_end = bucket_end
+            else:
+                stack.append((acc_start, acc_end, byte))
+                acc_start, acc_end = bucket_start, bucket_end
+        if acc_start >= 0:
+            stack.append((acc_start, acc_end, byte))
+    return order
 
 
 def merge_indices(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -29,9 +29,15 @@ from typing import Iterable
 import numpy as np
 
 from repro.errors import SortError
+from repro.keys.compression import (
+    KeyStatsAccumulator,
+    plain_key_width,
+    rebase_matrix,
+)
 from repro.keys.normalizer import MAX_STRING_PREFIX, NormalizedKeys, normalize_keys
 from repro.rows.block import RowBlock
-from repro.sort.kernels import argsort_rows, merge_indices
+from repro.sort.heuristic import vector_sort_rows
+from repro.sort.kernels import merge_indices
 from repro.sort.parallel_exec import (
     DEFAULT_MORSEL_ROWS as DEFAULT_PARALLEL_MORSEL_ROWS,
     ParallelSortExecutor,
@@ -39,7 +45,6 @@ from repro.sort.parallel_exec import (
 from repro.sort.pdqsort import pdqsort
 from repro.sort.radix import (
     LSD_WIDTH_THRESHOLD,
-    VECTOR_FINISH_THRESHOLD,
     RadixStats,
     radix_argsort,
 )
@@ -126,6 +131,15 @@ class SortConfig:
             platform lacks ``fork``/POSIX shared memory.
         parallel_morsel_rows: rows per run-generation morsel of the
             parallel path.
+        compress_keys: shrink normalized keys from runtime statistics
+            (paper, Section V): each fixed-width key column is biased to
+            unsigned and stored at the minimal byte width its observed
+            min/max needs, with the NULL indicator byte folded into the
+            value when a spare code point exists
+            (:mod:`repro.keys.compression`).  Off preserves the
+            full-width layout bit-for-bit.  Ignored (treated as off) when
+            ``string_prefix`` forces a fixed VARCHAR prefix, since the
+            compressed layout chooses prefixes from the data.
     """
 
     run_threshold: int = DEFAULT_RUN_THRESHOLD
@@ -142,6 +156,7 @@ class SortConfig:
     allow_memory_fallback: bool = True
     num_workers: int = 1
     parallel_morsel_rows: int = DEFAULT_PARALLEL_MORSEL_ROWS
+    compress_keys: bool = True
 
     def __post_init__(self) -> None:
         if self.run_threshold <= 0:
@@ -196,6 +211,16 @@ class SortStats:
     wall-clock of all parallel phases) -- the measured schedule that
     :class:`repro.engine.parallel.PhaseModel` predictions are checked
     against.
+
+    The key-compression counters: ``key_width_used`` / ``key_width_full``
+    are the final layout's key bytes per row with and without compression
+    (row-id suffix excluded); ``key_layout_rebases`` counts runs whose
+    keys were re-encoded because later data widened the layout;
+    ``key_carried_runs`` counts external runs spilled as keys only (the
+    payload reconstructed from the keys at merge time).
+    ``vector_sort_paths`` / ``vector_sort_reasons`` record which
+    vectorized sort kernel ran per run and why
+    (:func:`repro.sort.heuristic.vector_sort_rows`).
     """
 
     rows_sorted: int = 0
@@ -225,6 +250,18 @@ class SortStats:
     )
     parallel_worker_seconds: dict[int, float] = field(default_factory=dict)
     parallel_makespan_s: float = 0.0
+    key_width_used: int = 0
+    key_width_full: int = 0
+    key_layout_rebases: int = 0
+    key_carried_runs: int = 0
+    vector_sort_paths: dict[str, int] = field(default_factory=dict)
+    vector_sort_reasons: dict[str, int] = field(default_factory=dict)
+
+    def record_vector_sort(self, path: str, reason: str) -> None:
+        self.vector_sort_paths[path] = self.vector_sort_paths.get(path, 0) + 1
+        self.vector_sort_reasons[reason] = (
+            self.vector_sort_reasons.get(reason, 0) + 1
+        )
 
     def add_phase_seconds(self, phase: str, seconds: float) -> None:
         self.phase_seconds[phase] = (
@@ -254,6 +291,7 @@ class SortedRun:
     payload: RowBlock  # rows already in key order
     key_width: int  # bytes of key before the row-id suffix
     raw: list[bytes] | None = None  # per-row key bytes (scalar merge cache)
+    layout: object | None = None  # KeyLayout the keys were encoded under
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -299,6 +337,12 @@ class SortOperator:
             schema.column(name).dtype.type_id is TypeId.VARCHAR
             for name in spec.column_names
         )
+        # A forced string prefix pins the layout, which the statistics
+        # pass would override -- compression defers to it.
+        self._compress = (
+            self.config.compress_keys and self.config.string_prefix is None
+        )
+        self._key_acc: KeyStatsAccumulator | None = None
 
     # ------------------------------------------------------------------ #
     # Parallel execution
@@ -381,6 +425,18 @@ class SortOperator:
         if string_prefix is None and self._has_string_key:
             string_prefix = MAX_STRING_PREFIX
         with self.stats.time_phase("encode"):
+            layout = None
+            if self._compress:
+                # Stats-driven key compression: the accumulator is
+                # monotone, so this run's layout covers all earlier runs'
+                # data too -- earlier runs are re-based at finalize if
+                # this layout is wider than theirs.
+                if self._key_acc is None:
+                    self._key_acc = KeyStatsAccumulator(self.schema, self.spec)
+                self._key_acc.update(table)
+                layout = self._key_acc.build_layout(
+                    include_row_id=True, row_id_width=8
+                )
             keys = normalize_keys(
                 table,
                 self.spec,
@@ -388,8 +444,11 @@ class SortOperator:
                 include_row_id=True,
                 row_id_base=self._next_row_id,
                 row_id_width=8,
+                layout=layout,
             )
         self._key_layout = keys.layout
+        self.stats.key_width_used = keys.layout.key_width
+        self.stats.key_width_full = plain_key_width(keys.layout)
         self._next_row_id += len(table)
         self.stats.prefix_exact = self.stats.prefix_exact and keys.prefix_exact
 
@@ -419,23 +478,32 @@ class SortOperator:
                 # -- the row-id suffix exists for merge-time tie breaks,
                 # and spending passes on its (unique) bytes would be
                 # wasted work.
-                order = radix_argsort(
-                    keys.matrix[:, : keys.layout.key_width],
-                    self.stats.radix,
-                    self.config.lsd_threshold,
-                    vector_threshold=(
-                        VECTOR_FINISH_THRESHOLD
-                        if self.config.use_vector_kernels
-                        else None
-                    ),
-                )
+                if self.config.use_vector_kernels:
+                    # Width/row-count/skew heuristic picks the vectorized
+                    # MSD radix kernel or the argsort/lexsort kernel;
+                    # both stable, so the run is byte-identical either way.
+                    order = vector_sort_rows(
+                        keys.matrix[:, : keys.layout.key_width],
+                        keys.layout.key_width,
+                        self.stats,
+                        self.stats.radix,
+                    )
+                else:
+                    order = radix_argsort(
+                        keys.matrix[:, : keys.layout.key_width],
+                        self.stats.radix,
+                        self.config.lsd_threshold,
+                        vector_threshold=None,
+                    )
             else:
                 order = self._pdq_argsort(table, keys)
 
             sorted_keys = keys.matrix[order]
             payload = RowBlock.from_table(table).take(np.asarray(order))
         self._runs.append(
-            SortedRun(sorted_keys, payload, keys.layout.key_width)
+            SortedRun(
+                sorted_keys, payload, keys.layout.key_width, layout=keys.layout
+            )
         )
         self.stats.runs_generated += 1
         self.stats.rows_sorted += len(table)
@@ -454,10 +522,16 @@ class SortOperator:
         matrix = keys.matrix
         if keys.prefix_exact:
             if self.config.use_vector_kernels:
-                # Vectorized stable argsort of the key bytes.  The row-id
-                # suffix ascends with row index, so a stable sort without
-                # it is byte-identical to memcmp over the full row.
-                return argsort_rows(matrix[:, : keys.layout.key_width])
+                # Vectorized stable sort of the key bytes (heuristic
+                # radix/lexsort dispatch).  The row-id suffix ascends with
+                # row index, so a stable sort without it is byte-identical
+                # to memcmp over the full row.
+                return vector_sort_rows(
+                    matrix[:, : keys.layout.key_width],
+                    keys.layout.key_width,
+                    self.stats,
+                    self.stats.radix,
+                )
             raw = [matrix[i].tobytes() for i in range(n)]
             order = list(range(n))
             pdqsort(order, lambda i, j: raw[i] < raw[j])
@@ -600,6 +674,25 @@ class SortOperator:
             if not self._runs:
                 return Table.empty(self.schema)
             runs = self._runs
+            if self._compress and len(runs) > 1:
+                # Later runs may have widened the compressed layout; the
+                # last run's layout covers every run (the statistics
+                # accumulator is monotone), so re-base narrower runs onto
+                # it and the merge memcmps one shared layout.
+                final_layout = runs[-1].layout
+                for run in runs:
+                    if run.layout is None or run.layout == final_layout:
+                        continue
+                    with self.stats.time_phase("encode"):
+                        run.keys = rebase_matrix(
+                            run.keys, run.layout, final_layout
+                        )
+                    run.layout = final_layout
+                    run.key_width = final_layout.key_width
+                    run.raw = None
+                    self.stats.key_layout_rebases += 1
+                self._key_layout = final_layout
+                self.stats.key_width_used = final_layout.key_width
             with self.stats.time_phase("merge"):
                 while len(runs) > 1:
                     self.stats.merge_rounds += 1

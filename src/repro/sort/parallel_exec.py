@@ -31,6 +31,12 @@ the earlier (lower-row-id) side, exactly like the serial kernels, so the
 permutation -- and therefore the sorted table -- is byte-identical to
 the serial path for any worker count and morsel size.
 
+Key compression (:mod:`repro.keys.compression`) composes transparently:
+all shared-memory geometry (segment sizes, morsel offsets, sub-merge
+bounds) derives from the ``key_width`` the caller passes alongside the
+matrix, never from a schema-computed width, so compressed (narrower)
+key matrices just make the shared segment smaller.
+
 Fallback rules (the caller degrades to the serial kernels whenever
 :meth:`ParallelSortExecutor.argsort` / :meth:`merge_two` return
 ``None``):

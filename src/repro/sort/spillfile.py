@@ -5,7 +5,7 @@ A spill file holds one sorted run as three contiguous data sections
 versioned header::
 
     +--------------------------------------------------------------+
-    | fixed header (44 bytes, little-endian)                       |
+    | fixed header (48 bytes, little-endian)                       |
     |   magic "RSPL" | version | header_bytes | num_rows           |
     |   key_width | row_width | heap_bytes | page_size             |
     |   crc_count | header_crc32                                   |
@@ -13,10 +13,19 @@ versioned header::
     | page CRC32 table: crc_count x u32                            |
     |   (keys pages, then rows pages, then heap pages)             |
     +--------------------------------------------------------------+
+    | extra: header_bytes - 48 - 4*crc_count opaque bytes (v2)     |
+    |   (the serialized compressed key layout, see                 |
+    |    repro.keys.compression.serialize_layout)                  |
+    +--------------------------------------------------------------+
     | keys  section: num_rows x key_width bytes                    |
     | rows  section: num_rows x row_width bytes                    |
     | heap  section: heap_bytes bytes                              |
     +--------------------------------------------------------------+
+
+Format version 2 adds the variable-length ``extra`` blob between the CRC
+table and the data sections; readers locate it purely from
+``header_bytes`` (which version-1 files pin at ``48 + 4*crc_count``, i.e.
+an empty blob), so both versions parse with one code path.
 
 Integrity is page-granular *within* each section: section bytes are
 covered by CRC32 checksums over ``page_size``-byte pages (the last page
@@ -49,7 +58,8 @@ __all__ = [
 ]
 
 MAGIC = b"RSPL"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 SPILL_PAGE_SIZE = 1 << 12
 """Default CRC page size (4 KiB).
 
@@ -86,7 +96,9 @@ class SpillHeader:
 
     ``page_crcs`` holds one CRC tuple per section, in
     :data:`SECTION_NAMES` order.  All byte offsets below are absolute
-    file offsets.
+    file offsets.  ``extra`` is the opaque format-v2 blob (empty for v1
+    files and for runs written without key compression); it is covered by
+    ``header_crc32``.
     """
 
     num_rows: int
@@ -95,6 +107,7 @@ class SpillHeader:
     heap_bytes: int
     page_size: int
     page_crcs: tuple[tuple[int, ...], ...]
+    extra: bytes = b""
 
     @property
     def crc_count(self) -> int:
@@ -102,7 +115,7 @@ class SpillHeader:
 
     @property
     def header_bytes(self) -> int:
-        return _FIXED.size + 4 * self.crc_count
+        return _FIXED.size + 4 * self.crc_count + len(self.extra)
 
     def section_length(self, section: int) -> int:
         return (
@@ -138,8 +151,9 @@ class SpillHeader:
             self.page_size,
             self.crc_count,
         )
-        crc = zlib.crc32(table, zlib.crc32(_FIXED.pack(*fixed_fields, 0)))
-        return _FIXED.pack(*fixed_fields, crc) + table
+        tail = table + self.extra
+        crc = zlib.crc32(tail, zlib.crc32(_FIXED.pack(*fixed_fields, 0)))
+        return _FIXED.pack(*fixed_fields, crc) + tail
 
 
 def build_header(
@@ -148,8 +162,13 @@ def build_header(
     row_width: int,
     sections: tuple[bytes | memoryview, bytes | memoryview, bytes],
     page_size: int = SPILL_PAGE_SIZE,
+    extra: bytes = b"",
 ) -> SpillHeader:
-    """Header for a run about to be written, CRCs computed per page."""
+    """Header for a run about to be written, CRCs computed per page.
+
+    ``extra`` is an opaque blob stored (and CRC-protected) in the header;
+    the external sort puts the serialized compressed key layout there.
+    """
     if page_size <= 0:
         raise ValueError("page_size must be positive")
     return SpillHeader(
@@ -161,6 +180,7 @@ def build_header(
         page_crcs=tuple(
             _page_crcs(section, page_size) for section in sections
         ),
+        extra=bytes(extra),
     )
 
 
@@ -193,20 +213,26 @@ def read_header(io, path: str) -> SpillHeader:
         raise SpillCorruptionError(
             f"bad spill magic {magic!r} (expected {MAGIC!r})", path
         )
-    if version != FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise SpillCorruptionError(
             f"unsupported spill format version {version} "
-            f"(this build reads version {FORMAT_VERSION})",
+            f"(this build reads versions {_READABLE_VERSIONS})",
             path,
         )
-    if page_size <= 0 or header_bytes != _FIXED.size + 4 * crc_count:
+    if page_size <= 0 or header_bytes < _FIXED.size + 4 * crc_count:
         raise SpillCorruptionError(
             "inconsistent spill header geometry", path
         )
-    table = io.read(path, _FIXED.size, 4 * crc_count)
-    if len(table) != 4 * crc_count:
+    extra_bytes = header_bytes - _FIXED.size - 4 * crc_count
+    if version == 1 and extra_bytes:
+        raise SpillCorruptionError(
+            "inconsistent spill header geometry", path
+        )
+    tail = io.read(path, _FIXED.size, 4 * crc_count + extra_bytes)
+    if len(tail) != 4 * crc_count + extra_bytes:
         raise SpillCorruptionError("truncated spill page-CRC table", path)
-    expected = zlib.crc32(table, zlib.crc32(fixed[:-4] + b"\x00" * 4))
+    table, extra = tail[: 4 * crc_count], tail[4 * crc_count :]
+    expected = zlib.crc32(tail, zlib.crc32(fixed[:-4] + b"\x00" * 4))
     if expected != header_crc:
         raise SpillCorruptionError(
             f"spill header CRC mismatch (stored {header_crc:#010x}, "
@@ -233,4 +259,5 @@ def read_header(io, path: str) -> SpillHeader:
         heap_bytes=heap_bytes,
         page_size=page_size,
         page_crcs=tuple(crcs),
+        extra=bytes(extra),
     )

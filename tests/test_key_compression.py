@@ -1,0 +1,480 @@
+"""Property tests of the runtime key-compression layer.
+
+The two invariants every compressed layout must preserve:
+
+1. **Order**: memcmp over the compressed key matrix equals
+   ``tuple_compare`` over the original values -- the same ground truth
+   the plain normalized keys are held to -- for every type mix,
+   direction, NULL placement, and all-NULL columns.
+2. **Identity**: the sort pipelines produce byte-identical output with
+   compression on and off (same permutation, so same gathered bytes),
+   in memory, external, scalar-merge, and parallel.
+
+Plus the machinery around them: width/mode selection, progressive layout
+widening with per-run rebasing, spill-header layout round-trips, and
+key-carried (keys-only) external runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import reference_sort
+from repro.errors import KeyEncodingError
+from repro.keys.compression import (
+    KeyStatsAccumulator,
+    build_compressed_layout,
+    decode_key_table,
+    deserialize_layout,
+    key_carried_eligible,
+    plain_key_width,
+    rebase_matrix,
+    serialize_layout,
+)
+from repro.keys.normalizer import (
+    MODE_FOLDED,
+    MODE_NOBYTE,
+    MODE_PLAIN,
+    build_layout,
+    normalize_keys,
+    normalized_key_for_row,
+)
+from repro.sort.external import ExternalSortOperator, external_sort_table
+from repro.sort.operator import SortConfig, SortOperator, sort_table
+from repro.sort.parallel_exec import parallel_platform_supported
+from repro.table.chunk import chunk_table
+from repro.table.table import Table
+from repro.types.sortspec import SortSpec, tuple_compare
+
+SPECS = [
+    "a",
+    "a DESC NULLS FIRST, s",
+    "s NULLS FIRST, f DESC",
+    "f DESC, a NULLS LAST, s DESC NULLS FIRST",
+]
+
+
+def mixed_table(rng, n, all_null_column=False):
+    """Mixed types, narrow ranges, NULLs; optionally an all-NULL key."""
+    ints = rng.integers(0, 12, n)
+    strings = rng.integers(0, 40, n)
+    data = {
+        "a": [
+            None
+            if all_null_column or v % 9 == 0
+            else int(v)
+            for v in ints
+        ],
+        "s": [None if v % 13 == 0 else f"key{v % 37:02d}" for v in strings],
+        "f": [float(v) for v in rng.choice([-1.5, 0.0, 2.25, 7.5], n)],
+        "seq": list(range(n)),
+    }
+    return Table.from_pydict(data)
+
+
+def assert_byte_identical(left, right):
+    """Stronger than Table.equals: exact data bytes and validity masks."""
+    assert left.schema.names == right.schema.names
+    for name in left.schema.names:
+        col_l, col_r = left.column(name), right.column(name)
+        assert (col_l.validity == col_r.validity).all(), name
+        if col_l.data.dtype == object:
+            assert list(col_l.data) == list(col_r.data), name
+        else:
+            assert col_l.data.tobytes() == col_r.data.tobytes(), name
+
+
+def mkdir(tmp_path, name):
+    path = tmp_path / name
+    path.mkdir(exist_ok=True)
+    return str(path)
+
+
+def key_tuples(table, spec):
+    indices = [table.schema.index_of(name) for name in spec.column_names]
+    return [
+        tuple(table.row(i)[c] for c in indices)
+        for i in range(table.num_rows)
+    ]
+
+
+class TestMemcmpEqualsTupleCompare:
+    """Invariant 1, directly on the compressed key bytes."""
+
+    @pytest.mark.parametrize("spec_text", SPECS)
+    @pytest.mark.parametrize("all_null", [False, True])
+    def test_randomized(self, rng, spec_text, all_null):
+        spec = SortSpec.of(*[s.strip() for s in spec_text.split(",")])
+        table = mixed_table(rng, 300, all_null_column=all_null)
+        layout = build_compressed_layout(table, spec, include_row_id=False)
+        assert layout.key_width <= plain_key_width(layout)
+        keys = normalize_keys(
+            table, spec, include_row_id=False, layout=layout
+        )
+        raw = [keys.key_bytes(i) for i in range(table.num_rows)]
+        rows = key_tuples(table, spec)
+        for i in range(0, table.num_rows, 7):
+            for j in range(0, table.num_rows, 11):
+                cmp = tuple_compare(rows[i], rows[j], spec)
+                if cmp < 0:
+                    assert raw[i] < raw[j]
+                elif cmp > 0:
+                    assert raw[i] > raw[j]
+                else:
+                    assert raw[i] == raw[j]
+
+    @pytest.mark.parametrize("spec_text", SPECS)
+    def test_scalar_encoder_matches_vectorized(self, rng, spec_text):
+        spec = SortSpec.of(*[s.strip() for s in spec_text.split(",")])
+        table = mixed_table(rng, 64)
+        layout = build_compressed_layout(table, spec, include_row_id=False)
+        keys = normalize_keys(
+            table, spec, include_row_id=False, layout=layout
+        )
+        indices = [table.schema.index_of(n) for n in spec.column_names]
+        for i in range(table.num_rows):
+            row = tuple(table.row(i)[c] for c in indices)
+            assert keys.key_bytes(i) == normalized_key_for_row(
+                row, spec, layout
+            )
+
+
+class TestWidthAndModeSelection:
+    def test_narrow_int64_without_nulls_is_one_nobyte_byte(self):
+        table = Table.from_numpy(
+            {"a": np.arange(0, 200, 3, dtype=np.int64)}
+        )
+        layout = build_compressed_layout(
+            table, SortSpec.of("a"), include_row_id=False
+        )
+        (segment,) = layout.segments
+        assert segment.mode == MODE_NOBYTE
+        assert segment.value_width == 1
+        assert segment.total_width == 1  # NULL byte folded away entirely
+        assert layout.key_width == 1
+        assert plain_key_width(layout) == 9
+
+    def test_nulls_fold_into_value_byte_when_headroom_exists(self):
+        table = Table.from_pydict({"a": [None, 0, 150, None]})
+        layout = build_compressed_layout(
+            table, SortSpec.of("a"), include_row_id=False
+        )
+        (segment,) = layout.segments
+        assert segment.mode == MODE_FOLDED
+        assert segment.value_width == 1
+        assert segment.total_width == 1
+
+    def test_full_range_without_headroom_stays_plain(self):
+        table = Table.from_pydict(
+            {"a": [None, -(2**63), 2**63 - 1]}
+        )
+        layout = build_compressed_layout(
+            table, SortSpec.of("a"), include_row_id=False
+        )
+        (segment,) = layout.segments
+        assert segment.mode == MODE_PLAIN
+        assert segment.total_width == 9
+
+    def test_all_null_column_compresses_to_one_byte(self):
+        table = Table.from_pydict({"a": [None, None, None]})
+        layout = build_compressed_layout(
+            table, SortSpec.of("a"), include_row_id=False
+        )
+        (segment,) = layout.segments
+        assert segment.mode == MODE_FOLDED
+        assert segment.total_width == 1
+
+    def test_forced_string_prefix_disables_compression(self, rng):
+        table = mixed_table(rng, 500)
+        config = SortConfig(run_threshold=200, string_prefix=8)
+        op = SortOperator(table.schema, SortSpec.of("s", "a"), config)
+        for chunk in chunk_table(table, 100):
+            op.sink(chunk)
+        result = op.finalize()
+        assert op.stats.key_width_used == op.stats.key_width_full
+        assert result.equals(
+            sort_table(table, "s, a", SortConfig(string_prefix=8))
+        )
+
+
+class TestLayoutSerialization:
+    def test_round_trip(self, rng):
+        spec = SortSpec.of("a DESC NULLS FIRST", "s", "f DESC")
+        table = mixed_table(rng, 400)
+        layout = build_compressed_layout(table, spec)
+        blob = serialize_layout(layout)
+        assert deserialize_layout(blob, table.schema, spec) == layout
+
+    def test_spec_mismatch_rejected(self, rng):
+        table = mixed_table(rng, 50)
+        blob = serialize_layout(
+            build_compressed_layout(table, SortSpec.of("a"))
+        )
+        with pytest.raises(KeyEncodingError):
+            deserialize_layout(blob, table.schema, SortSpec.of("a DESC"))
+        with pytest.raises(KeyEncodingError):
+            deserialize_layout(blob[:-3], table.schema, SortSpec.of("a"))
+
+    def test_spill_header_carries_the_run_layout(self, rng, tmp_path):
+        table = mixed_table(rng, 900)
+        spec = SortSpec.of("a", "s DESC")
+        with ExternalSortOperator(
+            table.schema,
+            spec,
+            SortConfig(run_threshold=300),
+            str(tmp_path),
+        ) as op:
+            for chunk in chunk_table(table, 150):
+                op.sink(chunk)
+            assert op.spilled_runs >= 2
+            for run in op._runs:
+                assert run.header.extra
+                assert (
+                    deserialize_layout(run.header.extra, table.schema, spec)
+                    == run.layout
+                )
+            result = op.finalize()
+        assert result.equals(reference_sort(table, spec))
+
+
+class TestProgressiveWidening:
+    def chunked_widening_table(self, n_per_run):
+        """Each later slice needs strictly wider key bytes than the last."""
+        values = (
+            [int(v) for v in range(n_per_run)]  # fits 1 byte? no: < 2^8*...
+            + [int(v) * 300 for v in range(n_per_run)]  # needs 2-3 bytes
+            + [int(v) * 20_000_000 for v in range(n_per_run)]  # needs 4+
+        )
+        return Table.from_pydict({"a": values, "seq": list(range(len(values)))})
+
+    def test_in_memory_rebases_runs_to_final_layout(self):
+        table = self.chunked_widening_table(300)
+        config = SortConfig(run_threshold=300)
+        op = SortOperator(table.schema, SortSpec.of("a DESC"), config)
+        for chunk in chunk_table(table, 300):
+            op.sink(chunk)
+        result = op.finalize()
+        assert op.stats.key_layout_rebases >= 1
+        assert_byte_identical(
+            result, sort_table(table, "a DESC", SortConfig(compress_keys=False))
+        )
+
+    def test_external_rebases_blocks_during_merge(self, tmp_path):
+        table = self.chunked_widening_table(400)
+        spec = SortSpec.of("a DESC")
+        with ExternalSortOperator(
+            table.schema,
+            spec,
+            SortConfig(run_threshold=400),
+            str(tmp_path),
+        ) as op:
+            for chunk in chunk_table(table, 200):
+                op.sink(chunk)
+            result = op.finalize()
+        assert op.stats.key_layout_rebases >= 1
+        assert result.equals(reference_sort(table, spec))
+
+    def test_rebase_matrix_matches_direct_encoding(self, rng):
+        spec = SortSpec.of("a DESC NULLS FIRST", "s")
+        narrow = mixed_table(rng, 200)
+        acc = KeyStatsAccumulator(narrow.schema, spec)
+        acc.update(narrow)
+        narrow_layout = acc.build_layout(row_id_width=8)
+        keys = normalize_keys(narrow, spec, layout=narrow_layout)
+        wide = Table.from_pydict(
+            {
+                "a": [100_000, -40],
+                "s": ["zzzzzzzzz", None],
+                "f": [0.0, 1.0],
+                "seq": [0, 1],
+            }
+        )
+        acc.update(wide)
+        wide_layout = acc.build_layout(row_id_width=8)
+        assert wide_layout.key_width > narrow_layout.key_width
+        rebased = rebase_matrix(keys.matrix, narrow_layout, wide_layout)
+        direct = normalize_keys(narrow, spec, layout=wide_layout)
+        assert rebased.tobytes() == direct.matrix.tobytes()
+
+
+class TestPipelineIdentity:
+    """Invariant 2: compression changes bytes spilled, never bytes sorted."""
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_in_memory(self, rng, spec):
+        table = mixed_table(rng, 4000)
+        on = sort_table(table, spec, SortConfig(run_threshold=900))
+        off = sort_table(
+            table, spec, SortConfig(run_threshold=900, compress_keys=False)
+        )
+        assert_byte_identical(on, off)
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_external_kernel_merge(self, rng, tmp_path, spec):
+        table = mixed_table(rng, 4000)
+        on = external_sort_table(
+            table, spec, SortConfig(run_threshold=700), mkdir(tmp_path, "on")
+        )
+        off = external_sort_table(
+            table,
+            spec,
+            SortConfig(run_threshold=700, compress_keys=False),
+            mkdir(tmp_path, "off"),
+        )
+        assert_byte_identical(on, off)
+
+    def test_external_scalar_merge(self, rng, tmp_path):
+        table = mixed_table(rng, 2500)
+        spec = "a DESC NULLS FIRST, s"
+        on = external_sort_table(
+            table,
+            spec,
+            SortConfig(run_threshold=600, use_vector_kernels=False),
+            mkdir(tmp_path, "on"),
+        )
+        off = external_sort_table(
+            table,
+            spec,
+            SortConfig(
+                run_threshold=600,
+                use_vector_kernels=False,
+                compress_keys=False,
+            ),
+            mkdir(tmp_path, "off"),
+        )
+        assert_byte_identical(on, off)
+
+    def test_all_null_key_column_full_pipelines(self, rng, tmp_path):
+        table = mixed_table(rng, 1500, all_null_column=True)
+        spec = "a NULLS FIRST, s DESC"
+        in_memory = sort_table(table, spec, SortConfig(run_threshold=400))
+        external = external_sort_table(
+            table, spec, SortConfig(run_threshold=400), str(tmp_path)
+        )
+        uncompressed = sort_table(
+            table, spec, SortConfig(compress_keys=False)
+        )
+        assert_byte_identical(in_memory, uncompressed)
+        assert external.equals(uncompressed)
+
+    @pytest.mark.skipif(
+        not parallel_platform_supported(),
+        reason="platform lacks fork/POSIX shared memory",
+    )
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_parallel_pipeline(self, rng, spec):
+        table = mixed_table(rng, 5000)
+        parallel = sort_table(
+            table,
+            spec,
+            SortConfig(
+                run_threshold=1500,
+                num_workers=2,
+                parallel_morsel_rows=400,
+            ),
+        )
+        serial_off = sort_table(
+            table, spec, SortConfig(run_threshold=1500, compress_keys=False)
+        )
+        assert_byte_identical(parallel, serial_off)
+
+
+class TestKeyCarriedExternal:
+    def int_table(self, rng, n):
+        return Table.from_pydict(
+            {
+                "a": [int(v) for v in rng.integers(0, 150, n)],
+                "b": [
+                    None if v % 11 == 0 else int(v)
+                    for v in rng.integers(-1000, 1000, n)
+                ],
+            }
+        )
+
+    def test_eligibility(self, rng):
+        ints = self.int_table(rng, 10)
+        assert key_carried_eligible(
+            ints.schema, SortSpec.of("a", "b DESC")
+        )
+        # A non-key column, a float, or a string breaks eligibility.
+        assert not key_carried_eligible(ints.schema, SortSpec.of("a"))
+        mixed = mixed_table(rng, 10)
+        assert not key_carried_eligible(
+            mixed.schema, SortSpec.of("a", "s", "f", "seq")
+        )
+
+    def test_spills_keys_only_and_matches(self, rng, tmp_path):
+        table = self.int_table(rng, 6000)
+        spec = SortSpec.of("a", "b DESC NULLS FIRST")
+        spilled = {}
+        results = {}
+        for label, compress in (("on", True), ("off", False)):
+            with ExternalSortOperator(
+                table.schema,
+                spec,
+                SortConfig(run_threshold=1000, compress_keys=compress),
+                mkdir(tmp_path, label),
+            ) as op:
+                for chunk in chunk_table(table, 500):
+                    op.sink(chunk)
+                spilled[label] = op.spilled_bytes
+                results[label] = op.finalize()
+            if compress:
+                assert op.stats.key_carried_runs == op.stats.runs_generated
+                for run in op._runs:
+                    assert run.row_width == 0
+                    assert run.heap_bytes == 0
+        # Value-level equality: key-carried NULL rows decode with a zero
+        # filler, so raw data bytes under NULL slots may differ.
+        assert results["on"].equals(results["off"])
+        assert results["on"].equals(reference_sort(table, spec))
+        assert spilled["on"] < spilled["off"] / 2
+
+    def test_decode_key_table_round_trip(self, rng):
+        table = self.int_table(rng, 500)
+        spec = SortSpec.of("a DESC", "b NULLS LAST")
+        layout = build_compressed_layout(table, spec)
+        keys = normalize_keys(table, spec, layout=layout)
+        decoded = decode_key_table(keys.matrix, layout, table.schema)
+        assert decoded.equals(table)
+
+
+class TestStatsCounters:
+    def test_width_counters_report_compression(self, rng):
+        table = mixed_table(rng, 2000)
+        config = SortConfig(run_threshold=600)
+        op = SortOperator(table.schema, SortSpec.of("a", "s"), config)
+        for chunk in chunk_table(table, 300):
+            op.sink(chunk)
+        op.finalize()
+        assert 0 < op.stats.key_width_used < op.stats.key_width_full
+
+    def test_vector_path_counters_record_dispatch(self, rng):
+        table = mixed_table(rng, 2000)
+        op = SortOperator(
+            table.schema, SortSpec.of("a"), SortConfig(run_threshold=600)
+        )
+        for chunk in chunk_table(table, 300):
+            op.sink(chunk)
+        op.finalize()
+        paths = op.stats.vector_sort_paths
+        assert sum(paths.values()) == op.stats.runs_generated
+        # One-byte compressed key: every run sorts via the 1-word argsort.
+        assert paths == {"argsort-1word": op.stats.runs_generated}
+        assert op.stats.vector_sort_reasons == {
+            "single-word": op.stats.runs_generated
+        }
+
+    def test_uncompressed_layout_matches_legacy_builder(self, rng):
+        # compress_keys=False must preserve the seed layout bit-for-bit.
+        table = mixed_table(rng, 300)
+        spec = SortSpec.of("a DESC NULLS FIRST", "s")
+        legacy = normalize_keys(table, spec)
+        explicit = normalize_keys(
+            table, spec, layout=build_layout(table, spec)
+        )
+        assert legacy.matrix.tobytes() == explicit.matrix.tobytes()
+        assert all(
+            segment.mode == MODE_PLAIN for segment in legacy.layout.segments
+        )

@@ -14,11 +14,16 @@ from hypothesis import strategies as st
 
 from conftest import reference_sort
 from repro.errors import SortError
+from repro.sort import kernels
 from repro.sort.external import external_sort_table
+from repro.sort.heuristic import choose_vector_path, vector_sort_rows
 from repro.sort.kernels import (
+    KWayBlockStats,
     argsort_rows,
+    kway_merge_blocks,
     merge_indices,
     merge_matrices,
+    radix_argsort_rows,
     void_view,
 )
 from repro.sort.kway import KWayStats, cascade_merge_indices
@@ -292,3 +297,130 @@ class TestExternalCrossCheck:
         )
         assert on.equals(off)
         assert on.equals(reference_sort(table, spec))
+
+
+class TestChunkColumns:
+    def test_word_columns_share_one_buffer(self, rng):
+        # The rewrite pads/byteswaps/transposes the whole matrix at most
+        # three times total; the per-word columns are views of one buffer,
+        # never per-word temporaries.
+        matrix = random_matrix(rng, 100, 13)
+        columns = kernels._chunk_columns(matrix)
+        assert len(columns) == 2
+        base = columns[0].base
+        assert base is not None
+        assert all(column.base is base for column in columns)
+
+    @pytest.mark.parametrize("width", [1, 7, 8, 9, 16, 21])
+    def test_order_matches_memcmp(self, rng, width):
+        matrix = random_matrix(rng, 200, width, alphabet=4)
+        columns = kernels._chunk_columns(matrix)
+        raw = row_bytes(matrix)
+        key = lambda i: tuple(int(col[i]) for col in columns)
+        for i in range(0, 200, 13):
+            for j in range(0, 200, 17):
+                assert (key(i) < key(j)) == (raw[i] < raw[j])
+
+    def test_kway_merge_chunks_once_per_refill(self, rng, monkeypatch):
+        # Regression: the k-way merge must re-chunk a run's keys exactly
+        # once per block refill, never once per emitted round (the old
+        # zero-pad-per-call pattern made every chunking a full-matrix
+        # copy, so per-round re-chunking was quadratic).
+        runs = []
+        for _ in range(4):
+            matrix = random_matrix(rng, 600, 13, alphabet=5)
+            runs.append(matrix[argsort_rows(matrix)])
+        block_rows = 50
+        blocks_fed = sum(-(-len(run) // block_rows) for run in runs)
+
+        calls = []
+        original = kernels._chunk_columns
+        monkeypatch.setattr(
+            kernels,
+            "_chunk_columns",
+            lambda matrix: calls.append(len(matrix)) or original(matrix),
+        )
+
+        def block_iter(matrix):
+            for start in range(0, len(matrix), block_rows):
+                yield matrix[start : start + block_rows]
+
+        stats = KWayBlockStats()
+        emitted = [
+            (run_ids, row_ids)
+            for run_ids, row_ids in kway_merge_blocks(
+                [block_iter(run) for run in runs], stats
+            )
+        ]
+        merged = [
+            runs[r][p].tobytes() for ids, rows in emitted for r, p in zip(ids, rows)
+        ]
+        assert merged == sorted(b for run in runs for b in row_bytes(run))
+        # One chunking per refilled block -- and every call covered at most
+        # one block, never a whole run's matrix.
+        assert len(calls) == stats.refills == blocks_fed
+        assert stats.rounds > len(runs)  # merge genuinely ran many rounds
+        assert max(calls) <= block_rows
+
+
+class TestRadixArgsortRows:
+    @pytest.mark.parametrize("width", [9, 13, 16])
+    @pytest.mark.parametrize("alphabet", [2, 5, 256])
+    def test_matches_argsort_rows(self, rng, width, alphabet):
+        matrix = random_matrix(rng, 3000, width, alphabet)
+        assert (
+            radix_argsort_rows(matrix).tolist()
+            == argsort_rows(matrix).tolist()
+        )
+
+    def test_stability_and_constant_prefix(self, rng):
+        matrix = random_matrix(rng, 2500, 12, alphabet=3)
+        matrix[:, :6] = 77  # constant prefix: single-bucket skip path
+        assert (
+            radix_argsort_rows(matrix).tolist()
+            == argsort_rows(matrix).tolist()
+        )
+
+    def test_records_stats(self, rng):
+        matrix = random_matrix(rng, 5000, 10)
+        stats = RadixStats()
+        radix_argsort_rows(matrix, stats)
+        assert stats.vector_finished_buckets > 0
+        assert stats.rows_moved > 0
+
+    def test_small_input_and_empty(self, rng):
+        small = random_matrix(rng, 7, 10)
+        assert radix_argsort_rows(small).tolist() == argsort_rows(small).tolist()
+        empty = np.zeros((0, 10), dtype=np.uint8)
+        assert radix_argsort_rows(empty).tolist() == []
+
+
+class TestVectorPathHeuristic:
+    def test_narrow_keys_use_single_word_argsort(self, rng):
+        matrix = random_matrix(rng, 10000, 6)
+        assert choose_vector_path(matrix, 6) == ("argsort-1word", "single-word")
+
+    def test_few_rows_use_lexsort(self, rng):
+        matrix = random_matrix(rng, 100, 16)
+        assert choose_vector_path(matrix, 16) == ("lexsort", "few-rows")
+
+    def test_skewed_leading_byte_uses_lexsort(self, rng):
+        matrix = random_matrix(rng, 10000, 16)
+        matrix[:, 0] = 9  # every sampled leading byte identical
+        assert choose_vector_path(matrix, 16) == (
+            "lexsort",
+            "skewed-leading-byte",
+        )
+
+    def test_wide_uniform_keys_use_radix(self, rng):
+        matrix = random_matrix(rng, 10000, 16)
+        assert choose_vector_path(matrix, 16) == ("radix", "wide-keys")
+
+    @pytest.mark.parametrize("shape", [(100, 16), (6000, 6), (6000, 16)])
+    def test_dispatch_is_permutation_identical(self, rng, shape):
+        n, width = shape
+        matrix = random_matrix(rng, n, width, alphabet=7)
+        assert (
+            vector_sort_rows(matrix, width).tolist()
+            == argsort_rows(matrix).tolist()
+        )
