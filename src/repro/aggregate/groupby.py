@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import SortError
 from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
+from repro.sort.stringsort import exact_group_changed
 from repro.sort.operator import SortConfig, sort_table
 from repro.table.column import ColumnVector
 from repro.table.table import Table
@@ -103,12 +104,13 @@ def group_by(
     if n == 0:
         starts = np.zeros(0, dtype=np.int64)
     else:
-        changed = np.any(norm.matrix[1:] != norm.matrix[:-1], axis=1)
+        # Exact even for strings longer than the key prefix: truncated
+        # VARCHAR segments are patched with one vectorized comparison of
+        # the original values.
+        changed = exact_group_changed(sorted_table, norm)
         starts = np.concatenate(([0], np.flatnonzero(changed) + 1)).astype(
             np.int64
         )
-        if not norm.prefix_exact:
-            starts = _refine_groups(sorted_table, keys, starts, n)
 
     # Key columns: first row of each group.
     out_columns: list[ColumnVector] = []
@@ -127,29 +129,6 @@ def group_by(
             ColumnDef(aggregate.output_name, out_columns[-1].dtype)
         )
     return Table(Schema(tuple(out_defs)), out_columns)
-
-
-def _refine_groups(
-    sorted_table: Table, keys: list[str], starts: np.ndarray, n: int
-) -> np.ndarray:
-    """Split prefix-equal groups whose full key values differ.
-
-    Rows inside a byte-equal group are already sorted by the full values
-    (the sort tie-breaks truncated strings), so a linear rescan of each
-    group suffices.
-    """
-    columns = [sorted_table.column(k) for k in keys]
-    refined = []
-    stops = np.concatenate((starts[1:], [n]))
-    for start, stop in zip(starts, stops):
-        refined.append(int(start))
-        previous = tuple(c.value(int(start)) for c in columns)
-        for row in range(int(start) + 1, int(stop)):
-            current = tuple(c.value(row) for c in columns)
-            if current != previous:
-                refined.append(row)
-                previous = current
-    return np.asarray(refined, dtype=np.int64)
 
 
 def _evaluate(

@@ -47,10 +47,12 @@ from repro.bench import (
 )
 from repro.engine import Database
 from repro.errors import ReproError
-from repro.sort.external import external_sort_table
-from repro.sort.operator import SortConfig, sort_table
+from repro.sort.external import ExternalSortOperator, external_sort_table
+from repro.sort.operator import SortConfig, SortOperator, sort_table
+from repro.table.chunk import chunk_table
 from repro.table.io import read_csv, table_to_csv_string, write_csv
 from repro.table.table import Table
+from repro.types.sortspec import SortSpec
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -159,6 +161,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "output is byte-identical either way)"
         ),
     )
+    sort_cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print sort statistics to stderr (rows, runs, merge and "
+            "offset-value-coding counters, string re-encode work, "
+            "per-phase wall-clock)"
+        ),
+    )
 
     sql_cmd = commands.add_parser("sql", help="run a SQL query over CSVs")
     sql_cmd.add_argument("query", help="the SELECT statement")
@@ -219,12 +230,70 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         compress_keys=not args.no_compress_keys,
         **kwargs,
     )
+    if not args.stats:
+        if config.external:
+            result = external_sort_table(table, args.by, config)
+        else:
+            result = sort_table(table, args.by, config)
+        _emit(result, args.output)
+        return 0
+    # --stats drives the operators directly: the one-shot helpers do
+    # not hand their SortStats back.
+    spec = SortSpec.of(*[part.strip() for part in args.by.split(",")])
     if config.external:
-        result = external_sort_table(table, args.by, config)
+        with ExternalSortOperator(table.schema, spec, config) as operator:
+            for chunk in chunk_table(table, config.vector_size):
+                operator.sink(chunk)
+            result = operator.finalize()
+            stats = operator.stats
     else:
-        result = sort_table(table, args.by, config)
+        operator = SortOperator(table.schema, spec, config)
+        for chunk in chunk_table(table, config.vector_size):
+            operator.sink(chunk)
+        result = operator.finalize()
+        stats = operator.stats
     _emit(result, args.output)
+    _print_sort_stats(stats)
     return 0
+
+
+def _print_sort_stats(stats) -> None:
+    """Render a SortStats to stderr, one ``name: value`` line per counter."""
+    err = sys.stderr
+    print(f"rows_sorted: {stats.rows_sorted}", file=err)
+    print(f"runs_generated: {stats.runs_generated}", file=err)
+    if stats.algorithm:
+        print(f"algorithm: {stats.algorithm}", file=err)
+    print(f"prefix_exact: {stats.prefix_exact}", file=err)
+    print(
+        "merges: "
+        f"kernel={stats.kernel_merges} scalar={stats.scalar_merges} "
+        f"kway_kernel={stats.kernel_kway_merges} "
+        f"kway_scalar={stats.scalar_kway_merges}",
+        file=err,
+    )
+    print(
+        "offset_value_coding: "
+        f"compares={stats.ovc_compares} ties={stats.ovc_ties}",
+        file=err,
+    )
+    print(
+        "exact_strings: "
+        f"full_key_compares={stats.full_key_compares} "
+        f"reencode_rounds={stats.reencode_rounds} "
+        f"reencoded_rows={stats.reencoded_rows}",
+        file=err,
+    )
+    if stats.key_width_used:
+        print(
+            "key_width: "
+            f"used={stats.key_width_used} full={stats.key_width_full}",
+            file=err,
+        )
+    for phase in sorted(stats.phase_seconds):
+        print(
+            f"phase_{phase}_s: {stats.phase_seconds[phase]:.6f}", file=err
+        )
 
 
 def _cmd_sql(args: argparse.Namespace) -> int:

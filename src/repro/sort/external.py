@@ -20,12 +20,25 @@ off: each run's layout comes from one monotone statistics accumulator,
 so layouts only ever widen run-to-run and the merge rebases earlier
 (narrower) runs onto the final layout block-by-block as it streams them
 -- spilled key bytes shrink without a re-spill pass.  Each spill header
-carries its run's serialized layout in the format-v2 ``extra`` blob.
+carries its run's serialized layout in the header ``extra`` blob.
 When the key segments alone can reconstruct every column exactly
 (``key_carried_eligible``: all columns are fixed-width non-float sort
 keys), runs are spilled **key-carried**: the payload row matrix and heap
 sections are empty and the output table is decoded straight from the
 merged key rows, cutting spill volume by the full payload width.
+
+Truncated VARCHAR prefixes no longer raise at spill time: run
+generation repairs each run's prefix order to exact string order with
+the adaptive re-encode loop
+(:func:`repro.sort.stringsort.refine_key_order`), and the streamed
+merge applies the same repair to every emitted batch -- rows tied on
+the bytes up to the first truncated segment are held in a carry buffer
+across round boundaries, refined against the full strings decoded from
+the spilled payload, then emitted.  Each run's header also stores its
+offset-value codes (Do & Graefe, arXiv 2209.08420) as a format-v3
+tagged frame; the merge kernel combines them with a per-round
+first/last-word scan to drop the key words all frontier rows share, so
+duplicate-heavy merges compare only the distinguishing suffix.
 
 The spill format per run is one file of three contiguous data sections --
 the sorted key matrix, the payload row matrix, and the string heap --
@@ -82,6 +95,7 @@ from repro.errors import (
 from repro.keys.compression import (
     KeyStatsAccumulator,
     decode_key_table,
+    deserialize_layout,
     key_carried_eligible,
     plain_key_width,
     rebase_matrix,
@@ -96,18 +110,23 @@ from repro.rows.block import RowBlock, gather_slices
 from repro.rows.layout import RowLayout
 from repro.sort.faults import SpillIO
 from repro.sort.heuristic import vector_sort_rows
-from repro.sort.kernels import KWayBlockStats
+from repro.sort.kernels import KWayBlockStats, ovc_codes
 from repro.sort.kway import kway_merge_stream
-from repro.sort.operator import SortConfig, SortStats
+from repro.sort.operator import SortConfig, SortStats, _segmented_argsort
 from repro.sort.parallel_exec import ParallelSortExecutor
 from repro.sort.pdqsort import pdqsort
 from repro.sort.radix import radix_argsort
 from repro.sort.spillfile import (
+    EXTRA_TAG_LAYOUT,
+    EXTRA_TAG_OVC,
     SECTION_NAMES,
     SpillHeader,
     build_header,
+    pack_extra,
     read_header,
+    unpack_extra,
 )
+from repro.sort.stringsort import inexact_prefix_end, refine_key_order
 from repro.table.chunk import DataChunk, chunk_table
 from repro.table.table import Table
 from repro.types.datatypes import TypeId
@@ -153,6 +172,7 @@ class SpilledRun:
         io: SpillIO | None = None,
         verify: bool = True,
         layout: KeyLayout | None = None,
+        ovc: np.ndarray | None = None,
     ) -> None:
         self.path = path
         self.header = header
@@ -161,12 +181,26 @@ class SpilledRun:
         #: the run's compressed key layout (``None`` for uncompressed
         #: runs); also serialized in ``header.extra`` for re-attachment.
         self.layout = layout
+        #: the run's offset-value codes (one u16 per key row, see
+        #: :func:`repro.sort.kernels.ovc_codes`), or ``None``; also
+        #: stored as a tagged frame in ``header.extra``.
+        self.ovc = ovc
 
     @classmethod
     def open(
-        cls, path: str, io: SpillIO | None = None, verify: bool = True
+        cls,
+        path: str,
+        io: SpillIO | None = None,
+        verify: bool = True,
+        schema: Schema | None = None,
+        spec: SortSpec | None = None,
     ) -> "SpilledRun":
-        """Attach to an existing spill file, validating its header."""
+        """Attach to an existing spill file, validating its header.
+
+        Metadata frames in the header's extra blob are re-attached:
+        the offset-value codes always, the key layout when ``schema``
+        and ``spec`` are given (deserializing a layout needs both).
+        """
         io = io or SpillIO()
         try:
             header = read_header(io, path)
@@ -174,7 +208,22 @@ class SpilledRun:
             raise SpillIOError(
                 f"spill header read failed: {error}", path
             ) from error
-        return cls(path, header, io, verify)
+        frames = unpack_extra(header.extra, header.version, path)
+        layout = None
+        blob = frames.get(EXTRA_TAG_LAYOUT)
+        if blob and schema is not None and spec is not None:
+            layout = deserialize_layout(blob, schema, spec)
+        ovc = None
+        blob = frames.get(EXTRA_TAG_OVC)
+        if blob is not None:
+            ovc = np.frombuffer(blob, dtype="<u2")
+            if len(ovc) != header.num_rows:
+                raise SpillCorruptionError(
+                    f"offset-value code frame holds {len(ovc)} codes "
+                    f"for {header.num_rows} rows",
+                    path,
+                )
+        return cls(path, header, io, verify, layout=layout, ovc=ovc)
 
     @property
     def num_rows(self) -> int:
@@ -368,11 +417,13 @@ class InMemoryRun:
         rows: np.ndarray,
         heap: bytes,
         layout: KeyLayout | None = None,
+        ovc: np.ndarray | None = None,
     ) -> None:
         self._keys = np.ascontiguousarray(keys)
         self._rows = np.ascontiguousarray(rows)
         self._heap = heap
         self.layout = layout
+        self.ovc = ovc
 
     @property
     def num_rows(self) -> int:
@@ -486,6 +537,10 @@ class ExternalSortOperator:
             and key_carried_eligible(schema, spec)
         )
         self._final_layout: KeyLayout | None = None
+        # Uncompressed runs all share one locked layout (the VARCHAR
+        # prefix is pinned before the first spill); the merge needs it to
+        # locate truncated segments for exact-string refinement.
+        self._plain_layout: KeyLayout | None = None
         self.stats = SortStats()
 
     # ------------------------------------------------------------------ #
@@ -706,13 +761,14 @@ class ExternalSortOperator:
                     row_id_width=ROW_ID_WIDTH,
                 )
         self._next_row_id += len(table)
+        if not self._compress and self._plain_layout is None:
+            self._plain_layout = keys.layout
         self.stats.key_width_used = keys.layout.key_width
         self.stats.key_width_full = plain_key_width(keys.layout)
-        if not keys.prefix_exact:
-            raise SortError(
-                "external sort requires exact key prefixes; raise "
-                "SortConfig.string_prefix or shorten the strings"
-            )
+        self.stats.prefix_exact = (
+            self.stats.prefix_exact and keys.prefix_exact
+        )
+        exact_strings = not keys.prefix_exact and self.config.exact_varchar
         with self.stats.time_phase("run_gen"):
             order = self._parallel_argsort(keys)
             if order is not None:
@@ -728,6 +784,10 @@ class ExternalSortOperator:
                     self.stats,
                     self.stats.radix,
                 )
+            elif exact_strings:
+                # Scalar reference: prefix bytes alone are not the order,
+                # so compare per segment, consulting the full strings.
+                order = _segmented_argsort(table, keys, self.spec)
             elif self._has_string_key and self.config.force_algorithm != "radix":
                 raw = [
                     keys.matrix[i].tobytes() for i in range(len(table))
@@ -741,7 +801,14 @@ class ExternalSortOperator:
                     keys.matrix[:, : keys.layout.key_width],
                     vector_threshold=None,
                 )
+            if exact_strings and self.config.use_vector_kernels:
+                order = self._refine_run_order(table, keys, order)
             sorted_keys = np.ascontiguousarray(keys.matrix[order])
+            ovc = (
+                ovc_codes(sorted_keys[:, : keys.layout.key_width])
+                if self.config.use_vector_kernels
+                else None
+            )
             if self._key_carried:
                 # The keys alone reconstruct every column: spill nothing
                 # else.  Payload rows and heap shrink to zero bytes.
@@ -753,9 +820,33 @@ class ExternalSortOperator:
                 sorted_rows = np.ascontiguousarray(block.rows)
                 heap = block.heap
 
-        self._store_run(sorted_keys, sorted_rows, heap, keys.layout)
+        self._store_run(sorted_keys, sorted_rows, heap, keys.layout, ovc)
         self.stats.runs_generated += 1
         self.stats.rows_sorted += len(table)
+
+    def _refine_run_order(self, table, keys, order) -> np.ndarray:
+        """Exact-string repair of one run's prefix-sorted permutation.
+
+        Same contract as ``SortOperator._refine_run_order``: rows tied on
+        the truncated VARCHAR prefixes are re-encoded against the full
+        strings (:func:`repro.sort.stringsort.refine_key_order`), so the
+        spilled run is in exact string order before its bytes hit disk.
+        """
+        order = np.asarray(order, dtype=np.int64)
+        width = keys.layout.key_width
+        matrix = np.ascontiguousarray(keys.matrix[order][:, :width])
+
+        def fetch_tied(tied):
+            source = order[tied]
+
+            def get(name):
+                column = table.column(name)
+                return column.data[source], column.validity[source]
+
+            return get
+
+        perm = refine_key_order(matrix, keys.layout, fetch_tied, self.stats)
+        return order if perm is None else order[perm]
 
     def _store_run(
         self,
@@ -763,6 +854,7 @@ class ExternalSortOperator:
         sorted_rows: np.ndarray,
         heap: bytes,
         layout: KeyLayout | None = None,
+        ovc: np.ndarray | None = None,
     ) -> None:
         """Spill one sorted run, degrading to memory when disk is gone."""
         filename = f"run-{len(self._runs):05d}.bin"
@@ -770,16 +862,17 @@ class ExternalSortOperator:
         if not self._degraded:
             keys_bytes = sorted_keys.tobytes()
             rows_bytes = sorted_rows.tobytes()
+            frames: dict[int, bytes] = {}
+            if self._compress and layout is not None:
+                frames[EXTRA_TAG_LAYOUT] = serialize_layout(layout)
+            if ovc is not None:
+                frames[EXTRA_TAG_OVC] = ovc.astype("<u2").tobytes()
             header = build_header(
                 len(sorted_keys),
                 sorted_keys.shape[1],
                 sorted_rows.shape[1],
                 (keys_bytes, rows_bytes, heap),
-                extra=(
-                    serialize_layout(layout)
-                    if self._compress and layout is not None
-                    else b""
-                ),
+                extra=pack_extra(frames),
             )
             path = self._write_run_file(
                 filename, [header.pack(), keys_bytes, rows_bytes, heap]
@@ -792,6 +885,7 @@ class ExternalSortOperator:
                     self._io,
                     verify=self.config.verify_spill_checksums,
                     layout=layout if self._compress else None,
+                    ovc=ovc,
                 )
             )
             return
@@ -818,6 +912,7 @@ class ExternalSortOperator:
                 sorted_rows,
                 heap,
                 layout=layout if self._compress else None,
+                ovc=ovc,
             )
         )
 
@@ -915,14 +1010,25 @@ class ExternalSortOperator:
             merge_width = self._final_layout.key_width
         else:
             merge_width = self._runs[0].key_width - ROW_ID_WIDTH
+        key_layout = self._final_layout or self._plain_layout
+        refine_end = (
+            inexact_prefix_end(key_layout)
+            if key_layout is not None and self.config.exact_varchar
+            else None
+        )
         sources = [
             self._key_block_source(run, merge_width) for run in self._runs
         ]
         # Heaps stay resident while rows stream: string offsets are
         # run-relative, so the bytes must remain addressable until the
         # row that references them is emitted.
+        raw_heaps = (
+            [run.read_heap(stats) for run in self._runs]
+            if has_strings
+            else None
+        )
         heaps = (
-            [np.frombuffer(run.read_heap(stats), dtype=np.uint8) for run in self._runs]
+            [np.frombuffer(heap, dtype=np.uint8) for heap in raw_heaps]
             if has_strings
             else None
         )
@@ -932,16 +1038,15 @@ class ExternalSortOperator:
         key_parts: list[np.ndarray] = []
         heap_parts: list[bytes] = []
         heap_cursor = 0
-        rounds = kway_merge_stream(
-            sources, kernel_stats, on_round=self._check_cancelled
-        )
-        for run_ids, row_ids in rounds:
+
+        def emit(run_ids: np.ndarray, row_ids: np.ndarray) -> None:
+            nonlocal heap_cursor
             if self._key_carried:
                 # No payload was spilled; re-read the emitted key rows
                 # (rebased onto the final layout) and decode them back
                 # into columns after the merge.
                 key_parts.append(self._gather_key_blocks(run_ids, row_ids))
-                continue
+                return
             out_rows = self._gather_blocks(run_ids, row_ids)
             if has_strings:
                 heap_cursor = self._rebase_string_block(
@@ -949,8 +1054,63 @@ class ExternalSortOperator:
                 )
             row_parts.append(out_rows)
 
+        rounds = kway_merge_stream(
+            sources,
+            kernel_stats,
+            on_round=self._check_cancelled,
+            use_ovc=self.config.use_ovc,
+            emit_keys=refine_end is not None,
+        )
+        if refine_end is None:
+            for run_ids, row_ids in rounds:
+                emit(run_ids, row_ids)
+        else:
+            # Exact strings: rows tied on the key bytes up to the first
+            # truncated VARCHAR segment may still reorder once the full
+            # strings are consulted, and such a tie group can straddle a
+            # round boundary.  Hold back each round's trailing tie group
+            # (the carry), refine every settled batch with the same
+            # re-encode loop run generation used, then emit it.
+            carry: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+            for run_ids, row_ids, words in rounds:
+                key_bytes = _words_to_bytes(words, merge_width)
+                if carry is not None:
+                    run_ids = np.concatenate([carry[0], run_ids])
+                    row_ids = np.concatenate([carry[1], row_ids])
+                    key_bytes = np.concatenate([carry[2], key_bytes])
+                tail = _trailing_tie_start(key_bytes[:, :refine_end])
+                carry = (
+                    run_ids[tail:],
+                    row_ids[tail:],
+                    key_bytes[tail:],
+                )
+                if tail:
+                    emit(
+                        *self._refine_settled(
+                            run_ids[:tail],
+                            row_ids[:tail],
+                            key_bytes[:tail],
+                            key_layout,
+                            layout,
+                            raw_heaps,
+                        )
+                    )
+            if carry is not None and len(carry[0]):
+                emit(
+                    *self._refine_settled(
+                        carry[0],
+                        carry[1],
+                        carry[2],
+                        key_layout,
+                        layout,
+                        raw_heaps,
+                    )
+                )
+
         stats.kernel_kway_merges += 1
         stats.kway_rounds += kernel_stats.rounds
+        stats.ovc_compares += kernel_stats.ovc_compares
+        stats.ovc_ties += kernel_stats.ovc_ties
         stats.kway_peak_frontier_rows = max(
             stats.kway_peak_frontier_rows, kernel_stats.peak_frontier_rows
         )
@@ -970,22 +1130,91 @@ class ExternalSortOperator:
         )
         return merged.to_table()
 
+    def _refine_settled(
+        self,
+        run_ids: np.ndarray,
+        row_ids: np.ndarray,
+        key_bytes: np.ndarray,
+        key_layout: KeyLayout,
+        row_layout: RowLayout,
+        raw_heaps: list[bytes] | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact-string repair of one settled merge batch.
+
+        ``key_bytes`` are the batch's merged key rows (word-padded);
+        tied rows' full strings are decoded on demand from the spilled
+        payload -- one contiguous row read per contributing run, reused
+        across the batch's key columns.
+        """
+        tables: dict[int, tuple[int, Table]] = {}
+
+        def fetch_tied(tied):
+            tied_runs = run_ids[tied]
+            tied_rows = row_ids[tied]
+            cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+            def get(name):
+                if name in cache:
+                    return cache[name]
+                values = np.empty(len(tied), dtype=object)
+                valid = np.zeros(len(tied), dtype=bool)
+                for index in np.unique(tied_runs):
+                    selected = np.flatnonzero(tied_runs == index)
+                    positions = tied_rows[selected]
+                    cached = tables.get(index)
+                    lo = int(positions.min())
+                    hi = int(positions.max()) + 1
+                    if cached is None or not (
+                        cached[0] <= lo and hi <= cached[0] + len(cached[1])
+                    ):
+                        rows = np.ascontiguousarray(
+                            self._runs[index].read_row_block(
+                                lo, hi, self.stats
+                            )
+                        )
+                        heap = raw_heaps[index] if raw_heaps else b""
+                        cached = (
+                            lo,
+                            RowBlock(row_layout, rows, heap).to_table(),
+                        )
+                        tables[index] = cached
+                    base, decoded = cached
+                    column = decoded.column(name)
+                    local = positions - base
+                    values[selected] = column.data[local]
+                    valid[selected] = column.validity[local]
+                cache[name] = (values, valid)
+                return cache[name]
+
+            return get
+
+        perm = refine_key_order(
+            key_bytes[:, : key_layout.key_width],
+            key_layout,
+            fetch_tied,
+            self.stats,
+        )
+        if perm is None:
+            return run_ids, row_ids
+        return run_ids[perm], row_ids[perm]
+
     def _gather_blocks(
         self, run_ids: np.ndarray, row_ids: np.ndarray
     ) -> np.ndarray:
         """Materialize one emitted round's payload rows in merge order.
 
-        Each contributing run's rows form a contiguous ascending range
-        (a prefix of its frontier), so the round needs exactly one
-        contiguous spill read per run; interleaving back into merge order
-        is a single vectorized gather.
+        Each contributing run's rows form one contiguous range (a prefix
+        of its frontier -- exact-string refinement may permute rows
+        within the range but never leaves it), so the round needs
+        exactly one contiguous spill read per run; interleaving back
+        into merge order is a single vectorized gather.
         """
         parts: list[np.ndarray] = []
         bases = np.zeros(len(self._runs), dtype=np.int64)
         cursor = 0
         for index in np.unique(run_ids):
             positions = row_ids[run_ids == index]
-            lo, hi = int(positions[0]), int(positions[-1]) + 1
+            lo, hi = int(positions.min()), int(positions.max()) + 1
             parts.append(
                 self._runs[index].read_row_block(lo, hi, self.stats)
             )
@@ -996,14 +1225,20 @@ class ExternalSortOperator:
 
     def _key_block_source(
         self, run: "SpilledRun | InMemoryRun", merge_width: int
-    ) -> Iterator[np.ndarray]:
-        """Stream a run's key blocks, rebased for merging, key bytes only.
+    ) -> Iterator[tuple[np.ndarray, np.ndarray | None]]:
+        """Stream a run's ``(key block, offset-value codes)`` pairs.
 
         Each block is read with one seek, rebased onto the final key
         layout when the run was written under a narrower one, and
         truncated to ``merge_width`` (the merge drops the row-id suffix).
+        Stored codes ride along only when the run's layout already is the
+        merge layout -- rebasing moves word boundaries, which would make
+        them stale.
         """
         final = self._final_layout
+        codes = run.ovc
+        if codes is not None and final is not None and run.layout != final:
+            codes = None
         for start in range(0, run.num_rows, self.merge_block_rows):
             stop = min(start + self.merge_block_rows, run.num_rows)
             block = run.read_key_block(start, stop, self.stats)
@@ -1011,7 +1246,7 @@ class ExternalSortOperator:
                 block = rebase_matrix(block, run.layout, final)
             if block.shape[1] != merge_width:
                 block = block[:, :merge_width]
-            yield block
+            yield block, (None if codes is None else codes[start:stop])
 
     def _gather_key_blocks(
         self, run_ids: np.ndarray, row_ids: np.ndarray
@@ -1028,7 +1263,7 @@ class ExternalSortOperator:
         final = self._final_layout
         for index in np.unique(run_ids):
             positions = row_ids[run_ids == index]
-            lo, hi = int(positions[0]), int(positions[-1]) + 1
+            lo, hi = int(positions.min()), int(positions.max()) + 1
             run = self._runs[index]
             block = run.read_key_block(lo, hi, self.stats)
             if final is not None and run.layout is not None:
@@ -1170,21 +1405,41 @@ class ExternalSortOperator:
         Keys stream block-by-block from the spill files (same bounded
         reads as the kernel path); each popped row costs one Python heap
         operation and one ``tobytes`` -- the per-tuple overhead the kernel
-        path eliminates.
+        path eliminates.  When the key layout truncates a VARCHAR
+        prefix (and ``SortConfig.exact_varchar`` holds), the heap keys
+        are augmented per row: each truncated segment's bytes are
+        replaced by the full terminated string encoding
+        (:func:`_augmented_key`), so the scalar merge is exact too.
         """
+        final = self._final_layout
+        key_layout = final or self._plain_layout
+        augment = (
+            key_layout is not None
+            and self.config.exact_varchar
+            and inexact_prefix_end(key_layout) is not None
+        )
+        row_layout = RowLayout.for_schema(self.schema) if augment else None
 
         def raw_rows(run: SpilledRun | InMemoryRun) -> Iterator[bytes]:
             # Full-width rows (row-id suffix included, globally ascending)
             # so heap ties never happen; compressed runs rebase onto the
             # final layout first so bytes compare across runs.
-            final = self._final_layout
+            heap = run.read_heap(self.stats) if augment else b""
             for start in range(0, run.num_rows, self.merge_block_rows):
                 stop = min(start + self.merge_block_rows, run.num_rows)
                 block = run.read_key_block(start, stop, self.stats)
                 if final is not None and run.layout is not None:
                     block = rebase_matrix(block, run.layout, final)
+                if not augment:
+                    for i in range(len(block)):
+                        yield block[i].tobytes()
+                    continue
+                rows = np.ascontiguousarray(
+                    run.read_row_block(start, stop, self.stats)
+                )
+                decoded = RowBlock(row_layout, rows, heap).to_table()
                 for i in range(len(block)):
-                    yield block[i].tobytes()
+                    yield _augmented_key(block[i], key_layout, decoded, i)
 
         streams = [raw_rows(run) for run in self._runs]
         heap: list[tuple[bytes, int, int]] = []
@@ -1219,6 +1474,62 @@ def external_sort_table(
         for chunk in chunk_table(table, config.vector_size):
             operator.sink(chunk)
         return operator.finalize()
+
+
+def _words_to_bytes(words: np.ndarray, width: int) -> np.ndarray:
+    """Merged uint64 key words back to their big-endian key byte rows."""
+    count, word_count = words.shape
+    return (
+        words.astype(">u8")
+        .view(np.uint8)
+        .reshape(count, word_count * 8)[:, :width]
+    )
+
+
+def _trailing_tie_start(prefix: np.ndarray) -> int:
+    """First row of the trailing maximal group of equal prefix rows.
+
+    Returns 0 when every row of ``prefix`` belongs to one tied group
+    (the whole batch must be carried into the next merge round).
+    """
+    if len(prefix) < 2:
+        return 0
+    distinct = np.flatnonzero(np.any(prefix[1:] != prefix[:-1], axis=1))
+    return int(distinct[-1]) + 1 if len(distinct) else 0
+
+
+def _augmented_key(
+    key_row: np.ndarray, key_layout: KeyLayout, decoded: Table, i: int
+) -> bytes:
+    """Variable-length comparable key bytes with full strings inlined.
+
+    Byte-wise identical semantics to the normalized key, except every
+    truncated VARCHAR segment's value bytes are replaced by the full
+    UTF-8 encoding plus a terminator: ``0x00`` ascending, ``0xFF`` after
+    byte-wise inversion descending.  Neither terminator can occur inside
+    the encoded value (UTF-8 of NUL-free text has no zero byte; inverted
+    bytes are at most 0xFE), so a comparison either decides inside the
+    string region or falls through to the next segment with alignment
+    intact.  NULL rows keep only the segment's null-marker byte, which
+    already separates them from every valid row.
+    """
+    parts: list[bytes] = []
+    cursor = 0
+    for segment in key_layout.segments:
+        if segment.prefix_exact:
+            continue
+        start = segment.offset + segment.total_width - segment.value_width
+        parts.append(key_row[cursor:start].tobytes())
+        cursor = segment.offset + segment.total_width
+        column = decoded.column(segment.key.column)
+        if column.validity[i]:
+            encoded = str(column.data[i]).encode("utf-8")
+            if segment.key.descending:
+                parts.append(bytes(255 - b for b in encoded) + b"\xff")
+            else:
+                parts.append(encoded + b"\x00")
+    parts.append(key_row[cursor:].tobytes())
+    return b"".join(parts)
 
 
 def _rebase_strings(

@@ -196,21 +196,30 @@ def kway_merge_stream(
     sources: Sequence[Iterable[np.ndarray]],
     block_stats: KWayBlockStats | None = None,
     on_round: Callable[[], None] | None = None,
+    *,
+    use_ovc: bool = True,
+    emit_keys: bool = False,
 ):
     """Drive the block-streaming k-way kernel with per-round checkpoints.
 
-    Yields the kernel's ``(run_ids, row_ids)`` rounds unchanged, but
-    invokes ``on_round`` before emitting each one.  The callback is the
-    cooperative-cancellation (and progress) hook of long-running merges:
-    the external sort raises :class:`repro.errors.SortCancelledError`
-    from it, unwinding the merge between rounds -- never mid-read --
-    so cleanup always sees a consistent set of spill files.
+    Yields the kernel's rounds unchanged -- ``(run_ids, row_ids)``
+    tuples, or ``(run_ids, row_ids, merged_words)`` when ``emit_keys``
+    is set -- but invokes ``on_round`` before emitting each one.  The
+    callback is the cooperative-cancellation (and progress) hook of
+    long-running merges: the external sort raises
+    :class:`repro.errors.SortCancelledError` from it, unwinding the
+    merge between rounds -- never mid-read -- so cleanup always sees a
+    consistent set of spill files.  ``use_ovc`` and ``emit_keys`` are
+    forwarded to :func:`repro.sort.kernels.kway_merge_blocks`.
     """
     stats = block_stats or KWayBlockStats()
-    for run_ids, row_ids in kway_merge_blocks(sources, stats):
+    rounds = kway_merge_blocks(
+        sources, stats, use_ovc=use_ovc, emit_keys=emit_keys
+    )
+    for item in rounds:
         if on_round is not None:
             on_round()
-        yield run_ids, row_ids
+        yield item
 
 
 def kway_merge_indices(

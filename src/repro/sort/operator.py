@@ -38,6 +38,7 @@ from repro.keys.normalizer import MAX_STRING_PREFIX, NormalizedKeys, normalize_k
 from repro.rows.block import RowBlock
 from repro.sort.heuristic import vector_sort_rows
 from repro.sort.kernels import merge_indices
+from repro.sort.stringsort import refine_key_order
 from repro.sort.parallel_exec import (
     DEFAULT_MORSEL_ROWS as DEFAULT_PARALLEL_MORSEL_ROWS,
     ParallelSortExecutor,
@@ -79,6 +80,42 @@ def _segmented_compare(raw_a, raw_b, layout, spec, fetch_a, fetch_b) -> int:
             if cmp != 0:
                 return cmp
     return 0
+
+
+def _segmented_argsort(table: Table, keys, spec: SortSpec) -> np.ndarray:
+    """Scalar pdqsort with segment-wise full-string tie-breaks.
+
+    The per-row comparator path for inexact string prefixes.  Production
+    sorts use the vectorized prefix sort plus
+    :func:`repro.sort.stringsort.refine_key_order` instead; this remains
+    as the ``use_vector_kernels=False`` reference oracle (shared by the
+    in-memory and external operators).
+    """
+    from repro.sort.pdqsort import pdqsort as _pdqsort
+
+    n = len(keys)
+    matrix = keys.matrix
+    raw = [matrix[i].tobytes() for i in range(n)]
+    key_table = table.select(spec.column_names)
+    layout = keys.layout
+
+    def less(i: int, j: int) -> bool:
+        cmp = _segmented_compare(
+            raw[i],
+            raw[j],
+            layout,
+            spec,
+            lambda col: key_table.column_at(col).value(i),
+            lambda col: key_table.column_at(col).value(j),
+        )
+        if cmp != 0:
+            return cmp < 0
+        return raw[i][layout.key_width:] < raw[j][layout.key_width:]
+
+    order = list(range(n))
+    _pdqsort(order, less)
+    return np.asarray(order, dtype=np.int64)
+
 
 DEFAULT_RUN_THRESHOLD = 1 << 17
 """Rows buffered per thread before a sorted run is generated."""
@@ -127,8 +164,10 @@ class SortConfig:
             memory.  ``1`` (the default) keeps everything serial; any
             value is byte-identical to the serial kernels, and the
             parallel path silently falls back to serial when vector
-            kernels are off, string prefixes are inexact, or the
-            platform lacks ``fork``/POSIX shared memory.
+            kernels are off or the platform lacks ``fork``/POSIX shared
+            memory.  Truncated string prefixes run in parallel: the
+            workers sort key bytes and the parent repairs prefix ties
+            afterwards (:mod:`repro.sort.stringsort`), same as serial.
         parallel_morsel_rows: rows per run-generation morsel of the
             parallel path.
         compress_keys: shrink normalized keys from runtime statistics
@@ -140,6 +179,21 @@ class SortConfig:
             full-width layout bit-for-bit.  Ignored (treated as off) when
             ``string_prefix`` forces a fixed VARCHAR prefix, since the
             compressed layout chooses prefixes from the data.
+        exact_varchar: repair truncated VARCHAR prefixes on the vector
+            path (:mod:`repro.sort.stringsort`): byte-equal tie groups are
+            re-encoded at progressively wider string offsets until the
+            order is exact, in run generation and after every merge.  On
+            by default -- string sorts are exact without the per-row
+            scalar comparator.  Turning it off is the documented escape
+            hatch for approximate prefix-only ordering and *requires* a
+            forced ``string_prefix`` (so the truncation is an explicit
+            choice, never an accident).
+        use_ovc: apply offset-value coding in the merge kernels
+            (:func:`repro.sort.kernels.merge_indices` /
+            ``kway_merge_blocks``): uint64 words shared by every frontier
+            row are skipped, so duplicate-heavy keys cost one word compare
+            or none.  Off forces full-width comparisons (benchmark /
+            equivalence-test knob; results are identical either way).
     """
 
     run_threshold: int = DEFAULT_RUN_THRESHOLD
@@ -157,10 +211,17 @@ class SortConfig:
     num_workers: int = 1
     parallel_morsel_rows: int = DEFAULT_PARALLEL_MORSEL_ROWS
     compress_keys: bool = True
+    exact_varchar: bool = True
+    use_ovc: bool = True
 
     def __post_init__(self) -> None:
         if self.run_threshold <= 0:
             raise SortError("run_threshold must be positive")
+        if not self.exact_varchar and self.string_prefix is None:
+            raise SortError(
+                "exact_varchar=False sorts by prefix bytes only; force a "
+                "string_prefix to make the truncation explicit"
+            )
         if self.num_workers < 1:
             raise SortError("num_workers must be at least 1")
         if self.parallel_morsel_rows < 1:
@@ -221,6 +282,15 @@ class SortStats:
     ``vector_sort_paths`` / ``vector_sort_reasons`` record which
     vectorized sort kernel ran per run and why
     (:func:`repro.sort.heuristic.vector_sort_rows`).
+
+    The exact-string counters: ``ovc_compares`` / ``ovc_ties`` are rows
+    the merge kernels ordered through post-skip word comparisons vs. rows
+    settled with all key words equal (offset-value coding);
+    ``full_key_compares`` counts rows whose full string values were
+    consulted to break byte-equal prefix ties; ``reencode_rounds`` /
+    ``reencoded_rows`` count the adaptive tie-break re-encoding's chunk
+    rounds and the row-chunks they touched
+    (:mod:`repro.sort.stringsort`).
     """
 
     rows_sorted: int = 0
@@ -256,6 +326,11 @@ class SortStats:
     key_carried_runs: int = 0
     vector_sort_paths: dict[str, int] = field(default_factory=dict)
     vector_sort_reasons: dict[str, int] = field(default_factory=dict)
+    ovc_compares: int = 0
+    ovc_ties: int = 0
+    full_key_compares: int = 0
+    reencode_rounds: int = 0
+    reencoded_rows: int = 0
 
     def record_vector_sort(self, path: str, reason: str) -> None:
         self.vector_sort_paths[path] = self.vector_sort_paths.get(path, 0) + 1
@@ -352,9 +427,11 @@ class SortOperator:
         """The lazily-created multi-core executor, or ``None`` if serial.
 
         The parallel path requires the vector kernels (the executor runs
-        them in its workers) and is only byte-identical when memcmp over
-        key bytes is the exact order, so inexact string prefixes also
-        force serial execution (checked per run at the call sites).
+        them in its workers).  It sorts and merges key *bytes*; truncated
+        string prefixes are handled by running the same post-pass tie
+        repair (:mod:`repro.sort.stringsort`) on its output that the
+        serial vector path uses, so inexact prefixes no longer force
+        serial execution.
         """
         if self.config.num_workers <= 1 or not self.config.use_vector_kernels:
             return None
@@ -398,15 +475,27 @@ class SortOperator:
         if forced == "heuristic":
             from repro.sort.heuristic import choose_algorithm
 
-            if not keys.prefix_exact:
-                # Truncated string prefixes need tie-breaking comparisons,
-                # which radix cannot perform.
+            if not keys.prefix_exact and not self._vector_exact_strings():
+                # Without the vectorized tie repair, truncated string
+                # prefixes need per-row tie-breaking comparisons, which
+                # radix cannot perform.
                 return "pdqsort"
             return choose_algorithm(keys.matrix, keys.layout.key_width)
         if forced is not None:
             return forced
         # DuckDB's rule: pdqsort when strings are present, radix otherwise.
         return "pdqsort" if self._has_string_key else "radix"
+
+    def _vector_exact_strings(self) -> bool:
+        """True when inexact prefixes are repaired on the vector path.
+
+        The vectorized prefix sort stays usable for truncated VARCHAR
+        prefixes because :func:`repro.sort.stringsort.refine_key_order`
+        re-sorts the byte-equal tie groups on the full strings afterwards;
+        with ``exact_varchar`` off the prefix order *is* the requested
+        order, so the vector path needs no repair either way.
+        """
+        return self.config.use_vector_kernels and self.config.exact_varchar
 
     def _generate_run(self) -> None:
         if not self._buffer:
@@ -453,15 +542,25 @@ class SortOperator:
         self.stats.prefix_exact = self.stats.prefix_exact and keys.prefix_exact
 
         algorithm = self._choose_algorithm(keys)
-        if algorithm == "radix" and not keys.prefix_exact:
-            # Radix cannot tie-break truncated string prefixes; fall back
-            # to pdqsort with full-string comparisons.
+        if (
+            algorithm == "radix"
+            and not keys.prefix_exact
+            and not self._vector_exact_strings()
+        ):
+            # Radix cannot tie-break truncated string prefixes, and
+            # without the vector-path tie repair the only exact option is
+            # pdqsort with full-string comparisons.
             algorithm = "pdqsort"
         self.stats.algorithm = algorithm
         with self.stats.time_phase("run_gen"):
             order = None
+            # With exact prefixes the key bytes decide everything; with
+            # inexact prefixes the vector path sorts the prefix bytes and
+            # repairs the byte-equal tie groups afterwards, so the
+            # parallel executor and radix requalify for string keys.
+            vector_ok = keys.prefix_exact or self._vector_exact_strings()
             executor = self._parallel_executor()
-            if executor is not None and keys.prefix_exact:
+            if executor is not None and vector_ok:
                 # Morsel-driven parallel run generation: stable sorts of
                 # the same key bytes, so the permutation -- and the run --
                 # is byte-identical to whichever serial algorithm was
@@ -498,6 +597,11 @@ class SortOperator:
             else:
                 order = self._pdq_argsort(table, keys)
 
+            if not keys.prefix_exact and self._vector_exact_strings():
+                # Adaptive tie-break re-encoding: only byte-equal groups
+                # of the prefix order are re-sorted on their full strings,
+                # so the run is exact without a per-row comparator.
+                order = self._refine_run_order(table, keys, order)
             sorted_keys = keys.matrix[order]
             payload = RowBlock.from_table(table).take(np.asarray(order))
         self._runs.append(
@@ -512,51 +616,55 @@ class SortOperator:
         """pdqsort on memcmp of key bytes, with full-string tie-breaks.
 
         When every string fit its prefix the key bytes (which end in the
-        unique row id) order rows exactly.  Otherwise comparison walks the
-        key *segments*: a VARCHAR segment whose truncated prefixes tie is
+        unique row id) order rows exactly.  On the vector path, inexact
+        prefixes are sorted by their bytes here and the byte-equal tie
+        groups repaired afterwards by :meth:`_refine_run_order`.  Only the
+        ``use_vector_kernels=False`` oracle walks the key *segments*
+        per row: a VARCHAR segment whose truncated prefixes tie is
         resolved on the full strings before any later key column is
         consulted -- DuckDB's "compare the rest of the string only if the
         prefixes are equal".
         """
         n = len(keys)
         matrix = keys.matrix
-        if keys.prefix_exact:
-            if self.config.use_vector_kernels:
-                # Vectorized stable sort of the key bytes (heuristic
-                # radix/lexsort dispatch).  The row-id suffix ascends with
-                # row index, so a stable sort without it is byte-identical
-                # to memcmp over the full row.
-                return vector_sort_rows(
-                    matrix[:, : keys.layout.key_width],
-                    keys.layout.key_width,
-                    self.stats,
-                    self.stats.radix,
-                )
+        if self.config.use_vector_kernels:
+            # Vectorized stable sort of the key bytes (heuristic
+            # radix/lexsort dispatch).  The row-id suffix ascends with
+            # row index, so a stable sort without it is byte-identical
+            # to memcmp over the full row.
+            return vector_sort_rows(
+                matrix[:, : keys.layout.key_width],
+                keys.layout.key_width,
+                self.stats,
+                self.stats.radix,
+            )
+        if keys.prefix_exact or not self.config.exact_varchar:
             raw = [matrix[i].tobytes() for i in range(n)]
             order = list(range(n))
             pdqsort(order, lambda i, j: raw[i] < raw[j])
             return np.asarray(order, dtype=np.int64)
-        raw = [matrix[i].tobytes() for i in range(n)]
+        return _segmented_argsort(table, keys, self.spec)
 
-        key_table = table.select(self.spec.column_names)
-        layout = keys.layout
+    def _refine_run_order(
+        self, table: Table, keys: NormalizedKeys, order
+    ) -> np.ndarray:
+        """Repair a prefix-only permutation to exact full-string order."""
+        order = np.asarray(order, dtype=np.int64)
+        matrix = keys.matrix[order][:, : keys.layout.key_width]
 
-        def less(i: int, j: int) -> bool:
-            cmp = _segmented_compare(
-                raw[i],
-                raw[j],
-                layout,
-                self.spec,
-                lambda col: key_table.column_at(col).value(i),
-                lambda col: key_table.column_at(col).value(j),
-            )
-            if cmp != 0:
-                return cmp < 0
-            return raw[i][layout.key_width:] < raw[j][layout.key_width:]
+        def fetch_tied(tied: np.ndarray):
+            source = order[tied]
 
-        order = list(range(n))
-        pdqsort(order, less)
-        return np.asarray(order, dtype=np.int64)
+            def get(name: str):
+                column = table.column(name)
+                return column.data[source], column.validity[source]
+
+            return get
+
+        perm = refine_key_order(matrix, keys.layout, fetch_tied, self.stats)
+        if perm is None:
+            return order
+        return order[perm]
 
     # ------------------------------------------------------------------ #
     # Merge
@@ -567,14 +675,15 @@ class SortOperator:
 
         Keys are compared with memcmp over the full key row.  Row ids are
         globally unique and assigned in arrival order, so the suffix makes
-        the merge stable.  With exact prefixes the merge is one vectorized
-        searchsorted kernel; when string prefixes were truncated, the
-        scalar path re-resolves segment ties on the full values fetched
-        from the payload.
+        the merge stable.  On the vector path the merge is one vectorized
+        searchsorted/lexsort kernel; truncated string prefixes are
+        repaired afterwards by re-sorting the byte-equal tie groups on the
+        full strings.  Only the scalar oracle re-resolves segment ties per
+        row with values fetched from the payload.
         """
         key_width = left.key_width
-        exact = self.stats.prefix_exact
-        if exact and self.config.use_vector_kernels:
+        exact = self.stats.prefix_exact or not self.config.exact_varchar
+        if self.config.use_vector_kernels:
             return self._merge_two_kernel(left, right)
         self.stats.scalar_merges += 1
         a = left.raw_keys()
@@ -635,11 +744,14 @@ class SortOperator:
     def _merge_two_kernel(self, left: SortedRun, right: SortedRun) -> SortedRun:
         """Vectorized merge: one searchsorted kernel, no per-row Python.
 
-        Valid only when memcmp over full key rows is the exact order
-        (``prefix_exact``).  The merge compares only the key bytes: row
-        ids ascend with run order (earlier run => smaller ids), so the
-        kernel's stable left-first tie handling reproduces the full-row
-        memcmp order without touching the suffix.
+        The merge compares only the key bytes: row ids ascend with run
+        order (earlier run => smaller ids), so the kernel's stable
+        left-first tie handling reproduces the full-row memcmp order
+        without touching the suffix.  With truncated string prefixes the
+        byte-equal tie groups of the merged result are re-sorted on the
+        full strings afterwards -- both inputs are already exact, but two
+        runs can tie on the whole prefix while their full strings
+        interleave, so the repair must happen per merge, not just per run.
         """
         key_width = left.key_width
         perm = None
@@ -652,12 +764,42 @@ class SortOperator:
             )
         if perm is None:
             perm = merge_indices(
-                left.keys[:, :key_width], right.keys[:, :key_width]
+                left.keys[:, :key_width],
+                right.keys[:, :key_width],
+                stats=self.stats,
+                use_ovc=self.config.use_ovc,
             )
         merged_keys = np.concatenate([left.keys, right.keys])[perm]
         payload = left.payload.concat(right.payload).take(perm)
+        if not self.stats.prefix_exact and self.config.exact_varchar:
+            merged_keys, payload = self._refine_merged(
+                merged_keys, payload, key_width
+            )
         self.stats.kernel_merges += 1
-        return SortedRun(merged_keys, payload, left.key_width)
+        return SortedRun(
+            merged_keys, payload, key_width, layout=self._key_layout
+        )
+
+    def _refine_merged(
+        self, merged_keys: np.ndarray, payload: RowBlock, key_width: int
+    ) -> tuple[np.ndarray, RowBlock]:
+        """Re-sort a merged run's byte-equal tie groups on full strings."""
+
+        def fetch_tied(tied: np.ndarray):
+            tied_table = payload.take(tied).to_table()
+
+            def get(name: str):
+                column = tied_table.column(name)
+                return column.data, column.validity
+
+            return get
+
+        perm = refine_key_order(
+            merged_keys[:, :key_width], self._key_layout, fetch_tied, self.stats
+        )
+        if perm is None:
+            return merged_keys, payload
+        return merged_keys[perm], payload.take(perm)
 
     # ------------------------------------------------------------------ #
     # Finalize

@@ -13,9 +13,11 @@ versioned header::
     | page CRC32 table: crc_count x u32                            |
     |   (keys pages, then rows pages, then heap pages)             |
     +--------------------------------------------------------------+
-    | extra: header_bytes - 48 - 4*crc_count opaque bytes (v2)     |
-    |   (the serialized compressed key layout, see                 |
-    |    repro.keys.compression.serialize_layout)                  |
+    | extra: header_bytes - 48 - 4*crc_count opaque bytes          |
+    |   v2: the serialized compressed key layout, raw              |
+    |   v3: tagged frames  (tag u8 | length u32 | payload)*        |
+    |       tag 1 = serialized key layout                          |
+    |       tag 2 = offset-value codes (u16 per key row)           |
     +--------------------------------------------------------------+
     | keys  section: num_rows x key_width bytes                    |
     | rows  section: num_rows x row_width bytes                    |
@@ -25,7 +27,12 @@ versioned header::
 Format version 2 adds the variable-length ``extra`` blob between the CRC
 table and the data sections; readers locate it purely from
 ``header_bytes`` (which version-1 files pin at ``48 + 4*crc_count``, i.e.
-an empty blob), so both versions parse with one code path.
+an empty blob), so all versions parse with one code path.  Version 3
+structures the blob as self-describing tagged frames
+(:func:`pack_extra` / :func:`unpack_extra`) so independent metadata --
+the key layout, the run's offset-value codes -- can coexist; unknown
+tags are skipped, making future additions backward-readable.  A v2 blob
+is interpreted as a single layout frame, so v2 files stay readable.
 
 Integrity is page-granular *within* each section: section bytes are
 covered by CRC32 checksums over ``page_size``-byte pages (the last page
@@ -48,18 +55,30 @@ from dataclasses import dataclass
 from repro.errors import SpillCorruptionError
 
 __all__ = [
+    "EXTRA_TAG_LAYOUT",
+    "EXTRA_TAG_OVC",
     "FORMAT_VERSION",
     "MAGIC",
     "SECTION_NAMES",
     "SPILL_PAGE_SIZE",
     "SpillHeader",
     "build_header",
+    "pack_extra",
     "read_header",
+    "unpack_extra",
 ]
 
 MAGIC = b"RSPL"
-FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
+
+EXTRA_TAG_LAYOUT = 1
+"""Extra frame holding the serialized compressed key layout."""
+EXTRA_TAG_OVC = 2
+"""Extra frame holding the run's offset-value codes (little-endian u16
+per key row; see :func:`repro.sort.kernels.ovc_codes`)."""
+
+_FRAME = struct.Struct("<BI")
 SPILL_PAGE_SIZE = 1 << 12
 """Default CRC page size (4 KiB).
 
@@ -96,9 +115,9 @@ class SpillHeader:
 
     ``page_crcs`` holds one CRC tuple per section, in
     :data:`SECTION_NAMES` order.  All byte offsets below are absolute
-    file offsets.  ``extra`` is the opaque format-v2 blob (empty for v1
-    files and for runs written without key compression); it is covered by
-    ``header_crc32``.
+    file offsets.  ``extra`` is the opaque metadata blob (empty for v1
+    files); its interpretation depends on ``version`` -- see
+    :func:`unpack_extra` -- and it is covered by ``header_crc32``.
     """
 
     num_rows: int
@@ -108,6 +127,7 @@ class SpillHeader:
     page_size: int
     page_crcs: tuple[tuple[int, ...], ...]
     extra: bytes = b""
+    version: int = FORMAT_VERSION
 
     @property
     def crc_count(self) -> int:
@@ -142,7 +162,7 @@ class SpillHeader:
         )
         fixed_fields = (
             MAGIC,
-            FORMAT_VERSION,
+            self.version,
             self.header_bytes,
             self.num_rows,
             self.key_width,
@@ -260,4 +280,58 @@ def read_header(io, path: str) -> SpillHeader:
         page_size=page_size,
         page_crcs=tuple(crcs),
         extra=bytes(extra),
+        version=version,
     )
+
+
+def pack_extra(frames: dict[int, bytes]) -> bytes:
+    """Serialize extra-blob frames in the version-3 tagged layout.
+
+    Frames are written in ascending tag order so the blob is
+    deterministic.  An empty dict packs to an empty blob.
+    """
+    parts = []
+    for tag in sorted(frames):
+        payload = frames[tag]
+        if not 0 <= tag <= 255:
+            raise ValueError(f"extra frame tag {tag} out of range")
+        parts.append(_FRAME.pack(tag, len(payload)))
+        parts.append(bytes(payload))
+    return b"".join(parts)
+
+
+def unpack_extra(extra: bytes, version: int, path: str) -> dict[int, bytes]:
+    """Parse a header's extra blob into ``{tag: payload}`` frames.
+
+    Version 3 blobs are tagged frames; a duplicate tag or a frame running
+    past the blob raises :class:`SpillCorruptionError`.  A non-empty
+    version-2 blob is the serialized key layout by definition, returned
+    as a single :data:`EXTRA_TAG_LAYOUT` frame; version 1 never has one.
+    """
+    if not extra:
+        return {}
+    if version < 3:
+        return {EXTRA_TAG_LAYOUT: bytes(extra)}
+    frames: dict[int, bytes] = {}
+    view = memoryview(extra)
+    cursor = 0
+    while cursor < len(view):
+        if cursor + _FRAME.size > len(view):
+            raise SpillCorruptionError(
+                "truncated extra frame header in spill header blob", path
+            )
+        tag, length = _FRAME.unpack_from(view, cursor)
+        cursor += _FRAME.size
+        if cursor + length > len(view):
+            raise SpillCorruptionError(
+                f"extra frame (tag {tag}) runs past the spill header blob",
+                path,
+            )
+        if tag in frames:
+            raise SpillCorruptionError(
+                f"duplicate extra frame tag {tag} in spill header blob",
+                path,
+            )
+        frames[tag] = bytes(view[cursor : cursor + length])
+        cursor += length
+    return frames

@@ -1,0 +1,260 @@
+"""Adaptive tie-break re-encoding for exact string sorting.
+
+Normalized keys carry at most :data:`~repro.keys.normalizer.MAX_STRING_PREFIX`
+bytes per VARCHAR segment, so two long strings sharing a prefix compare equal
+on the key matrix even when the full values differ.  Historically that
+demoted the whole pipeline to per-row Python compares (or a hard error in the
+external sort).  This module makes the vector path exact instead:
+
+* :func:`refine_key_order` repairs a prefix-sorted permutation.  Rows tied
+  on the key bytes up to the first inexact VARCHAR segment are grouped with
+  one vectorized adjacent-row comparison; each inexact segment is then
+  resolved in key order -- its tie groups are re-encoded at progressively
+  wider string offsets (chunks of :data:`CHUNK_WIDTH` bytes past the already
+  compared prefix) and re-sorted with a stable ``np.lexsort``, subdividing
+  groups until every group is a singleton or the strings are exhausted.
+  Between segments the groups are extended with the key bytes separating
+  them, so a full string always outranks every later ORDER BY column.  Work
+  per round is proportional to the rows still tied: unique-prefix inputs pay
+  nothing, pathological shared-prefix inputs pay ``O(ties * extra_bytes)``.
+* :func:`exact_group_changed` is the boundary-detection analogue for
+  GROUP BY / PARTITION BY consumers: the prefix boundary mask ORed with an
+  exact elementwise string comparison on the inexact segments.
+
+String order here is zero-padded UTF-8 byte order, identical to Python's
+``str`` ordering for text without embedded NUL characters (UTF-8 preserves
+codepoint order and the zero pad byte sorts before every real byte).
+Strings that differ only by trailing NUL codepoints are treated as equal;
+their relative order falls back to the stable row-id tiebreak.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.keys.encoding import utf8_byte_lengths
+
+__all__ = [
+    "CHUNK_WIDTH",
+    "exact_group_changed",
+    "inexact_prefix_end",
+    "refine_key_order",
+]
+
+#: Bytes of string tail re-encoded per refinement round.  Wide enough that a
+#: typical tie resolves in one round, narrow enough that rows differing right
+#: after the prefix do not drag in a long tail.
+CHUNK_WIDTH = 16
+
+
+def inexact_prefix_end(layout) -> int | None:
+    """End byte of the first truncated VARCHAR segment, or ``None``.
+
+    Rows equal on the key bytes up to this offset may still need full-string
+    comparison; rows that differ within it are already ordered exactly.
+    Callers batching refinement (the external merge's carry buffer) use it
+    as the tie-group criterion.
+    """
+    for segment in layout.segments:
+        if not segment.prefix_exact:
+            return segment.offset + segment.total_width
+    return None
+
+
+def _tie_groups(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+    """Positions and group ids of rows tied with a neighbour.
+
+    ``matrix`` rows must be sorted, so equal rows are adjacent.  Returns
+    ``(tied, group_ids)`` -- the ascending positions of every row in a group
+    of two or more equal rows, and the 0-based non-decreasing group ordinal
+    of each -- or ``None`` when every row is unique.
+    """
+    n = len(matrix)
+    if n < 2:
+        return None
+    same = np.all(matrix[1:] == matrix[:-1], axis=1)
+    if not same.any():
+        return None
+    boundary = np.concatenate(([True], ~same))
+    ids = np.cumsum(boundary) - 1
+    counts = np.bincount(ids)
+    tied = np.flatnonzero(counts[ids] > 1)
+    return tied, ids[tied]
+
+
+def _refine_segment(
+    order: np.ndarray,
+    groups: np.ndarray,
+    values: np.ndarray,
+    validity: np.ndarray,
+    descending: bool,
+    start_byte: int,
+    stats,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One segment's chunked re-encode loop over the current tie groups.
+
+    ``order`` maps sorted slot -> tied-row index; ``groups`` is the
+    non-decreasing group id per slot.  The sort is stable, so rows whose
+    string tails are fully equal keep their current relative order -- which
+    is their order on the remaining key bytes (later ORDER BY columns, then
+    the row id).  Returns the refined ``(order, groups)`` pair, with groups
+    subdivided down to string-tail equality classes.
+    """
+    # Flat UTF-8 buffer for the tied rows only (NULLs encode as empty:
+    # the key prefix's NULL byte already separated them into their own
+    # groups, so they simply stay tied and keep stable order).
+    texts = [
+        str(v) if ok else ""
+        for v, ok in zip(values.tolist(), np.asarray(validity).tolist())
+    ]
+    source = np.asarray(texts, dtype=object)
+    lengths = utf8_byte_lengths(source).astype(np.int64)
+    buffer = np.frombuffer("".join(texts).encode("utf-8"), dtype=np.uint8)
+    starts = np.cumsum(lengths) - lengths
+
+    pos = int(start_byte)
+    while True:
+        counts = np.bincount(groups)
+        multi = counts[groups] > 1
+        if not (multi & (lengths[order] > pos)).any():
+            break
+        # Every row of a still-multi group participates: rows whose string
+        # is exhausted compare as all-pad (sort first ascending, last
+        # descending), exactly the zero-padded semantics of the key prefix.
+        rows = np.flatnonzero(multi)
+        idx = order[rows]
+        take = np.clip(lengths[idx] - pos, 0, CHUNK_WIDTH)
+        chunk = np.zeros((len(rows), CHUNK_WIDTH), dtype=np.uint8)
+        total = int(take.sum())
+        if total:
+            within = np.arange(total) - np.repeat(np.cumsum(take) - take, take)
+            dest = np.repeat(np.arange(len(rows)), take)
+            chunk[dest, within] = buffer[
+                np.repeat(starts[idx] + pos, take) + within
+            ]
+        if descending:
+            np.subtract(255, chunk, out=chunk)
+        # Stable sort: group id is the primary key (ids are non-decreasing
+        # in slot order, so equal ids are contiguous), the chunk bytes the
+        # secondary keys, and the slot ordinal the explicit final tiebreak.
+        sub = np.lexsort(
+            (np.arange(len(rows)),)
+            + tuple(chunk.T[::-1])
+            + (groups[rows],)
+        )
+        order[rows] = idx[sub]
+        chunk_sorted = chunk[sub]
+        g_sorted = groups[rows][sub]
+
+        # Subdivide: a new boundary wherever the chunk (or group) changed.
+        changed = np.concatenate(([True], groups[1:] != groups[:-1]))
+        if len(rows) > 1:
+            diff = (g_sorted[1:] != g_sorted[:-1]) | np.any(
+                chunk_sorted[1:] != chunk_sorted[:-1], axis=1
+            )
+            changed[rows[1:]] |= diff
+        groups = np.cumsum(changed) - 1
+        pos += CHUNK_WIDTH
+        if stats is not None:
+            stats.reencode_rounds += 1
+            stats.reencoded_rows += len(rows)
+    return order, groups
+
+
+def refine_key_order(
+    matrix: np.ndarray,
+    layout,
+    fetch_tied: Callable[[np.ndarray], Callable[[str], tuple[np.ndarray, np.ndarray]]],
+    stats=None,
+) -> np.ndarray | None:
+    """Turn a prefix-sorted permutation into an exact one.
+
+    Args:
+        matrix: the sorted key matrix truncated to ``layout.key_width``
+            (no row-id suffix).
+        layout: the :class:`~repro.keys.normalizer.KeyLayout` that produced
+            it; only segments with ``prefix_exact=False`` are refined.
+        fetch_tied: called once with the tied row positions; returns a
+            getter ``get(column_name) -> (values, validity)`` for those rows
+            (lets callers gather from tables, row blocks, or spilled runs).
+        stats: optional ``SortStats``; ``full_key_compares`` counts the tied
+            rows whose full strings were consulted, ``reencode_rounds`` /
+            ``reencoded_rows`` the re-encode work.
+
+    Tie groups start as runs of rows equal on the key bytes up to the first
+    inexact segment (later bytes must not pre-partition them: the full
+    string outranks every later ORDER BY column).  Each inexact segment is
+    refined in key order; before the next one, groups are extended with the
+    exact key bytes separating the two segments -- within a group the rows
+    are stable-sorted by those bytes already, so adjacent comparison
+    suffices.
+
+    Returns a full-length permutation to apply on top of the prefix order,
+    or ``None`` when the prefix order is already exact.
+    """
+    inexact = [s for s in layout.segments if not s.prefix_exact]
+    if not inexact:
+        return None
+    covered = inexact[0].offset + inexact[0].total_width
+    found = _tie_groups(matrix[:, :covered])
+    if found is None:
+        return None
+    tied, groups = found
+    groups = groups.astype(np.int64)
+    get = fetch_tied(tied)
+    if stats is not None:
+        stats.full_key_compares += len(tied)
+    order = np.arange(len(tied), dtype=np.int64)
+    for segment in inexact:
+        end = segment.offset + segment.total_width
+        if end > covered:
+            # Extend group equality with the exact bytes between the
+            # previous inexact segment and this one, in current slot
+            # order (stable refinement kept equal-tail rows sorted by
+            # their remaining key bytes, so runs stay adjacent).
+            block = matrix[tied[order], covered:end]
+            changed = np.concatenate(([True], groups[1:] != groups[:-1]))
+            if len(block) > 1:
+                changed[1:] |= np.any(block[1:] != block[:-1], axis=1)
+            groups = np.cumsum(changed) - 1
+            covered = end
+        if np.bincount(groups).max() <= 1:
+            break
+        values, validity = get(segment.key.column)
+        order, groups = _refine_segment(
+            order,
+            groups,
+            values,
+            validity,
+            segment.key.descending,
+            segment.value_width,
+            stats,
+        )
+    perm = np.arange(len(matrix), dtype=np.int64)
+    perm[tied] = tied[order]
+    return perm
+
+
+def exact_group_changed(sorted_table, norm) -> np.ndarray:
+    """Exact adjacent-row "key changed" mask for a sorted table.
+
+    ``norm`` is the :class:`~repro.keys.normalizer.NormalizedKeys` of the
+    sorted table (no row-id suffix).  The prefix mask is exact for every
+    segment except truncated VARCHAR prefixes; those are patched with one
+    vectorized elementwise comparison of the original string values -- the
+    prefix already separates NULL from valid rows, so only valid/valid pairs
+    need the value check.
+    """
+    changed = np.any(norm.matrix[1:] != norm.matrix[:-1], axis=1)
+    if norm.prefix_exact:
+        return changed
+    for segment in norm.layout.segments:
+        if segment.prefix_exact:
+            continue
+        column = sorted_table.column(segment.key.column)
+        values = column.data
+        valid = column.validity
+        changed |= (values[1:] != values[:-1]) & valid[1:] & valid[:-1]
+    return changed

@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import SortError
 from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
 from repro.sort.operator import SortConfig, sort_table
+from repro.sort.stringsort import exact_group_changed
 from repro.table.column import ColumnVector
 from repro.table.table import Table
 from repro.types.datatypes import BIGINT, DOUBLE
@@ -108,7 +109,9 @@ def _partition_ids(sorted_table: Table, spec: WindowSpec) -> np.ndarray:
         sorted_table, part_spec, string_prefix=MAX_STRING_PREFIX,
         include_row_id=False,
     )
-    changed = np.any(keys.matrix[1:] != keys.matrix[:-1], axis=1)
+    # exact_group_changed patches truncated VARCHAR prefixes with the
+    # original values, so long partition keys never fuse two partitions.
+    changed = exact_group_changed(sorted_table, keys)
     return np.concatenate(([0], np.cumsum(changed))).astype(np.int64)
 
 
@@ -122,7 +125,7 @@ def _order_ids(sorted_table: Table, spec: WindowSpec) -> np.ndarray:
         sorted_table, order_spec, string_prefix=MAX_STRING_PREFIX,
         include_row_id=False,
     )
-    changed = np.any(keys.matrix[1:] != keys.matrix[:-1], axis=1)
+    changed = exact_group_changed(sorted_table, keys)
     return np.concatenate(([0], np.cumsum(changed))).astype(np.int64)
 
 

@@ -42,6 +42,7 @@ from repro.keys.normalizer import (
 )
 from repro.sort.external import ExternalSortOperator, external_sort_table
 from repro.sort.operator import SortConfig, SortOperator, sort_table
+from repro.sort.spillfile import EXTRA_TAG_LAYOUT, unpack_extra
 from repro.sort.parallel_exec import parallel_platform_supported
 from repro.table.chunk import chunk_table
 from repro.table.table import Table
@@ -230,8 +231,13 @@ class TestLayoutSerialization:
             assert op.spilled_runs >= 2
             for run in op._runs:
                 assert run.header.extra
+                frames = unpack_extra(
+                    run.header.extra, run.header.version, run.path
+                )
                 assert (
-                    deserialize_layout(run.header.extra, table.schema, spec)
+                    deserialize_layout(
+                        frames[EXTRA_TAG_LAYOUT], table.schema, spec
+                    )
                     == run.layout
                 )
             result = op.finalize()

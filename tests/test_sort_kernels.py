@@ -254,15 +254,20 @@ class TestOperatorCrossCheck:
         assert op.stats.kernel_merges > 0
         assert op.stats.scalar_merges == 0
 
-    def test_scalar_merge_counter_on_inexact_prefix(self):
+    def test_inexact_prefix_stays_on_kernel_path(self):
+        # Strings tying beyond the 12-byte prefix used to demote every
+        # merge to the scalar comparator; the vector path now repairs the
+        # tie groups instead and the scalar merge never runs.
         values = [f"{'y' * 13}{i:03d}" for i in range(300)]
         table = Table.from_pydict({"s": values})
         op = SortOperator(table.schema, SortSpec.of("s"), SortConfig(run_threshold=64))
         for chunk in chunk_table(table, 32):
             op.sink(chunk)
-        op.finalize()
-        assert op.stats.scalar_merges > 0
-        assert op.stats.kernel_merges == 0
+        result = op.finalize()
+        assert op.stats.scalar_merges == 0
+        assert op.stats.kernel_merges > 0
+        assert op.stats.full_key_compares > 0
+        assert result.column("s").to_pylist() == sorted(values)
 
 
 class TestExternalCrossCheck:

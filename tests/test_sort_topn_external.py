@@ -136,15 +136,20 @@ class TestExternalSort:
         )
         assert result.equals(reference_sort(table, spec))
 
-    def test_truncated_strings_rejected(self, tmp_path):
-        table = Table.from_pydict({"s": ["x" * 30, "y"]})
+    def test_truncated_strings_sort_exactly(self, tmp_path):
+        # Strings longer than the key prefix used to raise at finalize;
+        # the external sort now refines them to exact byte order.
+        values = ["x" * 30, "x" * 29 + "a", "y", "x" * 29]
+        table = Table.from_pydict({"s": values})
         operator = ExternalSortOperator(
             table.schema, SortSpec.of("s"), spill_directory=str(tmp_path)
         )
-        for chunk in chunk_table(table):
-            operator.sink(chunk)
-        with pytest.raises(SortError):
-            operator.finalize()
+        with operator:
+            for chunk in chunk_table(table):
+                operator.sink(chunk)
+            result = operator.finalize()
+        assert result.column("s").to_pylist() == sorted(values)
+        assert operator.stats.scalar_kway_merges == 0
 
     def test_empty_input(self, tmp_path):
         table = Table.from_pydict({"a": []})

@@ -1,0 +1,494 @@
+"""Exact string sorting on the vector path.
+
+Randomized byte-identity checks of every sort path -- in-memory,
+external, Top-N, parallel -- against the tuple-compare oracle on string
+workloads the key prefix cannot decide (long strings, shared prefixes,
+duplicate-heavy distributions, NULLs, DESC / NULLS FIRST), plus property
+tests of the offset-value coding used by the merges and the escape hatch
+that restores the old truncated-prefix semantics.
+
+No workload here may demote to a scalar merge: the stats assertions pin
+the vector path (``scalar_merges == 0`` / ``scalar_kway_merges == 0``)
+while the outputs stay byte-identical to the oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from conftest import reference_sort
+from repro.aggregate.groupby import Aggregate, group_by
+from repro.errors import SortError
+from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
+from repro.sort.external import (
+    ExternalSortOperator,
+    SpilledRun,
+    external_sort_table,
+)
+from repro.sort.kernels import (
+    KWayBlockStats,
+    kway_merge_blocks,
+    merge_indices,
+    ovc_codes,
+)
+from repro.sort.operator import SortConfig, SortOperator, SortStats, sort_table
+from repro.sort.parallel_exec import parallel_platform_supported
+from repro.sort.spillfile import (
+    EXTRA_TAG_LAYOUT,
+    EXTRA_TAG_OVC,
+    unpack_extra,
+)
+from repro.sort.stringsort import (
+    exact_group_changed,
+    inexact_prefix_end,
+    refine_key_order,
+)
+from repro.sort.topn import top_n
+from repro.table.chunk import chunk_table
+from repro.table.table import Table
+from repro.types.sortspec import SortKey, SortSpec
+from repro.window.functions import WindowFunction, WindowSpec, window
+
+SPECS = [
+    "s",
+    "s DESC",
+    "s DESC NULLS LAST, i DESC",
+    "i, s",
+    "s NULLS FIRST, i",
+]
+
+
+def string_table(seed: int, n: int, *, null_rate=0.08, dup_heavy=False):
+    """Strings the 12-byte key prefix cannot decide.
+
+    Long shared prefixes, tails of varying length (including tails that
+    are prefixes of each other), NULLs, and -- with ``dup_heavy`` -- a
+    tiny value domain so almost every key byte comparison ties.
+    """
+    rng = random.Random(seed)
+    prefixes = [
+        "shared_prefix_alpha_______",
+        "shared_prefix_beta________",
+        "zz",
+        "",
+    ]
+    if dup_heavy:
+        domain = [
+            "shared_prefix_alpha_______" + tail
+            for tail in ("", "a", "aa", "b")
+        ]
+
+        def one():
+            return rng.choice(domain)
+
+    else:
+
+        def one():
+            tail_len = rng.randrange(0, 40)
+            tail = "".join(
+                rng.choice("abcxyz019") for _ in range(tail_len)
+            )
+            return rng.choice(prefixes) + tail
+
+    svals = [
+        None if rng.random() < null_rate else one() for _ in range(n)
+    ]
+    ivals = [rng.randrange(0, 5) for _ in range(n)]
+    return Table.from_pydict({"s": svals, "i": ivals})
+
+
+def spec_of(spec_str: str) -> SortSpec:
+    return SortSpec.of(*[part.strip() for part in spec_str.split(",")])
+
+
+def assert_matches_oracle(result: Table, table: Table, spec: SortSpec):
+    expected = reference_sort(table, spec)
+    for name in table.schema.names:
+        assert (
+            result.column(name).to_pylist()
+            == expected.column(name).to_pylist()
+        ), name
+
+
+class TestInMemoryExact:
+    @pytest.mark.parametrize("spec_str", SPECS)
+    @pytest.mark.parametrize("dup_heavy", [False, True])
+    def test_byte_identity_vs_oracle(self, spec_str, dup_heavy):
+        table = string_table(3, 4000, dup_heavy=dup_heavy)
+        spec = spec_of(spec_str)
+        operator = SortOperator(
+            table.schema, spec, SortConfig(run_threshold=1000)
+        )
+        for chunk in chunk_table(table, 512):
+            operator.sink(chunk)
+        result = operator.finalize()
+        assert_matches_oracle(result, table, spec)
+        # The whole point: inexact prefixes stay on the kernel path.
+        assert operator.stats.scalar_merges == 0
+        assert operator.stats.kernel_merges > 0
+        assert not operator.stats.prefix_exact
+        assert operator.stats.full_key_compares > 0
+
+    def test_reencode_work_scales_with_ties_only(self):
+        # Unique short strings: nothing ties past the prefix, so the
+        # adaptive re-encoding must not run at all.
+        table = Table.from_pydict(
+            {"s": [f"v{i:04d}" for i in range(2000)]}
+        )
+        operator = SortOperator(table.schema, SortSpec.of("s"), SortConfig())
+        for chunk in chunk_table(table, 512):
+            operator.sink(chunk)
+        operator.finalize()
+        assert operator.stats.reencoded_rows == 0
+        assert operator.stats.full_key_compares == 0
+
+    def test_forced_prefix_still_sorts_exactly(self):
+        # A forced (short) prefix changes the key bytes, not the result:
+        # exact_varchar refines the ties the narrow prefix leaves.
+        table = string_table(5, 1500)
+        spec = spec_of("s DESC")
+        result = sort_table(table, spec, SortConfig(string_prefix=4))
+        assert_matches_oracle(result, table, spec)
+
+
+class TestExternalExact:
+    @pytest.mark.parametrize("spec_str", SPECS)
+    @pytest.mark.parametrize("compress", [True, False])
+    def test_byte_identity_vs_oracle(self, spec_str, compress, tmp_path):
+        table = string_table(7, 5000)
+        spec = spec_of(spec_str)
+        config = SortConfig(run_threshold=1000, compress_keys=compress)
+        with ExternalSortOperator(
+            table.schema, spec, config, str(tmp_path)
+        ) as operator:
+            for chunk in chunk_table(table, 512):
+                operator.sink(chunk)
+            result = operator.finalize()
+        assert operator.spilled_runs >= 4
+        assert_matches_oracle(result, table, spec)
+        assert operator.stats.scalar_kway_merges == 0
+        assert operator.stats.kernel_kway_merges == 1
+        assert not operator.stats.prefix_exact
+        assert operator.stats.full_key_compares > 0
+
+    def test_duplicate_heavy_kway_uses_ovc(self, tmp_path):
+        table = string_table(9, 6000, dup_heavy=True)
+        spec = SortSpec.of("s")
+        config = SortConfig(run_threshold=1000)
+        with ExternalSortOperator(
+            table.schema, spec, config, str(tmp_path)
+        ) as operator:
+            for chunk in chunk_table(table, 512):
+                operator.sink(chunk)
+            result = operator.finalize()
+        assert_matches_oracle(result, table, spec)
+        # Nearly all frontier rows tie on every key word; the stored
+        # codes and the per-round skip must prove it without compares.
+        assert operator.stats.ovc_ties > 0
+
+    def test_scalar_merge_oracle_agrees(self, tmp_path):
+        # use_vector_kernels=False is the cross-checking scalar heap;
+        # it must produce the identical exact order via augmented keys.
+        table = string_table(11, 3000)
+        spec = spec_of("s DESC NULLS LAST, i DESC")
+        config = SortConfig(run_threshold=800, use_vector_kernels=False)
+        result = external_sort_table(table, spec, config, str(tmp_path))
+        assert_matches_oracle(result, table, spec)
+
+    def test_ovc_on_off_same_bytes(self, tmp_path):
+        table = string_table(13, 4000, dup_heavy=True)
+        spec = spec_of("s, i")
+        results = []
+        for use_ovc in (True, False):
+            config = SortConfig(run_threshold=900, use_ovc=use_ovc)
+            results.append(
+                external_sort_table(table, spec, config, str(tmp_path))
+            )
+        for name in table.schema.names:
+            assert (
+                results[0].column(name).to_pylist()
+                == results[1].column(name).to_pylist()
+            )
+
+    def test_spilled_run_stores_ovc_codes(self, tmp_path):
+        table = string_table(15, 2500)
+        spec = SortSpec.of("s")
+        with ExternalSortOperator(
+            table.schema, spec, SortConfig(run_threshold=600), str(tmp_path)
+        ) as operator:
+            for chunk in chunk_table(table, 512):
+                operator.sink(chunk)
+            for run in operator._runs:
+                assert run.ovc is not None
+                frames = unpack_extra(
+                    run.header.extra, run.header.version, run.path
+                )
+                stored = np.frombuffer(frames[EXTRA_TAG_OVC], dtype="<u2")
+                assert np.array_equal(stored, run.ovc)
+                # Round-trip: re-opening the file re-attaches the codes.
+                reopened = SpilledRun.open(
+                    run.path, schema=table.schema, spec=spec
+                )
+                assert np.array_equal(reopened.ovc, run.ovc)
+            operator.finalize()
+
+    def test_version2_spill_files_stay_readable(self, tmp_path):
+        # A v2 header's extra blob is the raw serialized layout (no
+        # frames); the reader must still parse it and serve blocks.
+        table = string_table(17, 800)
+        spec = SortSpec.of("s")
+        with ExternalSortOperator(
+            table.schema, spec, SortConfig(run_threshold=400), str(tmp_path)
+        ) as operator:
+            for chunk in chunk_table(table, 256):
+                operator.sink(chunk)
+            run = operator._runs[0]
+            frames = unpack_extra(
+                run.header.extra, run.header.version, run.path
+            )
+            keys = run.read_key_block(0, run.num_rows).tobytes()
+            rows = run.read_row_block(0, run.num_rows).tobytes()
+            heap = run.read_heap()
+            legacy_header = dataclasses.replace(
+                run.header,
+                version=2,
+                extra=frames[EXTRA_TAG_LAYOUT],  # raw layout blob, no frames
+            )
+            legacy_path = str(tmp_path / "legacy-v2.bin")
+            run.io.write_file(
+                legacy_path, [legacy_header.pack(), keys, rows, heap]
+            )
+            legacy = SpilledRun.open(
+                legacy_path, schema=table.schema, spec=spec
+            )
+            assert legacy.header.version == 2
+            assert legacy.layout == run.layout
+            assert legacy.ovc is None  # v2 never carried codes
+            assert (
+                legacy.read_key_block(0, legacy.num_rows).tobytes() == keys
+            )
+            operator.finalize()
+
+
+class TestTopNAndParallel:
+    @pytest.mark.parametrize("spec_str", ["s", "s DESC, i"])
+    def test_topn_matches_oracle_head(self, spec_str):
+        table = string_table(19, 2000)
+        spec = spec_of(spec_str)
+        expected = reference_sort(table, spec)
+        result = top_n(table, spec, limit=37, offset=5)
+        for name in table.schema.names:
+            assert (
+                result.column(name).to_pylist()
+                == expected.column(name).to_pylist()[5:42]
+            )
+
+    @pytest.mark.skipif(
+        not parallel_platform_supported(),
+        reason="shared-memory parallel executor unsupported here",
+    )
+    @pytest.mark.parametrize("spec_str", ["s", "s DESC NULLS LAST, i DESC"])
+    def test_parallel_matches_serial(self, spec_str):
+        table = string_table(21, 6000)
+        spec = spec_of(spec_str)
+        serial = sort_table(table, spec, SortConfig())
+        parallel = sort_table(table, spec, SortConfig(num_workers=3))
+        for name in table.schema.names:
+            assert (
+                serial.column(name).to_pylist()
+                == parallel.column(name).to_pylist()
+            )
+        assert_matches_oracle(parallel, table, spec)
+
+
+class TestOffsetValueCoding:
+    def wide_sorted_matrix(self, rng, n, width, distinct):
+        pool = rng.integers(0, distinct, size=(n, width), dtype=np.uint8)
+        pool[:, : width // 2] = 7  # shared leading bytes
+        order = np.lexsort(tuple(pool.T[::-1]))
+        return np.ascontiguousarray(pool[order])
+
+    def test_ovc_codes_match_definition(self, rng):
+        matrix = self.wide_sorted_matrix(rng, 500, 20, 3)
+        codes = ovc_codes(matrix)
+        words = -(-matrix.shape[1] // 8)
+        padded = np.zeros((len(matrix), words * 8), dtype=np.uint8)
+        padded[:, : matrix.shape[1]] = matrix
+        assert codes[0] == 0
+        for i in range(1, len(matrix)):
+            expected = words  # all words equal => duplicate marker
+            for w in range(words):
+                if not np.array_equal(
+                    padded[i, w * 8 : w * 8 + 8],
+                    padded[i - 1, w * 8 : w * 8 + 8],
+                ):
+                    expected = w
+                    break
+            assert codes[i] == expected, i
+
+    def test_merge_indices_ovc_equivalence(self, rng):
+        for _ in range(5):
+            a = self.wide_sorted_matrix(rng, 400, 24, 4)
+            b = self.wide_sorted_matrix(rng, 300, 24, 4)
+            stats = SortStats()
+            with_ovc = merge_indices(a, b, stats=stats, use_ovc=True)
+            without = merge_indices(a, b, use_ovc=False)
+            assert np.array_equal(with_ovc, without)
+            assert stats.ovc_compares + stats.ovc_ties > 0
+
+    def test_kway_blocks_ovc_equivalence(self, rng):
+        runs = [self.wide_sorted_matrix(rng, 600, 24, 4) for _ in range(4)]
+
+        def sources():
+            return [
+                iter(
+                    [run[i : i + 128] for i in range(0, len(run), 128)]
+                )
+                for run in runs
+            ]
+
+        def collect(use_ovc):
+            stats = KWayBlockStats()
+            out = [
+                (run_ids.copy(), row_ids.copy())
+                for run_ids, row_ids in kway_merge_blocks(
+                    sources(), stats, use_ovc=use_ovc
+                )
+            ]
+            return out, stats
+
+        with_ovc, stats = collect(True)
+        without, _ = collect(False)
+        assert len(with_ovc) == len(without)
+        for (ra, ia), (rb, ib) in zip(with_ovc, without):
+            assert np.array_equal(ra, rb)
+            assert np.array_equal(ia, ib)
+        assert stats.ovc_compares + stats.ovc_ties > 0
+
+
+class TestEscapeHatch:
+    def test_inexact_without_forced_prefix_rejected(self):
+        with pytest.raises(SortError):
+            SortConfig(exact_varchar=False)
+
+    def test_truncated_semantics_are_explicit(self):
+        # exact_varchar=False + a forced prefix restores the documented
+        # old behaviour: order is decided by the prefix bytes alone,
+        # ties fall back to arrival order (the row id).
+        values = ["prefix_AAAA_z", "prefix_AAAA_a", "prefix_BBBB"]
+        table = Table.from_pydict({"s": values})
+        config = SortConfig(exact_varchar=False, string_prefix=7)
+        result = sort_table(table, "s", config)
+        # All three tie on "prefix_"; arrival order is kept.
+        assert result.column("s").to_pylist() == values
+        exact = sort_table(table, "s", SortConfig(string_prefix=7))
+        assert exact.column("s").to_pylist() == sorted(values)
+
+    def test_external_escape_hatch(self, tmp_path):
+        values = ["prefix_AAAA_z", "prefix_AAAA_a", "prefix_BBBB"]
+        table = Table.from_pydict({"s": values})
+        config = SortConfig(exact_varchar=False, string_prefix=7)
+        result = external_sort_table(table, "s", config, str(tmp_path))
+        assert result.column("s").to_pylist() == values
+
+
+class TestGroupingConsumers:
+    LONG_A = "group_key_shared_prefix_variant_A"
+    LONG_B = "group_key_shared_prefix_variant_B"
+
+    def table(self):
+        return Table.from_pydict(
+            {
+                "g": [
+                    self.LONG_A,
+                    self.LONG_B,
+                    self.LONG_A,
+                    self.LONG_B,
+                    self.LONG_A,
+                    None,
+                ],
+                "v": [1, 2, 3, 4, 5, 6],
+            }
+        )
+
+    def test_group_by_splits_long_string_keys(self):
+        result = group_by(self.table(), ["g"], [Aggregate("sum", "v")])
+        got = dict(
+            zip(
+                result.column("g").to_pylist(),
+                result.column("sum_v").to_pylist(),
+            )
+        )
+        assert got == {self.LONG_A: 9, self.LONG_B: 6, None: 6}
+
+    def test_window_partitions_long_string_keys(self):
+        spec = WindowSpec(partition_by=("g",), order_by=(SortKey("v"),))
+        result = window(
+            self.table(), spec, [WindowFunction("row_number")]
+        )
+        per_group = {}
+        for g, v, number in zip(
+            result.column("g").to_pylist(),
+            result.column("v").to_pylist(),
+            result.column("row_number").to_pylist(),
+        ):
+            per_group.setdefault(g, []).append((v, number))
+        assert per_group[self.LONG_A] == [(1, 1), (3, 2), (5, 3)]
+        assert per_group[self.LONG_B] == [(2, 1), (4, 2)]
+        assert per_group[None] == [(6, 1)]
+
+    def test_exact_group_changed_property(self):
+        table = string_table(23, 1200, dup_heavy=True)
+        spec = SortSpec.of("s")
+        sorted_table = sort_table(table, spec)
+        norm = normalize_keys(
+            sorted_table,
+            spec,
+            string_prefix=MAX_STRING_PREFIX,
+            include_row_id=False,
+        )
+        changed = exact_group_changed(sorted_table, norm)
+        values = sorted_table.column("s").to_pylist()
+        expected = [
+            values[i] != values[i - 1] for i in range(1, len(values))
+        ]
+        assert changed.tolist() == expected
+
+
+class TestRefineKeyOrderUnit:
+    def test_inexact_prefix_end(self):
+        table = Table.from_pydict({"s": ["x" * 30], "i": [1]})
+        keys = normalize_keys(
+            table,
+            SortSpec.of("s", "i"),
+            string_prefix=MAX_STRING_PREFIX,
+            include_row_id=False,
+        )
+        end = inexact_prefix_end(keys.layout)
+        segment = keys.layout.segments[0]
+        assert end == segment.offset + segment.total_width
+        exact = normalize_keys(
+            table, SortSpec.of("i"), include_row_id=False
+        )
+        assert inexact_prefix_end(exact.layout) is None
+
+    def test_refine_returns_none_when_prefix_decides(self):
+        table = Table.from_pydict({"s": ["b" * 20, "a" * 20]})
+        spec = SortSpec.of("s")
+        keys = normalize_keys(
+            table, spec, string_prefix=MAX_STRING_PREFIX,
+            include_row_id=False,
+        )
+        order = np.argsort(
+            [row.tobytes() for row in keys.matrix], kind="stable"
+        )
+        matrix = np.ascontiguousarray(keys.matrix[order])
+
+        def fetch(tied):
+            raise AssertionError("no ties to fetch")
+
+        assert refine_key_order(matrix, keys.layout, fetch) is None
