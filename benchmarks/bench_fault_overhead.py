@@ -41,6 +41,8 @@ from repro.table.chunk import chunk_table  # noqa: E402
 from repro.table.table import Table  # noqa: E402
 from repro.types.sortspec import SortSpec  # noqa: E402
 
+from scenarios import uniform_values  # noqa: E402
+
 OUTPUT = os.path.join(os.path.dirname(_SRC), "BENCH_faults.json")
 KERNELS_BASELINE = os.path.join(os.path.dirname(_SRC), "BENCH_kernels.json")
 
@@ -72,9 +74,7 @@ def _timed_external_sort(table, spec, verify):
 def bench_checksum_overhead():
     rows = KWAY_RUNS * KWAY_RUN_ROWS
     rng = np.random.default_rng(13)
-    table = Table.from_numpy(
-        {"v": rng.integers(-(1 << 62), 1 << 62, rows).astype(np.int64)}
-    )
+    table = Table.from_numpy({"v": uniform_values(rng, rows)})
     spec = SortSpec.of("v")
 
     def best_of(verify):

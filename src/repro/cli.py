@@ -151,6 +151,38 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     sort_cmd.add_argument(
+        "--prefetch-blocks",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "read-ahead depth per spilled run per stream during --external "
+            "merges (0 disables the prefetch threads; default 1)"
+        ),
+    )
+    sort_cmd.add_argument(
+        "--replacement-selection",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help=(
+            "run generation for --external: 'on' forces replacement "
+            "selection (longer runs on near-sorted input), 'off' forces "
+            "plain argsort runs, 'auto' probes the first spill's "
+            "presortedness (default)"
+        ),
+    )
+    sort_cmd.add_argument(
+        "--merge-fan-in",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "maximum runs merged per pass during --external merges "
+            "(multipass when exceeded; 0 = single pass over all runs, "
+            "the default)"
+        ),
+    )
+    sort_cmd.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -223,6 +255,12 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         raise ReproError("--workers must be at least 1")
     if args.workers > 1:
         kwargs["num_workers"] = args.workers
+    if args.prefetch_blocks is not None:
+        kwargs["prefetch_blocks"] = args.prefetch_blocks
+    if args.replacement_selection != "auto":
+        kwargs["replacement_selection"] = args.replacement_selection == "on"
+    if args.merge_fan_in is not None:
+        kwargs["merge_fan_in"] = args.merge_fan_in
     config = SortConfig(
         external=args.external,
         spill_directories=tuple(args.spill_dir),
@@ -257,11 +295,54 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_length_histogram(lengths) -> str:
+    """Compact power-of-two histogram, e.g. ``8Ki-16Ki:3 32Ki-64Ki:1``."""
+    buckets: dict[int, int] = {}
+    for length in lengths:
+        buckets[max(1, length).bit_length()] = (
+            buckets.get(max(1, length).bit_length(), 0) + 1
+        )
+
+    def label(bits: int) -> str:
+        lo = 1 << (bits - 1)
+        for suffix, scale in (("Mi", 1 << 20), ("Ki", 1 << 10)):
+            if lo >= scale:
+                return f"{lo // scale}{suffix}-{2 * lo // scale}{suffix}"
+        return f"{lo}-{2 * lo}"
+
+    return " ".join(
+        f"{label(bits)}:{buckets[bits]}" for bits in sorted(buckets)
+    )
+
+
 def _print_sort_stats(stats) -> None:
     """Render a SortStats to stderr, one ``name: value`` line per counter."""
     err = sys.stderr
     print(f"rows_sorted: {stats.rows_sorted}", file=err)
     print(f"runs_generated: {stats.runs_generated}", file=err)
+    if stats.rungen_path:
+        probe = (
+            f" probe={stats.rungen_probe:.3f}"
+            if stats.rungen_probe >= 0
+            else ""
+        )
+        print(f"rungen: path={stats.rungen_path}{probe}", file=err)
+    if stats.run_lengths:
+        print(
+            f"run_lengths: {_run_length_histogram(stats.run_lengths)}",
+            file=err,
+        )
+    if stats.merge_passes:
+        print(f"merge_passes: {stats.merge_passes}", file=err)
+    fetches = stats.prefetch_hits + stats.prefetch_misses
+    if fetches:
+        print(
+            "prefetch: "
+            f"hits={stats.prefetch_hits} misses={stats.prefetch_misses} "
+            f"hit_rate={stats.prefetch_hits / fetches:.2f} "
+            f"peak_blocks={stats.prefetch_peak_blocks}",
+            file=err,
+        )
     if stats.algorithm:
         print(f"algorithm: {stats.algorithm}", file=err)
     print(f"prefix_exact: {stats.prefix_exact}", file=err)

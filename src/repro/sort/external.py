@@ -115,12 +115,21 @@ from repro.sort.kway import kway_merge_stream
 from repro.sort.operator import SortConfig, SortStats, _segmented_argsort
 from repro.sort.parallel_exec import ParallelSortExecutor
 from repro.sort.pdqsort import pdqsort
+from repro.sort.prefetch import BlockPrefetcher, prefetch_budget_blocks
 from repro.sort.radix import radix_argsort
+from repro.sort.rungen import (
+    PROBE_THRESHOLD,
+    RUN_CAP_FACTOR,
+    ReplacementSelection,
+    SelectionRun,
+    presortedness,
+)
 from repro.sort.spillfile import (
     EXTRA_TAG_LAYOUT,
     EXTRA_TAG_OVC,
     SECTION_NAMES,
     SpillHeader,
+    VerifiedTailCache,
     build_header,
     pack_extra,
     read_header,
@@ -178,6 +187,11 @@ class SpilledRun:
         self.header = header
         self.io = io or SpillIO()
         self.verify = verify
+        # One verified page of bytes per section: consecutive block reads
+        # whose boundary straddles a CRC page share it from memory
+        # instead of re-reading and re-verifying it (thread-safe; see
+        # :class:`repro.sort.spillfile.VerifiedTailCache`).
+        self._tail_cache = VerifiedTailCache()
         #: the run's compressed key layout (``None`` for uncompressed
         #: runs); also serialized in ``header.extra`` for re-attachment.
         self.layout = layout
@@ -321,6 +335,18 @@ class SpilledRun:
         last = -(-(start + nbytes) // page)
         aligned_start = first * page
         aligned_stop = min(last * page, length)
+        # Serve the head page from the tail cache when the previous read
+        # already verified it; a request entirely inside the cached page
+        # needs no I/O (and no re-verification) at all.
+        head = b""
+        cached = self._tail_cache.get(section, first)
+        if cached is not None:
+            if last == first + 1:
+                offset = start - aligned_start
+                return cached[offset : offset + nbytes]
+            head = cached
+            first += 1
+            aligned_start = first * page
         raw = self._raw_read(
             base + aligned_start, aligned_stop - aligned_start, stats
         )
@@ -345,8 +371,12 @@ class SpilledRun:
                     f"CRC32 mismatch in {name} section page {index}",
                     self.path,
                 )
-        offset = start - aligned_start
-        return raw[offset : offset + nbytes]
+        self._tail_cache.put(
+            section, last - 1, raw[(last - 1) * page - aligned_start :]
+        )
+        full = head + raw if head else raw
+        offset = start - (aligned_start - len(head))
+        return full[offset : offset + nbytes]
 
     def read_key_block(
         self, start: int, stop: int, stats: SortStats | None = None
@@ -518,6 +548,12 @@ class ExternalSortOperator:
         )
         self._next_row_id = 0
         self._parallel: ParallelSortExecutor | None = None
+        # Replacement selection: decided once, on the first spill, by the
+        # presortedness probe (or forced by config); the selection object
+        # holds the working set of sorted segments between spills.
+        self._rs_active: bool | None = None
+        self._selection: ReplacementSelection | None = None
+        self._run_seq = 0  # spill filename counter (never reused)
         # Key compression: per-run layouts come from one monotone stats
         # accumulator, so layouts only widen run-to-run and every earlier
         # run rebases losslessly onto the final (widest) layout during the
@@ -568,6 +604,7 @@ class ExternalSortOperator:
         if self._parallel is not None:
             self._parallel.close()
             self._parallel = None
+        self._selection = None
         self._buffer.clear()
         self._buffered_rows = 0
         for run in self._runs:
@@ -727,47 +764,12 @@ class ExternalSortOperator:
             table = table.concat(chunk.to_table())
         self._buffer.clear()
         self._buffered_rows = 0
-
-        with self.stats.time_phase("encode"):
-            if self._compress:
-                # The accumulator has seen every row so far, so this run's
-                # layout is at least as wide as every earlier run's; the
-                # merge rebases narrower runs onto the final layout.
-                self._key_acc.update(table)
-                layout = self._key_acc.build_layout(
-                    include_row_id=True, row_id_width=ROW_ID_WIDTH
-                )
-                keys = normalize_keys(
-                    table,
-                    self.spec,
-                    include_row_id=True,
-                    row_id_base=self._next_row_id,
-                    row_id_width=ROW_ID_WIDTH,
-                    layout=layout,
-                )
-            else:
-                # Lock VARCHAR prefixes to the cap so every spilled run
-                # shares one key layout -- the streamed merge compares
-                # keys across runs.
-                string_prefix = self.config.string_prefix
-                if string_prefix is None and self._has_string_key:
-                    string_prefix = MAX_STRING_PREFIX
-                keys = normalize_keys(
-                    table,
-                    self.spec,
-                    string_prefix=string_prefix,
-                    include_row_id=True,
-                    row_id_base=self._next_row_id,
-                    row_id_width=ROW_ID_WIDTH,
-                )
-        self._next_row_id += len(table)
-        if not self._compress and self._plain_layout is None:
-            self._plain_layout = keys.layout
-        self.stats.key_width_used = keys.layout.key_width
-        self.stats.key_width_full = plain_key_width(keys.layout)
-        self.stats.prefix_exact = (
-            self.stats.prefix_exact and keys.prefix_exact
-        )
+        keys = self._encode_run(table)
+        if self._rs_active is None:
+            self._rs_active = self._choose_rungen(keys)
+        if self._rs_active:
+            self._rs_feed(table, keys)
+            return
         exact_strings = not keys.prefix_exact and self.config.exact_varchar
         with self.stats.time_phase("run_gen"):
             order = self._parallel_argsort(keys)
@@ -822,7 +824,183 @@ class ExternalSortOperator:
 
         self._store_run(sorted_keys, sorted_rows, heap, keys.layout, ovc)
         self.stats.runs_generated += 1
+        self.stats.run_lengths.append(len(table))
         self.stats.rows_sorted += len(table)
+
+    def _encode_run(self, table: Table):
+        """Normalize one buffered batch's keys (shared by both rungens)."""
+        with self.stats.time_phase("encode"):
+            if self._compress:
+                # The accumulator has seen every row so far, so this run's
+                # layout is at least as wide as every earlier run's; the
+                # merge rebases narrower runs onto the final layout.
+                self._key_acc.update(table)
+                layout = self._key_acc.build_layout(
+                    include_row_id=True, row_id_width=ROW_ID_WIDTH
+                )
+                keys = normalize_keys(
+                    table,
+                    self.spec,
+                    include_row_id=True,
+                    row_id_base=self._next_row_id,
+                    row_id_width=ROW_ID_WIDTH,
+                    layout=layout,
+                )
+            else:
+                # Lock VARCHAR prefixes to the cap so every spilled run
+                # shares one key layout -- the streamed merge compares
+                # keys across runs.
+                string_prefix = self.config.string_prefix
+                if string_prefix is None and self._has_string_key:
+                    string_prefix = MAX_STRING_PREFIX
+                keys = normalize_keys(
+                    table,
+                    self.spec,
+                    string_prefix=string_prefix,
+                    include_row_id=True,
+                    row_id_base=self._next_row_id,
+                    row_id_width=ROW_ID_WIDTH,
+                )
+        self._next_row_id += len(table)
+        if not self._compress and self._plain_layout is None:
+            self._plain_layout = keys.layout
+        self.stats.key_width_used = keys.layout.key_width
+        self.stats.key_width_full = plain_key_width(keys.layout)
+        self.stats.prefix_exact = (
+            self.stats.prefix_exact and keys.prefix_exact
+        )
+        return keys
+
+    # ------------------------------------------------------------------ #
+    # Replacement-selection run generation
+    # ------------------------------------------------------------------ #
+
+    def _choose_rungen(self, keys) -> bool:
+        """Pick the run generator for this sort, once, on the first spill.
+
+        Replacement selection needs the vectorized kernels (each fed
+        batch is argsorted) and keys whose byte order *is* the sort
+        order -- a truncated VARCHAR prefix would require exact-string
+        refinement across segment boundaries, so sorts that might
+        need it (string keys under ``exact_varchar``) stay on the
+        argsort path.  Within those gates: ``config.replacement_selection``
+        forces the choice, and ``None`` probes the first buffered
+        batch's presortedness (:func:`repro.sort.rungen.presortedness`)
+        -- replacement selection only pays off when ascending stretches
+        let runs grow past the threshold.
+        """
+        config = self.config
+        eligible = config.use_vector_kernels and not (
+            self._has_string_key and config.exact_varchar
+        )
+        probe = -1.0
+        if not eligible or config.replacement_selection is False:
+            choice = False
+        elif config.replacement_selection:
+            choice = True
+        else:
+            probe = presortedness(
+                keys.matrix[:, : keys.layout.key_width]
+            )
+            choice = probe >= PROBE_THRESHOLD
+        self.stats.rungen_probe = probe
+        self.stats.rungen_path = (
+            "replacement_selection" if choice else "argsort"
+        )
+        return choice
+
+    def _rs_feed(self, table: Table, keys) -> None:
+        """Sort one batch into the selection working set, then drain."""
+        if self._selection is None:
+            self._selection = ReplacementSelection(rebase=rebase_matrix)
+        with self.stats.time_phase("run_gen"):
+            order = self._parallel_argsort(keys)
+            if order is None:
+                order = vector_sort_rows(
+                    keys.matrix[:, : keys.layout.key_width],
+                    keys.layout.key_width,
+                    self.stats,
+                    self.stats.radix,
+                )
+            order = np.asarray(order, dtype=np.int64)
+            self._selection.feed(
+                np.ascontiguousarray(keys.matrix[order]),
+                order,
+                table,
+                keys.layout if self._compress else None,
+            )
+        self.stats.rows_sorted += len(table)
+        self._rs_drain(final=False)
+
+    def _rs_drain(self, final: bool) -> None:
+        """Emit selection batches until occupancy returns to the budget.
+
+        Between spills the working set is drained back to one run
+        threshold of rows (classic replacement selection holds exactly
+        one memory's worth); at finalize it drains to empty.  A run
+        closes when nothing left is >= the fence, or at the
+        :data:`~repro.sort.rungen.RUN_CAP_FACTOR` safety cap -- without
+        the cap a fully sorted stream would accumulate one unbounded
+        in-memory run and defeat the point of spilling.
+        """
+        selection = self._selection
+        cap = RUN_CAP_FACTOR * self._run_threshold
+        target = 0 if final else self._run_threshold
+        while selection.pending_rows > target:
+            self._check_cancelled()
+            with self.stats.time_phase("run_gen"):
+                selection.step()
+            if selection.run_rows and (
+                selection.run_rows >= cap or selection.exhausted
+            ):
+                self._rs_store(selection.close_run())
+        if final and selection.run_rows:
+            self._rs_store(selection.close_run())
+
+    def _rs_store(self, run: SelectionRun) -> None:
+        """Spill one closed selection run (keys ready, payload gathered)."""
+        keys = np.ascontiguousarray(run.keys)
+        if run.layout is not None:
+            key_width = run.layout.key_width
+        else:
+            key_width = keys.shape[1] - ROW_ID_WIDTH
+        ovc = ovc_codes(keys[:, :key_width])
+        if self._key_carried:
+            rows = np.empty((len(keys), 0), dtype=np.uint8)
+            heap = b""
+            self.stats.key_carried_runs += 1
+        else:
+            with self.stats.time_phase("run_gen"):
+                block = RowBlock.from_table(self._rs_gather_payload(run))
+                rows = np.ascontiguousarray(block.rows)
+                heap = block.heap
+        self._store_run(keys, rows, heap, run.layout, ovc)
+        self.stats.runs_generated += 1
+        self.stats.run_lengths.append(len(keys))
+
+    def _rs_gather_payload(self, run: SelectionRun) -> Table:
+        """The run's payload rows in emission order, one gather per table.
+
+        Within each source table the emitted positions ascend (a sorted
+        segment is consumed front to back), so one ``take`` per table
+        plus one interleaving gather reconstructs emission order.
+        """
+        unique = np.unique(run.table_ids)
+        if len(unique) == 1:
+            return run.tables[int(unique[0])].take(run.positions)
+        parts: list[Table] = []
+        gather = np.empty(len(run.table_ids), dtype=np.int64)
+        base = 0
+        for table_id in unique:
+            selected = np.flatnonzero(run.table_ids == table_id)
+            parts.append(
+                run.tables[int(table_id)].take(run.positions[selected])
+            )
+            gather[selected] = base + np.arange(
+                len(selected), dtype=np.int64
+            )
+            base += len(selected)
+        return _concat_tables(parts).take(gather)
 
     def _refine_run_order(self, table, keys, order) -> np.ndarray:
         """Exact-string repair of one run's prefix-sorted permutation.
@@ -855,9 +1033,17 @@ class ExternalSortOperator:
         heap: bytes,
         layout: KeyLayout | None = None,
         ovc: np.ndarray | None = None,
-    ) -> None:
-        """Spill one sorted run, degrading to memory when disk is gone."""
-        filename = f"run-{len(self._runs):05d}.bin"
+    ) -> "SpilledRun | InMemoryRun":
+        """Spill one sorted run, degrading to memory when disk is gone.
+
+        The run is appended to ``self._runs`` (so cleanup always sees
+        it) and returned -- the fan-in-limited merge stores intermediate
+        runs through the same ladder.  Filenames come from a
+        never-reused sequence counter, not the live run count, because
+        multi-pass merging shrinks the list while old files still exist.
+        """
+        filename = f"run-{self._run_seq:05d}.bin"
+        self._run_seq += 1
         path = None
         if not self._degraded:
             keys_bytes = sorted_keys.tobytes()
@@ -878,17 +1064,16 @@ class ExternalSortOperator:
                 filename, [header.pack(), keys_bytes, rows_bytes, heap]
             )
         if path is not None:
-            self._runs.append(
-                SpilledRun(
-                    path,
-                    header,
-                    self._io,
-                    verify=self.config.verify_spill_checksums,
-                    layout=layout if self._compress else None,
-                    ovc=ovc,
-                )
+            run = SpilledRun(
+                path,
+                header,
+                self._io,
+                verify=self.config.verify_spill_checksums,
+                layout=layout if self._compress else None,
+                ovc=ovc,
             )
-            return
+            self._runs.append(run)
+            return run
         if not self.config.allow_memory_fallback:
             raise SpillCapacityError(
                 "no spill target could absorb the run "
@@ -906,15 +1091,15 @@ class ExternalSortOperator:
                 stacklevel=3,
             )
         self.stats.memory_run_fallbacks += 1
-        self._runs.append(
-            InMemoryRun(
-                sorted_keys,
-                sorted_rows,
-                heap,
-                layout=layout if self._compress else None,
-                ovc=ovc,
-            )
+        run = InMemoryRun(
+            sorted_keys,
+            sorted_rows,
+            heap,
+            layout=layout if self._compress else None,
+            ovc=ovc,
         )
+        self._runs.append(run)
+        return run
 
     # ------------------------------------------------------------------ #
     # Finalize
@@ -936,6 +1121,11 @@ class ExternalSortOperator:
         try:
             if self._buffer:
                 self._spill_run()
+            if self._selection is not None:
+                # Replacement selection: the working set still holds up
+                # to a threshold of rows; drain it into final run(s).
+                self._rs_drain(final=True)
+                self._selection = None
             if not self._runs:
                 return Table.empty(self.schema)
             if self._compress:
@@ -953,15 +1143,23 @@ class ExternalSortOperator:
                         self.stats.key_layout_rebases += 1
             if self.config.verify_spill_checksums:
                 self._verify_run_headers()
-            # Time the merge phase net of the spill reads it triggers.
-            io_before = self.stats.phase_seconds.get("spill_io", 0.0)
+            # Time the merge phase net of the spill I/O on its critical
+            # path: synchronous reads/writes ("spill_io") plus stalls
+            # waiting on an unfinished prefetch ("io_wait").  Overlapped
+            # background reads ("spill_io_overlap") deliberately do NOT
+            # subtract -- they happened concurrently with merge compute.
+            def critical_io() -> float:
+                return self.stats.phase_seconds.get(
+                    "spill_io", 0.0
+                ) + self.stats.phase_seconds.get("io_wait", 0.0)
+
+            io_before = critical_io()
             start = time.perf_counter()
             result = self._merge_streams()
             elapsed = time.perf_counter() - start
-            io_during = (
-                self.stats.phase_seconds.get("spill_io", 0.0) - io_before
+            self.stats.add_phase_seconds(
+                "merge", elapsed - (critical_io() - io_before)
             )
-            self.stats.add_phase_seconds("merge", elapsed - io_during)
             return result
         finally:
             self._merging = False
@@ -989,8 +1187,158 @@ class ExternalSortOperator:
         layout = RowLayout.for_schema(self.schema)
         has_strings = any(slot.is_string for slot in layout.slots)
         if self.config.use_vector_kernels:
+            self._collapse_runs(layout, has_strings)
+            self.stats.merge_passes += 1
             return self._merge_streams_kernel(layout, has_strings)
+        self.stats.merge_passes += 1
         return self._merge_streams_scalar(layout, has_strings)
+
+    def _refine_end(self) -> int | None:
+        """First inexact key byte, or ``None`` when byte order is exact."""
+        key_layout = self._final_layout or self._plain_layout
+        if key_layout is None or not self.config.exact_varchar:
+            return None
+        return inexact_prefix_end(key_layout)
+
+    def _collapse_runs(self, layout: RowLayout, has_strings: bool) -> None:
+        """Fan-in-limited pre-passes: merge run groups until k <= fan-in.
+
+        With ``SortConfig.merge_fan_in`` unset the single-pass kernel
+        merges any k directly and this is a no-op.  A bounded fan-in
+        models a real memory budget (k frontier blocks must fit): each
+        pass merges groups of ``fan_in`` runs into new spilled runs --
+        re-reading and re-writing their bytes -- which is exactly the
+        extra I/O that fewer, longer replacement-selection runs avoid.
+        Intermediate runs keep full-width keys (row-id suffix included,
+        rebased onto the final layout), so later passes treat them like
+        any other run.  Exact-string refinement permutes rows *within*
+        prefix-tied groups, which would break the intermediate runs'
+        key-byte sortedness, so such sorts stay single-pass.
+        """
+        fan_in = self.config.merge_fan_in
+        if fan_in < 2 or len(self._runs) <= fan_in:
+            return
+        if self._refine_end() is not None:
+            return
+        while len(self._runs) > fan_in:
+            self._check_cancelled()
+            # Snapshot: _store_run appends each merged run to self._runs
+            # (for cleanup visibility), and iterating the live list would
+            # let a group slice swallow a run created earlier this pass.
+            current = list(self._runs)
+            survivors: list[SpilledRun | InMemoryRun] = []
+            for start in range(0, len(current), fan_in):
+                group = current[start : start + fan_in]
+                if len(group) == 1:
+                    survivors.append(group[0])
+                    continue
+                # _merge_group stores through _store_run, which appends
+                # to self._runs -- so a failure mid-pass still leaves
+                # every live file visible to close()'s cleanup.
+                survivors.append(self._merge_group(group, layout, has_strings))
+                for run in group:
+                    if run.on_disk:
+                        self._remove_file(run.path)
+            self._runs = survivors
+            self.stats.merge_passes += 1
+
+    def _merge_group(
+        self,
+        group: "list[SpilledRun | InMemoryRun]",
+        layout: RowLayout,
+        has_strings: bool,
+    ) -> "SpilledRun | InMemoryRun":
+        """Merge one group of runs into a single new (spilled) run.
+
+        The same frontier kernel and gather helpers as the final merge,
+        but the output goes back through ``_store_run`` instead of into
+        the result table: full-width keys gathered per round (so the new
+        run is self-contained), payload rows gathered and their string
+        slots rebased onto a fresh per-run heap, offset-value codes
+        recomputed for the merged order.
+        """
+        stats = self.stats
+        if self._final_layout is not None:
+            merge_width = self._final_layout.key_width
+        else:
+            merge_width = group[0].key_width - ROW_ID_WIDTH
+        # Heap reads precede prefetcher creation so a read error cannot
+        # leak the pool (the try/finally only guards the merge loop).
+        raw_heaps = (
+            [run.read_heap(stats) for run in group] if has_strings else None
+        )
+        heaps = (
+            [np.frombuffer(heap, dtype=np.uint8) for heap in raw_heaps]
+            if has_strings
+            else None
+        )
+        prefetcher = self._make_prefetcher(group, merge_width)
+        if prefetcher is not None:
+            sources = [prefetcher.key_source(i) for i in range(len(group))]
+        else:
+            sources = [
+                self._key_block_source(run, merge_width) for run in group
+            ]
+        kernel_stats = KWayBlockStats()
+        key_parts: list[np.ndarray] = []
+        row_parts: list[np.ndarray] = []
+        heap_parts: list[bytes] = []
+        heap_cursor = 0
+        try:
+            for run_ids, row_ids in kway_merge_stream(
+                sources,
+                kernel_stats,
+                on_round=self._check_cancelled,
+                use_ovc=self.config.use_ovc,
+                prefetcher=prefetcher,
+            ):
+                key_parts.append(
+                    self._gather_key_blocks(
+                        group,
+                        run_ids,
+                        row_ids,
+                        prefetch=prefetcher if self._key_carried else None,
+                    )
+                )
+                if self._key_carried:
+                    continue
+                out_rows = self._gather_blocks(
+                    group, run_ids, row_ids, prefetch=prefetcher
+                )
+                if has_strings:
+                    heap_cursor = self._rebase_string_block(
+                        layout,
+                        out_rows,
+                        run_ids,
+                        heaps,
+                        heap_parts,
+                        heap_cursor,
+                    )
+                row_parts.append(out_rows)
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
+        stats.kernel_kway_merges += 1
+        stats.kway_rounds += kernel_stats.rounds
+        stats.ovc_compares += kernel_stats.ovc_compares
+        stats.ovc_ties += kernel_stats.ovc_ties
+        stats.kway_peak_frontier_rows = max(
+            stats.kway_peak_frontier_rows, kernel_stats.peak_frontier_rows
+        )
+        keys = (
+            key_parts[0]
+            if len(key_parts) == 1
+            else np.concatenate(key_parts)
+        )
+        keys = np.ascontiguousarray(keys)
+        if self._key_carried or not row_parts:
+            rows = np.empty((len(keys), 0), dtype=np.uint8)
+        else:
+            rows = np.ascontiguousarray(np.concatenate(row_parts))
+        ovc = ovc_codes(keys[:, :merge_width])
+        return self._store_run(
+            keys, rows, b"".join(heap_parts), self._final_layout, ovc
+        )
 
     # ------------------------------------------------------------------ #
     # Kernel (block-streaming) merge path
@@ -1011,17 +1359,13 @@ class ExternalSortOperator:
         else:
             merge_width = self._runs[0].key_width - ROW_ID_WIDTH
         key_layout = self._final_layout or self._plain_layout
-        refine_end = (
-            inexact_prefix_end(key_layout)
-            if key_layout is not None and self.config.exact_varchar
-            else None
-        )
-        sources = [
-            self._key_block_source(run, merge_width) for run in self._runs
-        ]
+        refine_end = self._refine_end()
+        runs = self._runs
         # Heaps stay resident while rows stream: string offsets are
         # run-relative, so the bytes must remain addressable until the
-        # row that references them is emitted.
+        # row that references them is emitted.  Read them before the
+        # prefetcher exists: a read error here must not leak its pool
+        # (the try/finally below only guards the merge itself).
         raw_heaps = (
             [run.read_heap(stats) for run in self._runs]
             if has_strings
@@ -1032,6 +1376,13 @@ class ExternalSortOperator:
             if has_strings
             else None
         )
+        prefetcher = self._make_prefetcher(runs, merge_width)
+        if prefetcher is not None:
+            sources = [prefetcher.key_source(i) for i in range(len(runs))]
+        else:
+            sources = [
+                self._key_block_source(run, merge_width) for run in runs
+            ]
 
         kernel_stats = KWayBlockStats()
         row_parts: list[np.ndarray] = []
@@ -1045,9 +1396,18 @@ class ExternalSortOperator:
                 # No payload was spilled; re-read the emitted key rows
                 # (rebased onto the final layout) and decode them back
                 # into columns after the merge.
-                key_parts.append(self._gather_key_blocks(run_ids, row_ids))
+                key_parts.append(
+                    self._gather_key_blocks(
+                        runs,
+                        run_ids,
+                        row_ids,
+                        prefetch=prefetcher,
+                    )
+                )
                 return
-            out_rows = self._gather_blocks(run_ids, row_ids)
+            out_rows = self._gather_blocks(
+                runs, run_ids, row_ids, prefetch=prefetcher
+            )
             if has_strings:
                 heap_cursor = self._rebase_string_block(
                     layout, out_rows, run_ids, heaps, heap_parts, heap_cursor
@@ -1060,52 +1420,63 @@ class ExternalSortOperator:
             on_round=self._check_cancelled,
             use_ovc=self.config.use_ovc,
             emit_keys=refine_end is not None,
+            prefetcher=prefetcher,
         )
-        if refine_end is None:
-            for run_ids, row_ids in rounds:
-                emit(run_ids, row_ids)
-        else:
-            # Exact strings: rows tied on the key bytes up to the first
-            # truncated VARCHAR segment may still reorder once the full
-            # strings are consulted, and such a tie group can straddle a
-            # round boundary.  Hold back each round's trailing tie group
-            # (the carry), refine every settled batch with the same
-            # re-encode loop run generation used, then emit it.
-            carry: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
-            for run_ids, row_ids, words in rounds:
-                key_bytes = _words_to_bytes(words, merge_width)
-                if carry is not None:
-                    run_ids = np.concatenate([carry[0], run_ids])
-                    row_ids = np.concatenate([carry[1], row_ids])
-                    key_bytes = np.concatenate([carry[2], key_bytes])
-                tail = _trailing_tie_start(key_bytes[:, :refine_end])
-                carry = (
-                    run_ids[tail:],
-                    row_ids[tail:],
-                    key_bytes[tail:],
+        try:
+            if refine_end is None:
+                for run_ids, row_ids in rounds:
+                    emit(run_ids, row_ids)
+            else:
+                # Exact strings: rows tied on the key bytes up to the
+                # first truncated VARCHAR segment may still reorder once
+                # the full strings are consulted, and such a tie group
+                # can straddle a round boundary.  Hold back each round's
+                # trailing tie group (the carry), refine every settled
+                # batch with the same re-encode loop run generation
+                # used, then emit it.
+                carry: tuple[np.ndarray, np.ndarray, np.ndarray] | None = (
+                    None
                 )
-                if tail:
+                for run_ids, row_ids, words in rounds:
+                    key_bytes = _words_to_bytes(words, merge_width)
+                    if carry is not None:
+                        run_ids = np.concatenate([carry[0], run_ids])
+                        row_ids = np.concatenate([carry[1], row_ids])
+                        key_bytes = np.concatenate([carry[2], key_bytes])
+                    tail = _trailing_tie_start(key_bytes[:, :refine_end])
+                    carry = (
+                        run_ids[tail:],
+                        row_ids[tail:],
+                        key_bytes[tail:],
+                    )
+                    if tail:
+                        emit(
+                            *self._refine_settled(
+                                run_ids[:tail],
+                                row_ids[:tail],
+                                key_bytes[:tail],
+                                key_layout,
+                                layout,
+                                raw_heaps,
+                            )
+                        )
+                if carry is not None and len(carry[0]):
                     emit(
                         *self._refine_settled(
-                            run_ids[:tail],
-                            row_ids[:tail],
-                            key_bytes[:tail],
+                            carry[0],
+                            carry[1],
+                            carry[2],
                             key_layout,
                             layout,
                             raw_heaps,
                         )
                     )
-            if carry is not None and len(carry[0]):
-                emit(
-                    *self._refine_settled(
-                        carry[0],
-                        carry[1],
-                        carry[2],
-                        key_layout,
-                        layout,
-                        raw_heaps,
-                    )
-                )
+        finally:
+            # kway_merge_stream also closes the prefetcher when the
+            # stream ends; this covers errors raised from emit/gather
+            # before the stream is exhausted.  close() is idempotent.
+            if prefetcher is not None:
+                prefetcher.close()
 
         stats.kernel_kway_merges += 1
         stats.kway_rounds += kernel_stats.rounds
@@ -1198,26 +1569,120 @@ class ExternalSortOperator:
             return run_ids, row_ids
         return run_ids[perm], row_ids[perm]
 
+    def _make_prefetcher(
+        self,
+        runs: "list[SpilledRun | InMemoryRun]",
+        merge_width: int,
+    ) -> BlockPrefetcher | None:
+        """Build the read-ahead layer for one merge over ``runs``.
+
+        ``None`` (prefetching disabled, no on-disk runs) keeps the merge
+        on the synchronous source iterators.  The row stream carries the
+        dominant per-round I/O: the payload rows, or -- for key-carried
+        runs, which spill no payload -- the full-width key rows the
+        emit path re-reads for decoding.
+        """
+        depth = self.config.prefetch_blocks
+        if depth <= 0:
+            return None
+        active = [run.on_disk for run in runs]
+        if not any(active):
+            return None
+        budget = prefetch_budget_blocks(
+            depth,
+            sum(active),
+            self.merge_block_rows,
+            self.config.run_threshold,
+        )
+
+        def key_fetch(index, start, stop, stats):
+            return self._fetch_key_block(
+                runs[index], start, stop, merge_width, stats
+            )
+
+        if self._key_carried:
+            def row_fetch(index, start, stop, stats):
+                return self._fetch_full_keys(runs[index], start, stop, stats)
+        else:
+            def row_fetch(index, start, stop, stats):
+                return runs[index].read_row_block(start, stop, stats)
+
+        return BlockPrefetcher(
+            [run.num_rows for run in runs],
+            active,
+            self.merge_block_rows,
+            key_fetch,
+            row_fetch,
+            depth,
+            budget,
+            self.stats,
+        )
+
+    def _fetch_key_block(
+        self,
+        run: "SpilledRun | InMemoryRun",
+        start: int,
+        stop: int,
+        merge_width: int,
+        stats: SortStats,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """One merge-ready key block: read, rebase, truncate, slice codes.
+
+        The body of :meth:`_key_block_source` for one explicit range;
+        the prefetch layer calls it from worker threads (``stats`` is
+        then a thread-private accumulator, merged at delivery).
+        """
+        final = self._final_layout
+        block = run.read_key_block(start, stop, stats)
+        if final is not None and run.layout is not None:
+            block = rebase_matrix(block, run.layout, final)
+        if block.shape[1] != merge_width:
+            block = block[:, :merge_width]
+        codes = run.ovc
+        if codes is not None and final is not None and run.layout != final:
+            codes = None
+        return block, (None if codes is None else codes[start:stop])
+
+    def _fetch_full_keys(
+        self,
+        run: "SpilledRun | InMemoryRun",
+        start: int,
+        stop: int,
+        stats: SortStats,
+    ) -> np.ndarray:
+        """Full-width key rows rebased onto the final layout."""
+        final = self._final_layout
+        block = run.read_key_block(start, stop, stats)
+        if final is not None and run.layout is not None:
+            block = rebase_matrix(block, run.layout, final)
+        return block
+
     def _gather_blocks(
-        self, run_ids: np.ndarray, row_ids: np.ndarray
+        self,
+        runs: "list[SpilledRun | InMemoryRun]",
+        run_ids: np.ndarray,
+        row_ids: np.ndarray,
+        prefetch: BlockPrefetcher | None = None,
     ) -> np.ndarray:
         """Materialize one emitted round's payload rows in merge order.
 
         Each contributing run's rows form one contiguous range (a prefix
         of its frontier -- exact-string refinement may permute rows
         within the range but never leaves it), so the round needs
-        exactly one contiguous spill read per run; interleaving back
+        exactly one contiguous spill read per run -- served from the
+        read-ahead window when a prefetcher is active; interleaving back
         into merge order is a single vectorized gather.
         """
         parts: list[np.ndarray] = []
-        bases = np.zeros(len(self._runs), dtype=np.int64)
+        bases = np.zeros(len(runs), dtype=np.int64)
         cursor = 0
         for index in np.unique(run_ids):
             positions = row_ids[run_ids == index]
             lo, hi = int(positions.min()), int(positions.max()) + 1
-            parts.append(
-                self._runs[index].read_row_block(lo, hi, self.stats)
-            )
+            if prefetch is not None:
+                parts.append(prefetch.read_rows(int(index), lo, hi))
+            else:
+                parts.append(runs[index].read_row_block(lo, hi, self.stats))
             bases[index] = cursor - lo
             cursor += hi - lo
         stacked = parts[0] if len(parts) == 1 else np.concatenate(parts)
@@ -1249,26 +1714,33 @@ class ExternalSortOperator:
             yield block, (None if codes is None else codes[start:stop])
 
     def _gather_key_blocks(
-        self, run_ids: np.ndarray, row_ids: np.ndarray
+        self,
+        runs: "list[SpilledRun | InMemoryRun]",
+        run_ids: np.ndarray,
+        row_ids: np.ndarray,
+        prefetch: BlockPrefetcher | None = None,
     ) -> np.ndarray:
-        """One emitted round's full key rows in merge order (key-carried).
+        """One emitted round's full key rows in merge order.
 
         Mirror of :meth:`_gather_blocks` over the keys section: one
         contiguous read per contributing run, rebased onto the final
-        layout, then a single vectorized gather back into merge order.
+        layout (the prefetcher's row stream delivers blocks already
+        rebased), then a single vectorized gather back into merge order.
+        Used by the key-carried emit path and by the fan-in merge's
+        intermediate runs.
         """
         parts: list[np.ndarray] = []
-        bases = np.zeros(len(self._runs), dtype=np.int64)
+        bases = np.zeros(len(runs), dtype=np.int64)
         cursor = 0
-        final = self._final_layout
         for index in np.unique(run_ids):
             positions = row_ids[run_ids == index]
             lo, hi = int(positions.min()), int(positions.max()) + 1
-            run = self._runs[index]
-            block = run.read_key_block(lo, hi, self.stats)
-            if final is not None and run.layout is not None:
-                block = rebase_matrix(block, run.layout, final)
-            parts.append(block)
+            if prefetch is not None:
+                parts.append(prefetch.read_rows(int(index), lo, hi))
+            else:
+                parts.append(
+                    self._fetch_full_keys(runs[index], lo, hi, self.stats)
+                )
             bases[index] = cursor - lo
             cursor += hi - lo
         stacked = parts[0] if len(parts) == 1 else np.concatenate(parts)
@@ -1474,6 +1946,19 @@ def external_sort_table(
         for chunk in chunk_table(table, config.vector_size):
             operator.sink(chunk)
         return operator.finalize()
+
+
+def _concat_tables(parts: "list[Table]") -> Table:
+    """Pairwise tree concatenation: O(n log k) rows copied, not O(n k)."""
+    while len(parts) > 1:
+        merged = [
+            parts[i].concat(parts[i + 1])
+            if i + 1 < len(parts)
+            else parts[i]
+            for i in range(0, len(parts), 2)
+        ]
+        parts = merged
+    return parts[0]
 
 
 def _words_to_bytes(words: np.ndarray, width: int) -> np.ndarray:

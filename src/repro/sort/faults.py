@@ -26,6 +26,7 @@ from __future__ import annotations
 import errno
 import os
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -35,6 +36,7 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "InjectedFault",
+    "SlowStorageIO",
     "SpillIO",
 ]
 
@@ -65,6 +67,43 @@ class SpillIO:
 
     def file_size(self, path: str) -> int:
         return os.path.getsize(path)
+
+
+class SlowStorageIO(SpillIO):
+    """Storage with a fixed, deterministic per-operation latency.
+
+    Models cold spill storage (network disk, throttled cloud volume):
+    every read pays ``read_delay_s`` before the bytes arrive, every
+    write ``write_delay_s``.  The sleep releases the GIL, so -- exactly
+    like real blocking I/O -- a prefetch thread paying the latency does
+    not stall merge compute on another thread.  The overlap benchmark
+    uses this to make the synchronous-vs-prefetched merge gap
+    deterministic and visible even on a single-core container, where
+    raw page-cache reads are too fast to overlap measurably.
+    """
+
+    def __init__(
+        self, read_delay_s: float = 0.0005, write_delay_s: float = 0.0
+    ) -> None:
+        self.read_delay_s = read_delay_s
+        self.write_delay_s = write_delay_s
+        self.reads = 0
+        self.writes = 0
+        self._lock = threading.Lock()
+
+    def read(self, path: str, offset: int, nbytes: int) -> bytes:
+        with self._lock:
+            self.reads += 1
+        if self.read_delay_s:
+            time.sleep(self.read_delay_s)
+        return super().read(path, offset, nbytes)
+
+    def write_file(self, path: str, sections: Sequence[bytes]) -> None:
+        with self._lock:
+            self.writes += 1
+        if self.write_delay_s:
+            time.sleep(self.write_delay_s)
+        super().write_file(path, sections)
 
 
 FAULT_KINDS = (
@@ -163,6 +202,15 @@ class FaultInjector(SpillIO):
     ``on_op(op, path, index)`` is called before every operation; tests
     use it to trigger out-of-band events (e.g. cancelling the operator
     mid-merge) at an exact, reproducible point.
+
+    Thread safety: the merge's prefetch layer issues reads from worker
+    threads, so operation counters, per-fault match state, and the
+    corruption RNG are guarded by a lock (the injected sleeps and the
+    real file I/O happen outside it).  With concurrent readers the
+    *interleaving* of read indices across threads is scheduling-
+    dependent, but each individual operation still observes a
+    consistent counter and each fault fires exactly its configured
+    number of times.
     """
 
     def __init__(
@@ -175,6 +223,7 @@ class FaultInjector(SpillIO):
         self.stats = FaultStats()
         self.on_op = on_op
         self._rng = random.Random(seed)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Operation plumbing
@@ -183,27 +232,32 @@ class FaultInjector(SpillIO):
     def _begin(self, op: str, path: str, index: int) -> list[InjectedFault]:
         if self.on_op is not None:
             self.on_op(op, path, index)
-        active = [f for f in self.faults if f.matches(op, path)]
+        with self._lock:
+            active = [f for f in self.faults if f.matches(op, path)]
+            for fault in active:
+                self.stats.record_fired(fault.kind)
         for fault in active:
-            self.stats.record_fired(fault.kind)
             if fault.kind == "slow_io":
-                time.sleep(fault.delay_s)
-                self.stats.slow_seconds += fault.delay_s
+                time.sleep(fault.delay_s)  # outside the lock: slow, not serial
+                with self._lock:
+                    self.stats.slow_seconds += fault.delay_s
         return [f for f in active if f.kind != "slow_io"]
 
     def _chop(self, size: int, cap: int) -> int:
         """How many tail bytes a truncation/short op loses (>= 1)."""
         if size <= 1:
             return size
-        return 1 + self._rng.randrange(min(cap, size - 1))
+        with self._lock:
+            return 1 + self._rng.randrange(min(cap, size - 1))
 
     # ------------------------------------------------------------------ #
     # SpillIO overrides
     # ------------------------------------------------------------------ #
 
     def write_file(self, path: str, sections: Sequence[bytes]) -> None:
-        index = self.stats.writes
-        self.stats.writes += 1
+        with self._lock:
+            index = self.stats.writes
+            self.stats.writes += 1
         active = self._begin("write", path, index)
         data = b"".join(sections)
         for fault in active:
@@ -223,8 +277,9 @@ class FaultInjector(SpillIO):
         super().write_file(path, [data])
 
     def read(self, path: str, offset: int, nbytes: int) -> bytes:
-        index = self.stats.reads
-        self.stats.reads += 1
+        with self._lock:
+            index = self.stats.reads
+            self.stats.reads += 1
         active = self._begin("read", path, index)
         raw = super().read(path, offset, nbytes)
         for fault in active:
@@ -232,14 +287,16 @@ class FaultInjector(SpillIO):
                 raw = raw[: len(raw) - self._chop(len(raw), cap=32)]
             elif fault.kind == "bitflip" and raw:
                 flipped = bytearray(raw)
-                position = self._rng.randrange(len(flipped))
-                flipped[position] ^= 1 << self._rng.randrange(8)
+                with self._lock:
+                    position = self._rng.randrange(len(flipped))
+                    flipped[position] ^= 1 << self._rng.randrange(8)
                 raw = bytes(flipped)
         return raw
 
     def remove(self, path: str) -> None:
-        index = self.stats.removes
-        self.stats.removes += 1
+        with self._lock:
+            index = self.stats.removes
+            self.stats.removes += 1
         active = self._begin("remove", path, index)
         for fault in active:
             if fault.kind == "cleanup_error":

@@ -199,6 +199,7 @@ def kway_merge_stream(
     *,
     use_ovc: bool = True,
     emit_keys: bool = False,
+    prefetcher=None,
 ):
     """Drive the block-streaming k-way kernel with per-round checkpoints.
 
@@ -211,15 +212,26 @@ def kway_merge_stream(
     merge between rounds -- never mid-read -- so cleanup always sees a
     consistent set of spill files.  ``use_ovc`` and ``emit_keys`` are
     forwarded to :func:`repro.sort.kernels.kway_merge_blocks`.
+
+    ``prefetcher``, when given, is the read-ahead layer feeding
+    ``sources`` (:class:`repro.sort.prefetch.BlockPrefetcher`); its
+    ``close()`` is invoked -- idempotently -- when the stream ends for
+    any reason (exhaustion, an error raised by a source or the
+    consumer, or an early ``close()`` of this generator), so no fetch
+    thread outlives the merge it was reading ahead for.
     """
     stats = block_stats or KWayBlockStats()
-    rounds = kway_merge_blocks(
-        sources, stats, use_ovc=use_ovc, emit_keys=emit_keys
-    )
-    for item in rounds:
-        if on_round is not None:
-            on_round()
-        yield item
+    try:
+        rounds = kway_merge_blocks(
+            sources, stats, use_ovc=use_ovc, emit_keys=emit_keys
+        )
+        for item in rounds:
+            if on_round is not None:
+                on_round()
+            yield item
+    finally:
+        if prefetcher is not None:
+            prefetcher.close()
 
 
 def kway_merge_indices(

@@ -194,6 +194,36 @@ class SortConfig:
             row are skipped, so duplicate-heavy keys cost one word compare
             or none.  Off forces full-width comparisons (benchmark /
             equivalence-test knob; results are identical either way).
+        prefetch_blocks: read-ahead depth, in blocks per run per section,
+            of the external merge's prefetch layer
+            (:mod:`repro.sort.prefetch`).  A small thread pool fetches and
+            CRC-verifies each run's *next* key block (and the payload rows
+            backing the frontier) while the merge kernel consumes the
+            current one; file reads and ``zlib.crc32`` release the GIL, so
+            the overlap is real in pure Python.  The total buffered
+            read-ahead is additionally capped at ``run_threshold`` rows,
+            so prefetch memory is charged against the same budget that
+            sizes runs.  ``0`` disables prefetching (every spill read is
+            synchronous on the merge's critical path).
+        replacement_selection: run-generation policy of the external
+            sort.  ``None`` (default) probes the presortedness of the
+            buffered input (sampled first-key-word diffs,
+            :func:`repro.sort.rungen.presortedness`) and switches to
+            replacement selection when the input arrives near-sorted --
+            runs then grow past ``run_threshold`` (up to
+            :data:`repro.sort.rungen.RUN_CAP_FACTOR` times it), so fewer
+            runs reach the merge.  ``True`` forces replacement selection,
+            ``False`` always cuts runs at the threshold (the argsort
+            path).  Output is byte-identical either way.
+        merge_fan_in: maximum runs merged per k-way pass of the external
+            sort.  ``0`` (default) merges all runs in one pass.  With a
+            limit, excess runs are first combined in intermediate passes
+            that re-spill merged runs -- each pass re-reads and re-writes
+            its input, which is exactly the I/O replacement selection's
+            longer runs avoid (``SortStats.merge_passes`` records the
+            pass count).  Ignored on the scalar path and when truncated
+            VARCHAR prefixes require exact-string refinement (those
+            merges stay single-pass).
     """
 
     run_threshold: int = DEFAULT_RUN_THRESHOLD
@@ -213,6 +243,9 @@ class SortConfig:
     compress_keys: bool = True
     exact_varchar: bool = True
     use_ovc: bool = True
+    prefetch_blocks: int = 1
+    replacement_selection: bool | None = None
+    merge_fan_in: int = 0
 
     def __post_init__(self) -> None:
         if self.run_threshold <= 0:
@@ -233,6 +266,10 @@ class SortConfig:
             )
         if self.spill_retries < 0:
             raise SortError("spill_retries must be non-negative")
+        if self.prefetch_blocks < 0:
+            raise SortError("prefetch_blocks must be non-negative")
+        if self.merge_fan_in < 0 or self.merge_fan_in == 1:
+            raise SortError("merge_fan_in must be 0 (unlimited) or >= 2")
         if self.spill_retry_backoff_s < 0:
             raise SortError("spill_retry_backoff_s must be non-negative")
         if not isinstance(self.spill_directories, tuple):
@@ -291,6 +328,26 @@ class SortStats:
     ``reencoded_rows`` count the adaptive tie-break re-encoding's chunk
     rounds and the row-chunks they touched
     (:mod:`repro.sort.stringsort`).
+
+    The prefetch counters describe the external merge's read-ahead layer
+    (:mod:`repro.sort.prefetch`): ``prefetch_hits`` (blocks already
+    buffered when the merge asked for them) vs ``prefetch_misses``
+    (blocks the merge had to wait for, or fetch synchronously), with the
+    consumer-side wait recorded under ``phase_seconds["io_wait"]`` and
+    the background threads' read+verify time under
+    ``phase_seconds["spill_io_overlap"]`` (overlapped, so it does not
+    extend the critical path the way ``spill_io`` does);
+    ``prefetch_peak_blocks`` is the most read-ahead blocks buffered at
+    once (the budget observably holding).
+
+    The run-generation shape: ``run_lengths`` holds the row count of
+    every external run in generation order (the run-length histogram --
+    replacement selection shows up as runs longer than the threshold);
+    ``rungen_path`` names the dispatched generator (``"argsort"`` or
+    ``"replacement_selection"``) and ``rungen_probe`` the measured
+    presortedness in [0, 1] (-1 before any probe ran).
+    ``merge_passes`` counts k-way merge passes over the data
+    (1 unless ``SortConfig.merge_fan_in`` forces intermediate passes).
     """
 
     rows_sorted: int = 0
@@ -331,6 +388,13 @@ class SortStats:
     full_key_compares: int = 0
     reencode_rounds: int = 0
     reencoded_rows: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    prefetch_peak_blocks: int = 0
+    run_lengths: list[int] = field(default_factory=list)
+    rungen_path: str = ""
+    rungen_probe: float = -1.0
+    merge_passes: int = 0
 
     def record_vector_sort(self, path: str, reason: str) -> None:
         self.vector_sort_paths[path] = self.vector_sort_paths.get(path, 0) + 1

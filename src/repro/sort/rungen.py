@@ -1,0 +1,395 @@
+"""Replacement-selection run generation over normalized-key matrices.
+
+The external sort's default run generation cuts a run at a fixed row
+threshold: buffer ``run_threshold`` rows, argsort, spill, repeat.  That
+ignores input order entirely -- a nearly sorted stream still produces
+``n / threshold`` runs.  Classic replacement selection (Knuth vol. 3,
+sec. 5.4.1; reaffirmed as one of the two big external-sort levers by
+Polyntsov et al., arXiv 2207.12713) does better: keep a selection
+working set, repeatedly emit its smallest row that is still >= the last
+row written (the *fence*), and defer smaller rows to the next run.  On
+random input runs average twice the working set; on input whose
+disorder is smaller than the working set, one run can swallow the whole
+stream.
+
+A row-at-a-time tournament tree is the textbook implementation, but a
+Python loop per row is exactly what this codebase avoids.  This module
+reformulates replacement selection as a **batch tournament over sorted
+segments**:
+
+* each fed batch is argsorted once (the same vectorized kernels run
+  generation already uses) and enters the working set as a *sorted
+  segment* -- a key matrix plus the positions mapping rows back to the
+  source table;
+* one selection step takes a fixed-size candidate window from the head
+  of every segment, ranks all windows plus the fence with a single
+  :func:`~repro.sort.kernels.argsort_rows` call, and emits every
+  candidate that is above the fence and below the *cutoff* -- the
+  smallest unfinished window's tail, the same frontier rule the k-way
+  merge kernel uses, which guarantees no unseen row could precede an
+  emitted one;
+* candidates below the fence are *deferred*: their (contiguous) window
+  prefix is recorded and the cursor skips them, so each step advances
+  even when nothing is emittable.
+
+Because every spilled key row carries a unique ascending row-id suffix,
+keys are distinct and the final k-way merge produces byte-identical
+output no matter how rows were partitioned into runs -- replacement
+selection only changes *how many* runs there are, never the result.
+
+When a run closes (no row in the working set is >= the fence, or the
+run hits ``RUN_CAP_FACTOR`` times the threshold), each segment compacts
+its deferred ranges and unconsumed tail into a new sorted segment: the
+deferred ranges are ascending in position order and every one is below
+the fence the tail survived, so concatenation preserves sortedness
+without a re-sort.
+
+Dispatch between the two generators is a cheap presortedness probe
+(:func:`presortedness`): the fraction of non-decreasing adjacent pairs
+of the first key word over a bounded sample.  Near-sorted input scores
+near 1.0, random near 0.5, reversed near 0.0; replacement selection
+wins only when runs actually get longer, so the operator switches at
+:data:`PROBE_THRESHOLD`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sort.kernels import argsort_rows
+
+__all__ = [
+    "PROBE_THRESHOLD",
+    "RUN_CAP_FACTOR",
+    "ReplacementSelection",
+    "SelectionRun",
+    "presortedness",
+]
+
+RUN_CAP_FACTOR = 4
+"""A replacement-selection run closes at this multiple of the run
+threshold even if rows are still eligible, bounding the key rows and
+payload references accumulated for one run."""
+
+PROBE_THRESHOLD = 0.80
+"""Minimum presortedness at which auto dispatch picks replacement
+selection.  Random input probes ~0.5 and gains nothing (expected run
+length 2x threshold does not offset the selection overhead here, where
+argsort is vectorized but selection adds bookkeeping); the probe must
+indicate genuinely long ascending stretches."""
+
+PROBE_SAMPLE = 4096
+"""Pairs sampled by :func:`presortedness`."""
+
+PROBE_STRIDE = 256
+"""Distance between the rows of each sampled pair.  Replacement
+selection tolerates bounded local disorder -- a row displaced by a few
+hundred positions still lands above the fence, which trails the batch
+by far more than that -- so the probe must not punish local jitter.
+Comparing rows ``stride`` apart makes displacement smaller than the
+stride invisible while genuine global disorder still probes ~0.5
+(random) or ~0.0 (reverse)."""
+
+DEFAULT_BATCH_ROWS = 1024
+"""Candidate-window rows per segment per selection step."""
+
+
+def presortedness(
+    matrix: np.ndarray,
+    sample: int = PROBE_SAMPLE,
+    stride: int = PROBE_STRIDE,
+) -> float:
+    """Fraction of non-decreasing first-word pairs ``stride`` apart.
+
+    ``matrix`` is a normalized-key byte matrix (row-id suffix excluded
+    by the caller); only the first 8 bytes -- the first comparison word
+    -- are inspected, so the probe costs one gather and one vectorized
+    compare regardless of key width.  Ties on the first word count as
+    in-order, which errs toward replacement selection; that is the
+    right bias, because duplicate-heavy input keeps rows eligible (>=
+    fence) and produces long runs too.
+    """
+    n = len(matrix)
+    if n < 2:
+        return 1.0
+    stride = max(1, min(stride, n - 1))
+    width = min(8, matrix.shape[1])
+    starts = np.unique(
+        np.linspace(0, n - 1 - stride, min(sample, n - stride)).astype(
+            np.int64
+        )
+    )
+    pairs = np.concatenate([starts, starts + stride])
+    words = np.zeros((len(pairs), 8), dtype=np.uint8)
+    words[:, :width] = matrix[pairs][:, :width]
+    words = np.ascontiguousarray(words).view(">u8").reshape(-1)
+    count = len(starts)
+    return float(np.mean(words[count:] >= words[:count]))
+
+
+class _Segment:
+    """One sorted batch of the working set.
+
+    ``matrix`` rows ``[0, cur)`` are consumed (emitted into the current
+    run, or recorded in ``deferred`` for the next one); ``deferred``
+    holds the skipped ``[lo, hi)`` ranges in ascending position (and
+    therefore ascending key) order.
+    """
+
+    __slots__ = ("table_id", "matrix", "positions", "cur", "deferred")
+
+    def __init__(
+        self, table_id: int, matrix: np.ndarray, positions: np.ndarray
+    ) -> None:
+        self.table_id = table_id
+        self.matrix = matrix
+        self.positions = positions
+        self.cur = 0
+        self.deferred: list[tuple[int, int]] = []
+
+    @property
+    def pending(self) -> int:
+        held = sum(hi - lo for lo, hi in self.deferred)
+        return held + (len(self.matrix) - self.cur)
+
+
+@dataclass
+class SelectionRun:
+    """One closed run: keys in emission order plus payload references.
+
+    ``keys`` is ready to spill as-is; row ``i``'s payload is row
+    ``positions[i]`` of ``tables[table_ids[i]]``.  Within one table the
+    emitted positions ascend, so the operator gathers payload with one
+    ``take`` per source table plus one interleaving gather.
+    """
+
+    keys: np.ndarray
+    table_ids: np.ndarray
+    positions: np.ndarray
+    layout: object | None
+    tables: dict[int, object] = field(default_factory=dict)
+
+
+class ReplacementSelection:
+    """Batch replacement selection; the operator feeds and drains it.
+
+    Protocol: :meth:`feed` sorted batches in arrival order, call
+    :meth:`step` to emit one batch of the current run, watch
+    :attr:`exhausted` / :attr:`run_rows` to decide when to
+    :meth:`close_run`.  ``rebase`` (injected) widens every held matrix
+    when the compression layout grows -- layouts only ever widen, so
+    re-encoding is lossless and order-preserving.
+    """
+
+    def __init__(
+        self,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        rebase=None,
+    ) -> None:
+        if batch_rows <= 0:
+            raise ValueError("batch_rows must be positive")
+        self._batch = batch_rows
+        self._rebase = rebase
+        self._segments: list[_Segment] = []
+        self._tables: dict[int, object] = {}
+        self._next_table = 0
+        self._layout = None
+        self._fence: np.ndarray | None = None  # (1, width) last emitted key
+        self._run_keys: list[np.ndarray] = []
+        self._run_tids: list[np.ndarray] = []
+        self._run_pos: list[np.ndarray] = []
+        self.run_rows = 0
+        self.exhausted = False  # nothing in the working set is >= fence
+
+    @property
+    def pending_rows(self) -> int:
+        """Unconsumed rows across all segments (eligible + deferred)."""
+        return sum(segment.pending for segment in self._segments)
+
+    def feed(
+        self,
+        matrix: np.ndarray,
+        positions: np.ndarray,
+        table,
+        layout=None,
+    ) -> None:
+        """Add one sorted batch (full-width keys, row-id included)."""
+        matrix = np.ascontiguousarray(matrix)
+        if self._layout is None:
+            self._layout = layout
+        elif layout is not None and layout != self._layout:
+            # Eager rebase: the accumulator only widens layouts, so every
+            # held matrix (segments, fence, the open run's batches)
+            # re-encodes losslessly onto the new one.
+            old = self._layout
+            for segment in self._segments:
+                segment.matrix = self._rebase(segment.matrix, old, layout)
+            if self._fence is not None:
+                self._fence = self._rebase(self._fence, old, layout)
+            self._run_keys = [
+                self._rebase(block, old, layout) for block in self._run_keys
+            ]
+            self._layout = layout
+        if self._segments and matrix.shape[1] != self._segments[0].matrix.shape[1]:
+            raise ValueError(
+                "replacement selection fed mismatched key widths "
+                f"({matrix.shape[1]} vs {self._segments[0].matrix.shape[1]})"
+            )
+        if not len(matrix):
+            return
+        table_id = self._next_table
+        self._next_table += 1
+        self._tables[table_id] = table
+        self._segments.append(
+            _Segment(table_id, matrix, np.asarray(positions, dtype=np.int64))
+        )
+        self.exhausted = False
+
+    def step(self) -> int:
+        """One selection batch; returns the rows emitted into the run.
+
+        Always makes progress while rows remain: candidates below the
+        fence are deferred (cursor advances past them) even on a
+        zero-emission step.  Sets :attr:`exhausted` when the whole
+        working set sits below the fence, i.e. the run must close.
+        """
+        window_rows = self._batch
+        live = [s for s in self._segments if s.cur < len(s.matrix)]
+        if not live:
+            self.exhausted = self.pending_rows > 0
+            return 0
+        windows: list[np.ndarray] = []
+        counts: list[int] = []
+        incomplete: list[bool] = []
+        for segment in live:
+            end = min(segment.cur + window_rows, len(segment.matrix))
+            windows.append(segment.matrix[segment.cur : end])
+            counts.append(end - segment.cur)
+            incomplete.append(end < len(segment.matrix))
+        stacked = windows[0] if len(windows) == 1 else np.concatenate(windows)
+        fenced = self._fence is not None
+        if fenced:
+            stacked = np.concatenate([stacked, self._fence])
+        order = argsort_rows(np.ascontiguousarray(stacked))
+        total = len(stacked)
+        rank = np.empty(total, dtype=np.int64)
+        rank[order] = np.arange(total, dtype=np.int64)
+        # Keys are unique (row-id suffix) and the fence was already
+        # emitted, so rank > fence_rank is exactly "key > fence" -- the
+        # eligibility test.
+        fence_rank = int(rank[total - 1]) if fenced else -1
+        offsets = np.concatenate(
+            [[0], np.cumsum(np.asarray(counts, dtype=np.int64))]
+        )
+        # Frontier rule: nothing past an unfinished window has been
+        # seen, so only rows <= the smallest unfinished window tail may
+        # leave the working set this step.
+        cutoff_rank = total - 1
+        for index, unfinished in enumerate(incomplete):
+            if unfinished:
+                cutoff_rank = min(
+                    cutoff_rank, int(rank[offsets[index + 1] - 1])
+                )
+        window_ranks = rank[: total - 1] if fenced else rank
+        segment_of = np.repeat(
+            np.arange(len(live), dtype=np.int64), counts
+        )
+        consumed = np.bincount(
+            segment_of[window_ranks <= cutoff_rank], minlength=len(live)
+        )
+        if fenced:
+            below = np.bincount(
+                segment_of[window_ranks <= fence_rank], minlength=len(live)
+            )
+        else:
+            below = np.zeros(len(live), dtype=np.int64)
+        starts = [segment.cur for segment in live]
+        for index, segment in enumerate(live):
+            taken = int(consumed[index])
+            held = min(int(below[index]), taken)
+            if held:
+                segment.deferred.append((segment.cur, segment.cur + held))
+            segment.cur += taken
+        emit = order[fence_rank + 1 : cutoff_rank + 1]
+        if not len(emit):
+            self.exhausted = not any(incomplete) and self.pending_rows > 0
+            return 0
+        keys = np.ascontiguousarray(stacked[emit])
+        segment_ids = segment_of[emit]
+        local = emit - offsets[segment_ids]
+        table_ids = np.empty(len(emit), dtype=np.int64)
+        positions = np.empty(len(emit), dtype=np.int64)
+        for index, segment in enumerate(live):
+            mask = segment_ids == index
+            if not mask.any():
+                continue
+            table_ids[mask] = segment.table_id
+            positions[mask] = segment.positions[starts[index] + local[mask]]
+        self._run_keys.append(keys)
+        self._run_tids.append(table_ids)
+        self._run_pos.append(positions)
+        self.run_rows += len(emit)
+        self._fence = keys[-1:].copy()
+        self.exhausted = False
+        return len(emit)
+
+    def close_run(self) -> SelectionRun:
+        """Seal the open run, reset the fence, compact the segments."""
+        if self.run_rows == 0:
+            raise ValueError("close_run with no emitted rows")
+        keys = (
+            self._run_keys[0]
+            if len(self._run_keys) == 1
+            else np.concatenate(self._run_keys)
+        )
+        table_ids = np.concatenate(self._run_tids)
+        positions = np.concatenate(self._run_pos)
+        run = SelectionRun(
+            np.ascontiguousarray(keys),
+            table_ids,
+            positions,
+            self._layout,
+            {
+                int(table_id): self._tables[int(table_id)]
+                for table_id in np.unique(table_ids)
+            },
+        )
+        self._run_keys.clear()
+        self._run_tids.clear()
+        self._run_pos.clear()
+        self.run_rows = 0
+        self._fence = None
+        self.exhausted = False
+        survivors: list[_Segment] = []
+        for segment in self._segments:
+            matrix_parts = [
+                segment.matrix[lo:hi] for lo, hi in segment.deferred
+            ]
+            position_parts = [
+                segment.positions[lo:hi] for lo, hi in segment.deferred
+            ]
+            if segment.cur < len(segment.matrix):
+                matrix_parts.append(segment.matrix[segment.cur :])
+                position_parts.append(segment.positions[segment.cur :])
+            if not matrix_parts:
+                continue
+            # Deferred ranges ascend in position (hence key) order and
+            # every deferred row is below the fence its successors
+            # survived, so the concatenation is already sorted.
+            survivors.append(
+                _Segment(
+                    segment.table_id,
+                    np.ascontiguousarray(np.concatenate(matrix_parts)),
+                    np.concatenate(position_parts),
+                )
+            )
+        self._segments = survivors
+        keep = {segment.table_id for segment in survivors}
+        self._tables = {
+            table_id: table
+            for table_id, table in self._tables.items()
+            if table_id in keep
+        }
+        return run

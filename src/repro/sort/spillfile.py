@@ -49,6 +49,7 @@ the file, instead of surfacing later as a numpy shape/decode error.
 from __future__ import annotations
 
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 
@@ -62,6 +63,7 @@ __all__ = [
     "SECTION_NAMES",
     "SPILL_PAGE_SIZE",
     "SpillHeader",
+    "VerifiedTailCache",
     "build_header",
     "pack_extra",
     "read_header",
@@ -95,6 +97,47 @@ SECTION_NAMES = ("keys", "rows", "heap")
 _FIXED = struct.Struct("<4sIIQIIQIII")
 """magic, version, header_bytes, num_rows, key_width, row_width,
 heap_bytes, page_size, crc_count, header_crc32."""
+
+
+class VerifiedTailCache:
+    """The last CRC-verified page of each spill section, bytes included.
+
+    Verified reads widen to page boundaries, so two consecutive block
+    reads whose boundary straddles a page used to re-read *and*
+    re-verify the shared page -- once as the first read's tail, once as
+    the second read's head.  This cache keeps the bytes of the last page
+    each section read (one page per section, 12 KiB total at the default
+    page size): a follow-up read that starts inside the cached page is
+    served the overlap from memory and only reads/verifies from the next
+    page boundary on.  Because the cached bytes were themselves
+    CRC-verified when first read, integrity guarantees are unchanged --
+    nothing is ever trusted unverified, it is simply not re-fetched.
+
+    Access is guarded by a lock: the prefetch layer
+    (:mod:`repro.sort.prefetch`) reads key blocks from worker threads
+    while the merge gathers payload rows on the consumer thread.  On a
+    racing update the cache may simply miss -- correctness never depends
+    on a hit.
+    """
+
+    __slots__ = ("_pages", "_lock")
+
+    def __init__(self) -> None:
+        self._pages: dict[int, tuple[int, bytes]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, section: int, page_index: int) -> bytes | None:
+        """The cached bytes of ``page_index``, or ``None`` on a miss."""
+        with self._lock:
+            entry = self._pages.get(section)
+        if entry is not None and entry[0] == page_index:
+            return entry[1]
+        return None
+
+    def put(self, section: int, page_index: int, data: bytes) -> None:
+        """Remember ``data`` as the verified bytes of ``page_index``."""
+        with self._lock:
+            self._pages[section] = (page_index, data)
 
 
 def _page_count(nbytes: int, page_size: int) -> int:

@@ -473,6 +473,95 @@ class TestRandomizedSingleFault:
             assert_no_spill_files(spill_dir)
 
 
+class TestRandomizedConcurrentFaults:
+    """Faults firing inside prefetch worker threads.
+
+    With read-ahead enabled, spill reads (and their CRC verification)
+    happen on ``spill-prefetch`` pool threads; an injected fault there
+    must surface exactly like a synchronous one -- byte-identical
+    recovery or a typed :class:`SpillError` raised on the consumer
+    thread -- and must never leak a thread or a temp file, whichever
+    thread the fault fired on.
+    """
+
+    KINDS = ("short_read", "bitflip", "slow_io")
+
+    @staticmethod
+    def _assert_no_prefetch_threads():
+        import threading
+
+        leaked = [
+            thread.name
+            for thread in threading.enumerate()
+            if thread.name.startswith("spill-prefetch")
+        ]
+        assert not leaked, leaked
+
+    def test_prefetch_thread_faults(self, rng, tmp_path):
+        table = mixed_table(rng, 1500)
+        config = fast_config(run_threshold=400, prefetch_blocks=2)
+
+        # Fault-free pass: learn the read count and the expected bytes.
+        baseline_io = FaultInjector()
+        baseline_dir = tmp_path / "baseline"
+        baseline_dir.mkdir()
+        operator = build_operator(
+            table, baseline_dir, io=baseline_io, config=config
+        )
+        expected = run_sort(operator, table)
+        reads = baseline_io.stats.reads
+        assert reads >= 6
+        assert (
+            operator.stats.prefetch_hits + operator.stats.prefetch_misses
+        ) > 0
+        self._assert_no_prefetch_threads()
+
+        draw = np.random.default_rng(20260808)
+        for trial in range(18):
+            kind = self.KINDS[int(draw.integers(len(self.KINDS)))]
+            at = int(draw.integers(reads))
+            fault = InjectedFault(kind, at=at)
+            if kind == "slow_io":
+                fault.delay_s = 0.001
+            injector = FaultInjector([fault], seed=100 + trial)
+            spill_dir = tmp_path / f"trial-{trial}"
+            spill_dir.mkdir()
+            operator = build_operator(
+                table, spill_dir, io=injector, config=config
+            )
+            try:
+                result = run_sort(operator, table)
+            except SpillError as error:
+                assert error.path is not None, (kind, at)
+            else:
+                assert_byte_identical(result, expected)
+            assert injector.stats.fired.get(kind, 0) >= 1, (kind, at)
+            self._assert_no_prefetch_threads()
+            assert_no_spill_files(spill_dir)
+
+    def test_corruption_under_slow_concurrent_reads(self, rng, tmp_path):
+        # Latency on every read forces genuine thread overlap while a
+        # bitflip corrupts one block read ahead by a worker; the typed
+        # error must still surface on the consumer thread.
+        table = mixed_table(rng, 1500)
+        config = fast_config(run_threshold=400, prefetch_blocks=2)
+        injector = FaultInjector(
+            [
+                InjectedFault("slow_io", at=0, times=None, delay_s=0.0005),
+                InjectedFault("bitflip", at=10),
+            ],
+            seed=11,
+        )
+        operator = build_operator(
+            table, tmp_path, io=injector, config=config
+        )
+        with pytest.raises(SpillCorruptionError) as info:
+            run_sort(operator, table)
+        assert info.value.path is not None
+        self._assert_no_prefetch_threads()
+        assert_no_spill_files(tmp_path)
+
+
 class TestEngineWiring:
     def test_database_order_by_through_external_sort(self, rng):
         table = mixed_table(rng, 1500)
