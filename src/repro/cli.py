@@ -4,6 +4,8 @@ Usage::
 
     python -m repro sort data.csv --by "country DESC, year" -o sorted.csv
     python -m repro sql "SELECT a, count(*) FROM t GROUP BY a" --table t=data.csv
+    python -m repro serve --table t=data.csv -q "SELECT * FROM t ORDER BY a" \
+        --memory-budget 4M --threads 8
     python -m repro bench figure-9
     python -m repro bench --list
     python -m repro info
@@ -221,6 +223,91 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the query plan instead of executing",
     )
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run queries concurrently under a shared memory budget",
+        description=(
+            "Drive the thread-pool query service: register CSVs, submit "
+            "every --query concurrently, and let the memory governor "
+            "arbitrate sort memory between them.  Queries that cannot be "
+            "admitted are rejected with a typed overload error instead "
+            "of exhausting memory."
+        ),
+    )
+    serve_cmd.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register a CSV file as a table (repeatable)",
+    )
+    serve_cmd.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        default=[],
+        metavar="SQL",
+        help="a query to submit (repeatable; all run concurrently)",
+    )
+    serve_cmd.add_argument(
+        "--memory-budget",
+        default="64M",
+        metavar="BYTES",
+        help=(
+            "total sort-memory budget shared by all concurrent queries, "
+            "with an optional K/M/G suffix (default 64M)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        metavar="N",
+        help="service worker threads (default 4)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        metavar="N",
+        help="bounded admission queue depth (default 32)",
+    )
+    serve_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="submit each query N times (default 1)",
+    )
+    serve_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query deadline; queries past it are cancelled",
+    )
+    serve_cmd.add_argument(
+        "--external",
+        action="store_true",
+        help="run sorts out-of-core (spill runs to disk)",
+    )
+    serve_cmd.add_argument(
+        "--run-threshold",
+        type=int,
+        default=None,
+        help="rows per sorted run before the governor shrinks it",
+    )
+    serve_cmd.add_argument(
+        "-o",
+        "--output",
+        help="write the last successful result as CSV (default: none)",
+    )
+    serve_cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service statistics to stderr after the run",
+    )
+
     bench_cmd = commands.add_parser(
         "bench", help="regenerate a paper table/figure or ablation"
     )
@@ -393,6 +480,107 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_byte_size(text: str) -> int:
+    """Parse ``"262144"``, ``"256K"``, ``"64M"`` or ``"1G"`` into bytes."""
+    raw = text.strip()
+    scale = 1
+    suffixes = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    if raw and raw[-1].upper() in suffixes:
+        scale = suffixes[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ReproError(
+            f"invalid byte size {text!r} (expected an integer with an "
+            "optional K/M/G suffix, e.g. 256K or 64M)"
+        ) from None
+    if value <= 0:
+        raise ReproError(f"byte size must be positive, got {text!r}")
+    return value * scale
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceOverloadError
+    from repro.service import SortService
+
+    if not args.query:
+        raise ReproError("serve needs at least one --query")
+    budget = parse_byte_size(args.memory_budget)
+    kwargs = {"external": args.external}
+    if args.run_threshold:
+        kwargs["run_threshold"] = args.run_threshold
+    database = Database(sort_config=SortConfig(**kwargs))
+    for spec in args.table:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise ReproError(f"--table expects NAME=PATH, got {spec!r}")
+        database.register(name, read_csv(path))
+
+    queries = [sql for sql in args.query for _ in range(max(1, args.repeat))]
+    last_result: Table | None = None
+    rejected = 0
+    failures = 0
+    with SortService(
+        database,
+        memory_budget=budget,
+        workers=args.threads,
+        queue_limit=args.queue_limit,
+    ) as service:
+        tickets = []
+        for sql in queries:
+            try:
+                tickets.append(
+                    service.submit(sql, deadline_s=args.deadline)
+                )
+            except ServiceOverloadError as error:
+                rejected += 1
+                print(
+                    f"rejected: {sql!r} ({error})",
+                    file=sys.stderr,
+                )
+        for ticket in tickets:
+            try:
+                last_result = ticket.result()
+                print(
+                    f"ok: {ticket.sql!r} -> {last_result.num_rows} rows"
+                    + (" (cached)" if ticket.from_cache else ""),
+                    file=sys.stderr,
+                )
+            except ReproError as error:
+                failures += 1
+                print(f"failed: {ticket.sql!r} ({error})", file=sys.stderr)
+        stats = service.stats
+    if args.output and last_result is not None:
+        write_csv(last_result, args.output)
+    if args.stats:
+        err = sys.stderr
+        print(f"admitted: {stats.admitted}", file=err)
+        print(f"completed: {stats.completed}", file=err)
+        print(
+            "rejected/shed/cancelled/timed_out: "
+            f"{stats.rejected}/{stats.shed}/"
+            f"{stats.cancelled}/{stats.timed_out}",
+            file=err,
+        )
+        print(
+            f"cache: hits={stats.cache_hits} misses={stats.cache_misses}",
+            file=err,
+        )
+        print(
+            "governor: "
+            f"waits={stats.grant_waits} "
+            f"wait_s={stats.grant_wait_s:.3f} "
+            f"revocations={stats.revocations} "
+            f"peak_grants={stats.peak_active_grants} "
+            f"forced_spills={stats.governor_forced_spills} "
+            f"peak_spill_bytes={stats.peak_concurrent_spill_bytes}",
+            file=err,
+        )
+        print(f"queue_peak: {stats.queue_peak}", file=err)
+    return 1 if failures else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.list or not args.experiment:
         for name in EXPERIMENTS:
@@ -436,6 +624,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_sort(args)
         if args.command == "sql":
             return _cmd_sql(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "bench":
             return _cmd_bench(args)
         return _cmd_info()

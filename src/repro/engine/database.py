@@ -33,19 +33,27 @@ __all__ = ["Database"]
 
 
 class Database:
-    """An in-process catalog of tables plus a query executor."""
+    """An in-process catalog of tables plus a query executor.
+
+    Every registered table carries a monotone version number, bumped on
+    each (re-)``register`` -- the invalidation signal result caches key
+    on: a cached result is valid exactly while every table it read still
+    has the version it was computed against.
+    """
 
     def __init__(self, sort_config: SortConfig | None = None) -> None:
         self._tables: dict[str, Table] = {}
+        self._versions: dict[str, int] = {}
         self.sort_config = sort_config or SortConfig()
 
     # -- catalog ---------------------------------------------------------- #
 
     def register(self, name: str, table: Table) -> None:
-        """Register (or replace) a named table."""
+        """Register (or replace) a named table, bumping its version."""
         if not name or not name.isidentifier():
             raise EngineError(f"invalid table name {name!r}")
         self._tables[name] = table
+        self._versions[name] = self._versions.get(name, 0) + 1
 
     def table(self, name: str) -> Table:
         try:
@@ -54,6 +62,14 @@ class Database:
             raise BindError(
                 f"unknown table {name!r} (have {sorted(self._tables)})"
             ) from None
+
+    def table_version(self, name: str) -> int:
+        """The table's write version (1 on first register)."""
+        self.table(name)  # raises BindError on unknown tables
+        return self._versions[name]
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tables))
 
     def _schema_of(self, name: str) -> Schema:
         return self.table(name).schema
@@ -71,46 +87,114 @@ class Database:
         """The textual plan the query would execute."""
         return planmod.explain(self.plan(sql, optimize))
 
-    def _physical(self, logical: planmod.LogicalPlan) -> PhysicalOperator:
+    def _physical(
+        self,
+        logical: planmod.LogicalPlan,
+        sort_config: SortConfig | None = None,
+        sinks: list[PhysicalOperator] | None = None,
+    ) -> PhysicalOperator:
+        config = sort_config or self.sort_config
+
+        def child() -> PhysicalOperator:
+            return self._physical(logical.child, sort_config, sinks)
+
         if isinstance(logical, planmod.LogicalScan):
             return ScanOperator(self.table(logical.table_name))
         if isinstance(logical, planmod.LogicalProject):
-            return ProjectOperator(
-                self._physical(logical.child), logical.columns
-            )
+            return ProjectOperator(child(), logical.columns)
         if isinstance(logical, planmod.LogicalFilter):
-            return FilterOperator(
-                self._physical(logical.child), logical.condition
-            )
+            return FilterOperator(child(), logical.condition)
         if isinstance(logical, planmod.LogicalSort):
-            return SortExecOperator(
-                self._physical(logical.child), logical.spec, self.sort_config
-            )
+            operator = SortExecOperator(child(), logical.spec, config)
+            if sinks is not None:
+                sinks.append(operator)
+            return operator
         if isinstance(logical, planmod.LogicalLimit):
-            return LimitOperator(
-                self._physical(logical.child), logical.limit, logical.offset
-            )
+            return LimitOperator(child(), logical.limit, logical.offset)
         if isinstance(logical, planmod.LogicalAggregate):
-            return CountAggregateOperator(self._physical(logical.child))
+            return CountAggregateOperator(child())
         if isinstance(logical, planmod.LogicalGroupBy):
             return GroupByOperator(
-                self._physical(logical.child),
+                child(),
                 logical.schema,
                 logical.keys,
                 logical.aggregates,
-                self.sort_config,
+                config,
             )
         if isinstance(logical, planmod.LogicalTopN):
             return TopNExecOperator(
-                self._physical(logical.child),
+                child(),
                 logical.spec,
                 logical.limit,
                 logical.offset,
+                config,
             )
         raise EngineError(f"no physical operator for {logical!r}")
 
+    def referenced_tables(self, logical: planmod.LogicalPlan) -> tuple[str, ...]:
+        """Names of the base tables a bound plan scans, sorted."""
+        names: set[str] = set()
+        stack = [logical]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, planmod.LogicalScan):
+                names.add(node.table_name)
+            node_child = getattr(node, "child", None)
+            if node_child is not None:
+                stack.append(node_child)
+        return tuple(sorted(names))
+
     # -- execution ---------------------------------------------------------- #
 
-    def execute(self, sql: str, optimize: bool = True) -> Table:
-        """Run a query and return the full result table."""
-        return collect(self._physical(self.plan(sql, optimize)))
+    def execute(
+        self,
+        sql: str,
+        optimize: bool = True,
+        sort_config: SortConfig | None = None,
+    ) -> Table:
+        """Run a query and return the full result table.
+
+        ``sort_config`` overrides the database-wide config for this one
+        query -- the hook a query service uses to attach its per-query
+        cancellation event and memory grant without mutating shared
+        state.
+        """
+        return collect(
+            self._physical(self.plan(sql, optimize), sort_config)
+        )
+
+    def execute_bound(
+        self,
+        logical: planmod.LogicalPlan,
+        sort_config: SortConfig | None = None,
+    ) -> tuple[Table, list]:
+        """Execute an already-bound plan, returning (result, sort stats).
+
+        The stats list holds one ``SortStats`` per full-sort pipeline
+        breaker, in plan order; Top-N and streaming operators
+        contribute none.  The service layer plans once (for the cache
+        key's table set), then executes here under its per-query
+        config.
+        """
+        sinks: list[PhysicalOperator] = []
+        root = self._physical(logical, sort_config, sinks)
+        result = collect(root)
+        return result, [
+            operator.last_stats
+            for operator in sinks
+            if operator.last_stats is not None
+        ]
+
+    def execute_detailed(
+        self,
+        sql: str,
+        optimize: bool = True,
+        sort_config: SortConfig | None = None,
+    ) -> tuple[Table, list]:
+        """Run a query, also returning the sort operators' ``SortStats``.
+
+        Convenience wrapper over :meth:`plan` + :meth:`execute_bound`,
+        used to surface governor-forced spills and degradation counters
+        per query.
+        """
+        return self.execute_bound(self.plan(sql, optimize), sort_config)

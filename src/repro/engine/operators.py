@@ -153,7 +153,12 @@ class SortExecOperator(PhysicalOperator):
 
 
 class TopNExecOperator(PhysicalOperator):
-    """ORDER BY + LIMIT fused into the bounded-heap top-N operator."""
+    """ORDER BY + LIMIT fused into the bounded-heap top-N operator.
+
+    The config carries the cooperative cancellation event (checked per
+    sunk chunk), so a service can abort a long Top-N scan mid-stream
+    just like a full sort.
+    """
 
     def __init__(
         self,
@@ -161,15 +166,19 @@ class TopNExecOperator(PhysicalOperator):
         spec: SortSpec,
         limit: int,
         offset: int = 0,
+        config: SortConfig | None = None,
     ) -> None:
         super().__init__(child.schema)
         self.child = child
         self.spec = spec
         self.limit = limit
         self.offset = offset
+        self.config = config or SortConfig()
 
     def chunks(self) -> Iterator[DataChunk]:
-        top = TopNOperator(self.schema, self.spec, self.limit, self.offset)
+        top = TopNOperator(
+            self.schema, self.spec, self.limit, self.offset, self.config
+        )
         for chunk in self.child.chunks():
             top.sink(chunk)
         result = top.finalize()

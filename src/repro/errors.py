@@ -78,6 +78,40 @@ class OutOfMemoryError(SimulationError):
     """The simulated arena ran out of address space."""
 
 
+class ServiceError(ReproError):
+    """The concurrent query service failed a request."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service refused (or shed) a query because it is saturated.
+
+    Raised instead of queueing without bound: the admission queue was
+    full, the memory governor stayed starved past the admission
+    timeout, or the query was load-shed to make room for higher
+    priority work.  ``retry_after_s`` is the server's estimate of when
+    capacity will free up; ``shed`` distinguishes a query evicted from
+    the queue from one rejected at the door.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 0.0,
+        shed: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.shed = shed
+
+
+class ServiceShutdownError(ServiceError):
+    """The service is shutting down and no longer accepts queries."""
+
+
+class QueryTimeoutError(ServiceError):
+    """A query's deadline expired before it produced a result."""
+
+
 class EngineError(ReproError):
     """The mini query engine failed to plan or execute a query."""
 

@@ -1,0 +1,40 @@
+"""Concurrent query service over the mini engine.
+
+Public surface::
+
+    from repro.service import SortService, Priority
+
+    db = Database(sort_config=SortConfig(external=True))
+    db.register("t", table)
+    with SortService(db, memory_budget=64 << 20, workers=8) as service:
+        ticket = service.submit("SELECT * FROM t ORDER BY a", Priority.HIGH)
+        result = ticket.result(timeout=30)
+
+See :mod:`repro.service.core` for the service, admission control and
+deadlines; :mod:`repro.service.governor` for the shared memory grant
+protocol; :mod:`repro.service.cache` for the version-keyed result cache.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.core import (
+    Priority,
+    QueryTicket,
+    ServiceStats,
+    SortService,
+)
+from repro.service.governor import (
+    GovernorStats,
+    MemoryGovernor,
+    MemoryGrant,
+)
+
+__all__ = [
+    "GovernorStats",
+    "MemoryGovernor",
+    "MemoryGrant",
+    "Priority",
+    "QueryTicket",
+    "ResultCache",
+    "ServiceStats",
+    "SortService",
+]

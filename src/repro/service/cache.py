@@ -1,0 +1,76 @@
+"""Sorted-result cache keyed on (query text, table versions).
+
+ORDER BY workloads are read-heavy and repetitive: the same sort spec
+over the same table version produces byte-identical output, so the
+service memoizes finished result tables.  The cache key is the SQL text
+plus the ``(table, version)`` pair of every base table the bound plan
+scans (:meth:`repro.engine.database.Database.table_version`); because
+``Database.register`` bumps the version on every write, a stale entry
+can never be *returned* -- its key simply stops being asked for, and
+LRU eviction reclaims it.  That makes invalidation-on-write free: no
+write hook, no cross-thread invalidation storm, just version-stamped
+keys.
+
+Thread-safe; entries are whole immutable :class:`repro.table.table.Table`
+results, shared by reference (callers must not mutate result tables --
+the same contract ``Database.execute`` already implies).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.table.table import Table
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A bounded LRU of finished query results.
+
+    ``capacity`` counts entries, not bytes -- service results are
+    bounded by the queries the benchmark runs; a byte-budgeted cache
+    would need result sizing that Table does not expose cheaply.
+    ``capacity <= 0`` disables caching (every ``get`` misses, ``put``
+    drops).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, Table]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def key(sql: str, versions: tuple[tuple[str, int], ...]) -> tuple:
+        """The cache key: normalized SQL text + sorted version stamps."""
+        return (" ".join(sql.split()), tuple(sorted(versions)))
+
+    def get(self, key: tuple) -> Table | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: tuple, result: Table) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

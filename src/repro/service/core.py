@@ -1,0 +1,522 @@
+"""The concurrent sort service: thread pool, admission control, deadlines.
+
+This is the ROADMAP's "millions of users" first rung: a
+:class:`SortService` wraps one :class:`repro.engine.Database` behind a
+pool of worker threads and runs many ORDER BY / Top-N / window queries
+concurrently while a :class:`repro.service.governor.MemoryGovernor`
+arbitrates one process-wide memory budget between their sorts.
+
+The request lifecycle::
+
+    submit() -> [bounded queue, priority-ordered] -> worker picks ticket
+        -> result cache probe (hit: done)
+        -> governor grant acquire (may wait; may shed queued LOW work)
+        -> deadline timer armed
+        -> Database.execute_detailed under a per-query SortConfig carrying
+           the ticket's cancel event + memory grant
+        -> complete (result / typed error), grant released, timer joined
+
+Admission control is explicit and typed: a full queue either sheds the
+lowest-priority queued ticket (when the newcomer outranks it) or rejects
+the newcomer with :class:`repro.errors.ServiceOverloadError` carrying a
+retry-after estimate.  A governor starving mid-acquire triggers the same
+shedding.  Nothing ever waits unbounded and nothing OOMs silently: under
+overload the service degrades to *fewer admitted queries each spilling
+earlier*, which is the robustness posture of Do & Graefe
+(arXiv 2209.08420) -- graceful behavior across adverse conditions rather
+than peak speed.
+
+Cancellation and deadlines use the sort layer's cooperative checkpoints:
+the per-query ``SortConfig.cancel_event`` is polled at sink, run
+generation, merge rounds, prefetch scheduling and parallel dispatch, so
+``QueryTicket.cancel()`` (or an expired deadline) aborts the sort at the
+next checkpoint, the operator's ``finally`` paths remove every spill
+file and join every helper thread, and the worker releases the grant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.engine.database import Database
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceShutdownError,
+    SortCancelledError,
+)
+from repro.service.cache import ResultCache
+from repro.service.governor import MemoryGovernor
+from repro.sort.operator import SortConfig
+from repro.table.table import Table
+
+__all__ = [
+    "Priority",
+    "QueryTicket",
+    "ServiceStats",
+    "SortService",
+]
+
+_THREAD_PREFIX = "repro-service"
+"""Name prefix of every thread the service creates (workers, deadline
+timers) -- the test suite's leak guard asserts none survive shutdown."""
+
+
+class Priority(IntEnum):
+    """Admission priority class; higher values outrank lower ones."""
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters (one snapshot; see ``SortService.stats``).
+
+    ``admitted`` counts tickets accepted into the queue; ``rejected``
+    tickets refused at the door (queue full, no shed candidate);
+    ``shed`` queued tickets evicted to make room or relieve a starved
+    governor; ``cancelled`` tickets aborted by the caller;
+    ``timed_out`` tickets whose deadline expired mid-flight.
+    ``governor_forced_spills`` sums the per-query
+    ``SortStats.governor_forced_spills`` of completed queries.  Grant
+    and spill watermarks come from the governor, cache hit counters
+    from the result cache.
+    """
+
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    cancelled: int = 0
+    timed_out: int = 0
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    grant_waits: int = 0
+    grant_wait_s: float = 0.0
+    revocations: int = 0
+    peak_active_grants: int = 0
+    peak_concurrent_spill_bytes: int = 0
+    governor_forced_spills: int = 0
+    queue_peak: int = 0
+
+
+class QueryTicket:
+    """One submitted query: a future plus its cancellation surface.
+
+    ``result(timeout=None)`` blocks for the outcome and re-raises the
+    query's typed error (``ServiceOverloadError`` when shed,
+    ``QueryTimeoutError`` on deadline expiry, ``SortCancelledError``
+    after ``cancel()``, or whatever the engine raised).  ``cancel()``
+    is safe from any thread at any time: a queued ticket completes
+    cancelled without running; a running ticket aborts at the sort's
+    next cooperative checkpoint.
+    """
+
+    def __init__(
+        self,
+        query_id: str,
+        sql: str,
+        priority: Priority,
+        deadline_s: float | None,
+    ) -> None:
+        self.query_id = query_id
+        self.sql = sql
+        self.priority = Priority(priority)
+        self.deadline_s = deadline_s
+        self.submitted_at = time.monotonic()
+        self.cancel_event = threading.Event()
+        self.sort_stats: list = []
+        self.from_cache = False
+        self._done = threading.Event()
+        self._result: Table | None = None
+        self._error: BaseException | None = None
+        self._timed_out = False
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def cancel(self) -> None:
+        self.cancel_event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self.cancel_event.is_set()
+
+    def result(self, timeout: float | None = None) -> Table:
+        if not self._done.wait(timeout):
+            raise ServiceError(
+                f"query {self.query_id} still running after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._done.wait(timeout):
+            raise ServiceError(
+                f"query {self.query_id} still running after {timeout}s"
+            )
+        return self._error
+
+    def _complete(self, result: Table) -> None:
+        self._result = result
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+class SortService:
+    """Thread-pool query service over one :class:`Database`.
+
+    ``memory_budget`` bytes are shared by every concurrent query's sort
+    (see :class:`MemoryGovernor`); ``queue_limit`` bounds queued-but-
+    not-running tickets; ``workers`` threads execute queries.  Use as a
+    context manager, or call :meth:`shutdown` -- every worker and timer
+    thread is joined on the way out.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        memory_budget: int,
+        workers: int = 4,
+        queue_limit: int = 32,
+        cache_capacity: int = 32,
+        admission_timeout_s: float = 30.0,
+        min_grant_bytes: int | None = None,
+        grant_row_bytes: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError("workers must be at least 1")
+        if queue_limit < 1:
+            raise ServiceError("queue_limit must be at least 1")
+        self.database = database
+        governor_kwargs = {}
+        if min_grant_bytes is not None:
+            governor_kwargs["min_grant_bytes"] = min_grant_bytes
+        if grant_row_bytes is not None:
+            governor_kwargs["row_bytes"] = grant_row_bytes
+        self.governor = MemoryGovernor(memory_budget, **governor_kwargs)
+        self.cache = ResultCache(cache_capacity)
+        self.queue_limit = queue_limit
+        self.admission_timeout_s = admission_timeout_s
+        self._stats = ServiceStats()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: list[QueryTicket] = []
+        self._seq = itertools.count()
+        self._order = itertools.count()  # FIFO tiebreak within a priority
+        self._queue_order: dict[str, int] = {}
+        self._shutdown = False
+        self._latency_ewma = 0.1  # retry-after seed, updated per query
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{_THREAD_PREFIX}-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def __enter__(self) -> "SortService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+    def shutdown(self) -> None:
+        """Stop admitting, fail queued tickets, join every worker."""
+        with self._work:
+            if self._shutdown:
+                pending: list[QueryTicket] = []
+            else:
+                self._shutdown = True
+                pending = list(self._queue)
+                self._queue.clear()
+                self._queue_order.clear()
+            self._work.notify_all()
+        for ticket in pending:
+            ticket._fail(
+                ServiceShutdownError(
+                    f"service shut down before query {ticket.query_id} ran"
+                )
+            )
+        for thread in self._workers:
+            thread.join()
+
+    # ------------------------------------------------------------------ #
+    # Submission / admission control
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        sql: str,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: float | None = None,
+    ) -> QueryTicket:
+        """Admit a query (or raise :class:`ServiceOverloadError`).
+
+        A full queue is resolved by rank: if some queued ticket has a
+        strictly lower priority than the newcomer, the *lowest* such
+        ticket is shed (completed with a ``shed=True`` overload error)
+        and the newcomer takes its place; otherwise the newcomer is
+        rejected with a retry-after estimated from recent query latency.
+        """
+        ticket = QueryTicket(
+            f"q{next(self._seq):06d}", sql, priority, deadline_s
+        )
+        shed_ticket: QueryTicket | None = None
+        with self._work:
+            if self._shutdown:
+                raise ServiceShutdownError("service is shut down")
+            if len(self._queue) >= self.queue_limit:
+                victim = self._lowest_priority_queued()
+                if victim is None or victim.priority >= ticket.priority:
+                    self._stats.rejected += 1
+                    raise ServiceOverloadError(
+                        f"admission queue full ({self.queue_limit} queued)",
+                        retry_after_s=self._retry_after(),
+                    )
+                self._queue.remove(victim)
+                self._queue_order.pop(victim.query_id, None)
+                self._stats.shed += 1
+                shed_ticket = victim
+            self._queue.append(ticket)
+            self._queue_order[ticket.query_id] = next(self._order)
+            self._stats.admitted += 1
+            self._stats.queue_peak = max(
+                self._stats.queue_peak, len(self._queue)
+            )
+            self._work.notify()
+        if shed_ticket is not None:
+            shed_ticket._fail(
+                ServiceOverloadError(
+                    f"query {shed_ticket.query_id} shed for higher "
+                    "priority work",
+                    retry_after_s=self._retry_after(),
+                    shed=True,
+                )
+            )
+        return ticket
+
+    def execute(
+        self,
+        sql: str,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+    ) -> Table:
+        """Submit and wait: the one-call blocking entry point."""
+        return self.submit(sql, priority, deadline_s).result(timeout)
+
+    def _lowest_priority_queued(self) -> QueryTicket | None:
+        """The shed candidate: lowest priority, then newest (lock held)."""
+        if not self._queue:
+            return None
+        return min(
+            self._queue,
+            key=lambda t: (t.priority, -self._queue_order[t.query_id]),
+        )
+
+    def _retry_after(self) -> float:
+        return max(0.05, 2.0 * self._latency_ewma)
+
+    def _shed_for_starved_governor(self) -> None:
+        """Governor-starved hook: shed the lowest-priority queued LOW ticket.
+
+        Runs on a worker thread that is *waiting* for a grant; freeing
+        queue slots keeps submitters unblocked and sheds work that would
+        only deepen the starvation.  Only ``LOW`` tickets are shed here
+        -- a starved governor is not a reason to drop normal work that
+        admission already accepted.
+        """
+        with self._work:
+            victims = [
+                t for t in self._queue if t.priority == Priority.LOW
+            ]
+            for victim in victims:
+                self._queue.remove(victim)
+                self._queue_order.pop(victim.query_id, None)
+                self._stats.shed += 1
+        for victim in victims:
+            victim._fail(
+                ServiceOverloadError(
+                    f"query {victim.query_id} shed: memory governor "
+                    "starved",
+                    retry_after_s=self._retry_after(),
+                    shed=True,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Worker loop
+    # ------------------------------------------------------------------ #
+
+    def _next_ticket(self) -> QueryTicket | None:
+        with self._work:
+            while not self._queue and not self._shutdown:
+                self._work.wait()
+            if not self._queue:
+                return None
+            ticket = max(
+                self._queue,
+                key=lambda t: (t.priority, -self._queue_order[t.query_id]),
+            )
+            self._queue.remove(ticket)
+            self._queue_order.pop(ticket.query_id, None)
+            return ticket
+
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._next_ticket()
+            if ticket is None:
+                return
+            try:
+                self._run_ticket(ticket)
+            except BaseException as error:  # never kill the worker
+                if not ticket.done:
+                    ticket._fail(error)
+
+    def _run_ticket(self, ticket: QueryTicket) -> None:
+        started = time.monotonic()
+        if ticket.cancelled:
+            with self._lock:
+                self._stats.cancelled += 1
+            ticket._fail(
+                SortCancelledError(
+                    f"query {ticket.query_id} cancelled before it ran"
+                )
+            )
+            return
+        try:
+            plan = self.database.plan(ticket.sql)
+            versions = tuple(
+                (name, self.database.table_version(name))
+                for name in self.database.referenced_tables(plan)
+            )
+            key = ResultCache.key(ticket.sql, versions)
+            cached = self.cache.get(key)
+            if cached is not None:
+                with self._lock:
+                    self._stats.completed += 1
+                ticket.from_cache = True
+                ticket._complete(cached)
+                return
+            result = self._run_query(ticket, plan)
+        except BaseException as error:
+            self._finish_error(ticket, error)
+            return
+        self.cache.put(key, result)
+        self._observe_latency(time.monotonic() - started)
+        with self._lock:
+            self._stats.completed += 1
+            for stats in ticket.sort_stats:
+                self._stats.governor_forced_spills += (
+                    stats.governor_forced_spills
+                )
+        ticket._complete(result)
+
+    def _run_query(self, ticket: QueryTicket, plan) -> Table:
+        """Grant -> deadline timer -> execute; always releases both."""
+        timeout = self.admission_timeout_s
+        if ticket.deadline_s is not None:
+            elapsed = time.monotonic() - ticket.submitted_at
+            timeout = min(timeout, max(0.0, ticket.deadline_s - elapsed))
+        grant = self.governor.acquire(
+            ticket.query_id,
+            timeout_s=timeout,
+            on_starved=self._shed_for_starved_governor,
+        )
+        timer: threading.Timer | None = None
+        try:
+            if ticket.deadline_s is not None:
+                remaining = ticket.deadline_s - (
+                    time.monotonic() - ticket.submitted_at
+                )
+                if remaining <= 0:
+                    ticket._timed_out = True
+                    raise SortCancelledError("deadline already expired")
+
+                def expire() -> None:
+                    ticket._timed_out = True
+                    ticket.cancel_event.set()
+
+                timer = threading.Timer(remaining, expire)
+                timer.name = f"{_THREAD_PREFIX}-deadline-{ticket.query_id}"
+                timer.daemon = True
+                timer.start()
+            config = dataclasses.replace(
+                self.database.sort_config,
+                cancel_event=ticket.cancel_event,
+                memory_grant=grant,
+            )
+            result, ticket.sort_stats = self.database.execute_bound(
+                plan, config
+            )
+            return result
+        finally:
+            if timer is not None:
+                timer.cancel()
+                timer.join()
+            grant.release()
+
+    def _finish_error(self, ticket: QueryTicket, error: BaseException) -> None:
+        if isinstance(error, SortCancelledError):
+            if ticket._timed_out:
+                with self._lock:
+                    self._stats.timed_out += 1
+                error = QueryTimeoutError(
+                    f"query {ticket.query_id} exceeded its "
+                    f"{ticket.deadline_s}s deadline"
+                )
+            else:
+                with self._lock:
+                    self._stats.cancelled += 1
+        else:
+            with self._lock:
+                self._stats.failed += 1
+        ticket._fail(error)
+
+    def _observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latency_ewma = 0.8 * self._latency_ewma + 0.2 * seconds
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> ServiceStats:
+        """A merged snapshot of service, governor, and cache counters."""
+        with self._lock:
+            snapshot = dataclasses.replace(self._stats)
+        gov = self.governor.stats
+        snapshot.grant_waits = gov.grant_waits
+        snapshot.grant_wait_s = gov.grant_wait_s
+        snapshot.revocations = gov.revocations
+        snapshot.peak_active_grants = gov.peak_active_grants
+        snapshot.peak_concurrent_spill_bytes = (
+            gov.peak_concurrent_spill_bytes
+        )
+        snapshot.cache_hits = self.cache.hits
+        snapshot.cache_misses = self.cache.misses
+        return snapshot

@@ -77,6 +77,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import secrets
 import tempfile
 import time
 import warnings
@@ -112,7 +113,12 @@ from repro.sort.faults import SpillIO
 from repro.sort.heuristic import vector_sort_rows
 from repro.sort.kernels import KWayBlockStats, ovc_codes
 from repro.sort.kway import kway_merge_stream
-from repro.sort.operator import SortConfig, SortStats, _segmented_argsort
+from repro.sort.operator import (
+    SortConfig,
+    SortStats,
+    _segmented_argsort,
+    effective_run_threshold,
+)
 from repro.sort.parallel_exec import ParallelSortExecutor
 from repro.sort.pdqsort import pdqsort
 from repro.sort.prefetch import BlockPrefetcher, prefetch_budget_blocks
@@ -541,6 +547,7 @@ class ExternalSortOperator:
         self._closed = False
         self._cancelled = False
         self._merging = False
+        self._spilling = False
         self._degraded = False
         self._has_string_key = any(
             schema.column(name).dtype.type_id is TypeId.VARCHAR
@@ -554,6 +561,11 @@ class ExternalSortOperator:
         self._rs_active: bool | None = None
         self._selection: ReplacementSelection | None = None
         self._run_seq = 0  # spill filename counter (never reused)
+        # Collision-proof spill names: concurrent sorts sharing a spill
+        # directory (a service pool, user-provided failover targets)
+        # must never write the same filename, so every operator salts
+        # its run files with a per-instance random token.
+        self._spill_token = secrets.token_hex(4)
         # Key compression: per-run layouts come from one monotone stats
         # accumulator, so layouts only widen run-to-run and every earlier
         # run rebases losslessly onto the final (widest) layout during the
@@ -621,17 +633,21 @@ class ExternalSortOperator:
     def cancel(self) -> None:
         """Abort the sort; temp files are removed, results are refused.
 
-        Safe to call from any point, including a merge-progress hook:
-        during a merge only the cancelled flag is set, and the merge
-        raises :class:`SortCancelledError` at its next round checkpoint
-        (cleanup then runs in ``finalize``'s ``finally``); outside a
-        merge, cleanup happens immediately.
+        Safe to call from any point, including a merge-progress hook or
+        a fault-injection hook firing mid-spill: while a merge or a
+        spill write is in flight only the cancelled flag is set, and the
+        operator raises :class:`SortCancelledError` at its next
+        checkpoint (cleanup then runs in the in-flight operation's
+        ``finally``); otherwise cleanup happens immediately.
         """
         self._cancelled = True
-        if not self._merging:
+        if not self._merging and not self._spilling:
             self.close()
 
     def _check_cancelled(self) -> None:
+        event = self.config.cancel_event
+        if event is not None and event.is_set():
+            self._cancelled = True
         if self._cancelled:
             raise SortCancelledError("external sort was cancelled")
 
@@ -669,7 +685,9 @@ class ExternalSortOperator:
             return None
         if self._parallel is None:
             self._parallel = ParallelSortExecutor(
-                self.config.num_workers, self.config.parallel_morsel_rows
+                self.config.num_workers,
+                self.config.parallel_morsel_rows,
+                cancel_check=self._check_cancelled,
             )
         return self._parallel.argsort(
             keys.matrix, keys.layout.key_width, self.stats
@@ -698,8 +716,11 @@ class ExternalSortOperator:
     @property
     def _run_threshold(self) -> int:
         # Reduced-memory degradation: once runs stay resident, cut them
-        # at half the configured threshold to curb buffer growth.
-        threshold = self.config.run_threshold
+        # at half the configured threshold to curb buffer growth.  The
+        # base threshold is the grant-shrunk live value
+        # (:func:`effective_run_threshold`), re-read per sink so a
+        # governor revoking bytes mid-query forces earlier spills.
+        threshold = effective_run_threshold(self.config)
         return max(1, threshold // 2) if self._degraded else threshold
 
     def sink(self, chunk: DataChunk) -> None:
@@ -713,6 +734,8 @@ class ExternalSortOperator:
         self._buffer.append(chunk)
         self._buffered_rows += len(chunk)
         if self._buffered_rows >= self._run_threshold:
+            if effective_run_threshold(self.config) < self.config.run_threshold:
+                self.stats.governor_forced_spills += 1
             self._spill_run()
 
     def _spill_targets(self) -> Iterator[str]:
@@ -759,6 +782,7 @@ class ExternalSortOperator:
     def _spill_run(self) -> None:
         if not self._buffer:
             return
+        self._check_cancelled()
         table = self._buffer[0].to_table()
         for chunk in self._buffer[1:]:
             table = table.concat(chunk.to_table())
@@ -1040,30 +1064,54 @@ class ExternalSortOperator:
         it) and returned -- the fan-in-limited merge stores intermediate
         runs through the same ladder.  Filenames come from a
         never-reused sequence counter, not the live run count, because
-        multi-pass merging shrinks the list while old files still exist.
+        multi-pass merging shrinks the list while old files still exist;
+        the per-operator random token keeps names collision-proof across
+        concurrent sorts sharing a spill directory.
+
+        A ``cancel()``/``close()`` that raced the write (e.g. a fault
+        hook firing mid-spill) is honored *after* the write: the fresh
+        file -- which ``close()`` could not have seen -- is removed here
+        and the sort raises :class:`SortCancelledError` instead of
+        tracking a run past its own cleanup.
         """
-        filename = f"run-{self._run_seq:05d}.bin"
+        filename = f"run-{self._spill_token}-{self._run_seq:05d}.bin"
         self._run_seq += 1
         path = None
-        if not self._degraded:
-            keys_bytes = sorted_keys.tobytes()
-            rows_bytes = sorted_rows.tobytes()
-            frames: dict[int, bytes] = {}
-            if self._compress and layout is not None:
-                frames[EXTRA_TAG_LAYOUT] = serialize_layout(layout)
-            if ovc is not None:
-                frames[EXTRA_TAG_OVC] = ovc.astype("<u2").tobytes()
-            header = build_header(
-                len(sorted_keys),
-                sorted_keys.shape[1],
-                sorted_rows.shape[1],
-                (keys_bytes, rows_bytes, heap),
-                extra=pack_extra(frames),
-            )
-            path = self._write_run_file(
-                filename, [header.pack(), keys_bytes, rows_bytes, heap]
-            )
+        self._spilling = True
+        try:
+            if not self._degraded:
+                keys_bytes = sorted_keys.tobytes()
+                rows_bytes = sorted_rows.tobytes()
+                frames: dict[int, bytes] = {}
+                if self._compress and layout is not None:
+                    frames[EXTRA_TAG_LAYOUT] = serialize_layout(layout)
+                if ovc is not None:
+                    frames[EXTRA_TAG_OVC] = ovc.astype("<u2").tobytes()
+                header = build_header(
+                    len(sorted_keys),
+                    sorted_keys.shape[1],
+                    sorted_rows.shape[1],
+                    (keys_bytes, rows_bytes, heap),
+                    extra=pack_extra(frames),
+                )
+                path = self._write_run_file(
+                    filename, [header.pack(), keys_bytes, rows_bytes, heap]
+                )
+        finally:
+            self._spilling = False
+        if self._cancelled or self._closed:
+            if path is not None:
+                self._remove_file(path)
+            self.close()
+            raise SortCancelledError("external sort was cancelled")
         if path is not None:
+            grant = self.config.memory_grant
+            if grant is not None:
+                try:
+                    nbytes = self._io.file_size(path)
+                except OSError:
+                    nbytes = 0
+                grant.record_spill(nbytes)
             run = SpilledRun(
                 path,
                 header,
@@ -1588,11 +1636,14 @@ class ExternalSortOperator:
         active = [run.on_disk for run in runs]
         if not any(active):
             return None
+        # The budget derives from the *live* (grant-shrunk) threshold,
+        # so a governor revoking memory also shrinks the read-ahead
+        # window the moment the next merge starts.
         budget = prefetch_budget_blocks(
             depth,
             sum(active),
             self.merge_block_rows,
-            self.config.run_threshold,
+            effective_run_threshold(self.config),
         )
 
         def key_fetch(index, start, stop, stats):
@@ -1616,6 +1667,7 @@ class ExternalSortOperator:
             depth,
             budget,
             self.stats,
+            cancel_event=self.config.cancel_event,
         )
 
     def _fetch_key_block(

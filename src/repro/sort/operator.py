@@ -28,7 +28,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.errors import SortError
+from repro.errors import SortCancelledError, SortError
 from repro.keys.compression import (
     KeyStatsAccumulator,
     plain_key_width,
@@ -55,7 +55,44 @@ from repro.types.datatypes import TypeId
 from repro.types.schema import Schema
 from repro.types.sortspec import SortSpec, compare_values
 
-__all__ = ["SortConfig", "SortStats", "SortedRun", "SortOperator", "sort_table"]
+__all__ = [
+    "SortConfig",
+    "SortStats",
+    "SortedRun",
+    "SortOperator",
+    "sort_table",
+    "effective_run_threshold",
+    "raise_if_cancelled",
+]
+
+
+def raise_if_cancelled(config: "SortConfig") -> None:
+    """Raise :class:`SortCancelledError` when the config's event is set.
+
+    The shared cooperative-cancellation checkpoint: every sort consumer
+    (in-memory operator, external operator, Top-N, prefetch scheduler,
+    parallel dispatch) calls this at its natural yield points.
+    """
+    event = config.cancel_event
+    if event is not None and event.is_set():
+        raise SortCancelledError("sort was cancelled")
+
+
+def effective_run_threshold(config: "SortConfig") -> int:
+    """The live run threshold: the configured one, shrunk by the grant.
+
+    Re-evaluated at every sink so a governor revoking grant bytes
+    mid-query takes effect at the next checkpoint -- the run is cut
+    (and spilled, on the external path) earlier than the static
+    configuration would have.
+    """
+    threshold = config.run_threshold
+    grant = config.memory_grant
+    if grant is not None:
+        threshold = max(
+            1, min(threshold, int(grant.effective_run_threshold(threshold)))
+        )
+    return threshold
 
 
 def _segmented_compare(raw_a, raw_b, layout, spec, fetch_a, fetch_b) -> int:
@@ -215,6 +252,29 @@ class SortConfig:
             runs reach the merge.  ``True`` forces replacement selection,
             ``False`` always cuts runs at the threshold (the argsort
             path).  Output is byte-identical either way.
+        cancel_event: cooperative cancellation flag (any object with an
+            ``is_set()`` method, typically a ``threading.Event``).  Both
+            sort operators poll it at their checkpoints -- sink, run
+            generation, every merge round, the external k-way merge's
+            round hook, prefetch scheduling, and parallel phase
+            dispatch -- and raise
+            :class:`repro.errors.SortCancelledError` when it is set, so
+            a query service can abort a sort from another thread
+            without reaching into operator internals.  Cleanup follows
+            the operator's normal failure paths (temp files removed,
+            prefetch pools joined, shared memory released).
+        memory_grant: per-operator memory grant from a global governor
+            (any object with ``effective_run_threshold(base_rows)`` and
+            ``record_spill(nbytes)``, see
+            :class:`repro.service.governor.MemoryGrant`).  The operator
+            treats ``min(run_threshold, grant.effective_run_threshold(
+            run_threshold))`` as its live run threshold, re-read at
+            every sink -- so a governor shrinking the grant under
+            memory pressure forces runs (and the prefetch budget
+            derived from the threshold) to shrink mid-query, spilling
+            earlier via the existing degradation ladder.
+            ``SortStats.governor_forced_spills`` counts runs cut below
+            the configured threshold because of the grant.
         merge_fan_in: maximum runs merged per k-way pass of the external
             sort.  ``0`` (default) merges all runs in one pass.  With a
             limit, excess runs are first combined in intermediate passes
@@ -246,6 +306,8 @@ class SortConfig:
     prefetch_blocks: int = 1
     replacement_selection: bool | None = None
     merge_fan_in: int = 0
+    cancel_event: object | None = field(default=None, compare=False)
+    memory_grant: object | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.run_threshold <= 0:
@@ -348,6 +410,10 @@ class SortStats:
     presortedness in [0, 1] (-1 before any probe ran).
     ``merge_passes`` counts k-way merge passes over the data
     (1 unless ``SortConfig.merge_fan_in`` forces intermediate passes).
+    ``governor_forced_spills`` counts runs cut below the configured
+    ``run_threshold`` because a shrinking memory grant
+    (``SortConfig.memory_grant``) lowered the live threshold -- the
+    governor forcing an early spill.
     """
 
     rows_sorted: int = 0
@@ -395,6 +461,7 @@ class SortStats:
     rungen_path: str = ""
     rungen_probe: float = -1.0
     merge_passes: int = 0
+    governor_forced_spills: int = 0
 
     def record_vector_sort(self, path: str, reason: str) -> None:
         self.vector_sort_paths[path] = self.vector_sort_paths.get(path, 0) + 1
@@ -501,7 +568,9 @@ class SortOperator:
             return None
         if self._parallel is None:
             self._parallel = ParallelSortExecutor(
-                self.config.num_workers, self.config.parallel_morsel_rows
+                self.config.num_workers,
+                self.config.parallel_morsel_rows,
+                cancel_check=lambda: raise_if_cancelled(self.config),
             )
         return self._parallel
 
@@ -523,11 +592,15 @@ class SortOperator:
                 f"chunk schema {chunk.schema.names} does not match "
                 f"operator schema {self.schema.names}"
             )
+        raise_if_cancelled(self.config)
         if len(chunk) == 0:
             return
         self._buffer.append(chunk)
         self._buffered_rows += len(chunk)
-        if self._buffered_rows >= self.config.run_threshold:
+        threshold = effective_run_threshold(self.config)
+        if self._buffered_rows >= threshold:
+            if threshold < self.config.run_threshold:
+                self.stats.governor_forced_spills += 1
             self._generate_run()
 
     # ------------------------------------------------------------------ #
@@ -564,6 +637,7 @@ class SortOperator:
     def _generate_run(self) -> None:
         if not self._buffer:
             return
+        raise_if_cancelled(self.config)
         table = self._buffer[0].to_table()
         for chunk in self._buffer[1:]:
             table = table.concat(chunk.to_table())
@@ -901,6 +975,7 @@ class SortOperator:
                 self.stats.key_width_used = final_layout.key_width
             with self.stats.time_phase("merge"):
                 while len(runs) > 1:
+                    raise_if_cancelled(self.config)
                     self.stats.merge_rounds += 1
                     merged = []
                     for i in range(0, len(runs) - 1, 2):

@@ -265,6 +265,7 @@ class ParallelSortExecutor:
         self,
         num_workers: int,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
+        cancel_check=None,
     ) -> None:
         if num_workers < 1:
             raise SortError("num_workers must be at least 1")
@@ -272,6 +273,7 @@ class ParallelSortExecutor:
             raise SortError("morsel_rows must be at least 1")
         self.num_workers = num_workers
         self.morsel_rows = morsel_rows
+        self.cancel_check = cancel_check
         self._pool = None
         self._unavailable = not parallel_platform_supported()
         self._segments: list = []
@@ -360,7 +362,14 @@ class ParallelSortExecutor:
     # ------------------------------------------------------------------ #
 
     def _run_phase(self, name: str, worker, tasks: list, rows: list[int]):
-        """map() one batch of tasks over the pool, recording its schedule."""
+        """map() one batch of tasks over the pool, recording its schedule.
+
+        ``cancel_check`` runs before every dispatch: a cancelled sort
+        stops between phases (never mid-map), so the caller's ``finally``
+        still releases the shared segments and the pool stays reusable.
+        """
+        if self.cancel_check is not None:
+            self.cancel_check()
         phase = ParallelPhase(name)
         phase.task_rows = list(rows)
         began = time.perf_counter()

@@ -157,6 +157,7 @@ class BlockPrefetcher:
         depth: int,
         budget_blocks: int,
         stats: SortStats,
+        cancel_event: object | None = None,
     ) -> None:
         self._block_rows = block_rows
         self._key_fetch = key_fetch
@@ -164,6 +165,7 @@ class BlockPrefetcher:
         self._depth = max(1, depth)
         self._budget = budget_blocks
         self._stats = stats
+        self._cancel_event = cancel_event
         self._runs = [
             _RunState(active[i], num_rows[i], block_rows)
             for i in range(len(num_rows))
@@ -335,6 +337,12 @@ class BlockPrefetcher:
 
     def _schedule(self) -> None:
         if self._closed or self._pool is None:
+            return
+        # A cancelled sort schedules nothing further: the merge raises
+        # at its next checkpoint and the closing pool should not be
+        # racing new reads against the spill files' removal.
+        event = self._cancel_event
+        if event is not None and event.is_set():
             return
         while self._buffered_blocks() < self._budget:
             choice = self._pick()

@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.errors import SortError
 from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
+from repro.sort.operator import SortConfig, raise_if_cancelled
 from repro.table.chunk import DataChunk, chunk_table
 from repro.table.table import Table
 from repro.types.schema import Schema
@@ -70,6 +71,7 @@ class TopNOperator:
         spec: SortSpec,
         limit: int,
         offset: int = 0,
+        config: SortConfig | None = None,
     ) -> None:
         if limit < 0 or offset < 0:
             raise SortError("limit and offset must be non-negative")
@@ -77,6 +79,7 @@ class TopNOperator:
         self.spec = spec
         self.limit = limit
         self.offset = offset
+        self.config = config or SortConfig()
         self._capacity = limit + offset
         self._heap: list[_HeapEntry] = []
         self._seen = 0
@@ -84,6 +87,7 @@ class TopNOperator:
 
     def sink(self, chunk: DataChunk) -> None:
         """Offer one vector batch; keeps at most limit+offset best rows."""
+        raise_if_cancelled(self.config)
         if len(chunk) == 0 or self._capacity == 0:
             self._seen += len(chunk)
             return
@@ -112,6 +116,7 @@ class TopNOperator:
 
     def finalize(self) -> Table:
         """The LIMIT rows after OFFSET, in sorted order."""
+        raise_if_cancelled(self.config)
         ordered = sorted(
             self._heap,
             key=functools.cmp_to_key(

@@ -61,15 +61,19 @@ def reference_sort(table: Table, spec: SortSpec) -> Table:
 
 @pytest.fixture(autouse=True, scope="session")
 def no_resource_leaks():
-    """Session guard: tests must not leak spill dirs or shared memory.
+    """Session guard: tests must not leak spill dirs, shm, or threads.
 
     Any ``repro-spill-*`` directory under the system temp root or
     ``repro-sort-*`` POSIX shared-memory segment created during the run
     and still present at teardown is a cleanup bug in an operator (or a
-    test that bypassed ``tmp_path``), so the whole session fails.
+    test that bypassed ``tmp_path``), so the whole session fails.  The
+    same goes for background threads: every ``repro-service-*`` worker
+    or deadline timer and every ``spill-prefetch-*`` pool thread must
+    have been joined by the service/operator that started it.
     """
     import glob
     import tempfile
+    import threading
 
     spill_pattern = os.path.join(tempfile.gettempdir(), "repro-spill-*")
     shm_pattern = "/dev/shm/repro-sort-*"
@@ -78,3 +82,11 @@ def no_resource_leaks():
     after = set(glob.glob(spill_pattern)) | set(glob.glob(shm_pattern))
     leaked = sorted(after - before)
     assert not leaked, f"tests leaked spill/shared-memory resources: {leaked}"
+    leaked_threads = sorted(
+        thread.name
+        for thread in threading.enumerate()
+        if thread.name.startswith(("repro-service", "spill-prefetch"))
+    )
+    assert not leaked_threads, (
+        f"tests leaked background threads: {leaked_threads}"
+    )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 
 import numpy as np
@@ -391,6 +392,63 @@ class TestLifecycleAndCleanup:
         assert state["merge_reads"] >= 4
         assert_no_spill_files(tmp_path)
 
+    def test_cancel_at_every_op_index(self, rng, tmp_path):
+        """Cancel fired before *every* spill I/O op never leaks a file.
+
+        The injection hook drives ``operator.cancel()`` at one global op
+        index per trial, sweeping every index a fault-free run performs:
+        writes (mid run generation), reads (mid merge, including on
+        prefetch pool threads) and removes (mid cleanup).  Whatever the
+        index, the sort either raises :class:`SortCancelledError` or --
+        when the cancel lands after the last checkpoint -- completes
+        byte-identical; either way zero temp files and zero prefetch
+        threads survive.
+        """
+        table = mixed_table(rng, 1200)
+        config = fast_config(run_threshold=400, prefetch_blocks=2)
+
+        # Fault-free pass: learn the op schedule and the expected bytes.
+        ops = []
+        baseline_io = FaultInjector(
+            on_op=lambda op, path, index: ops.append(op)
+        )
+        baseline_dir = tmp_path / "baseline"
+        baseline_dir.mkdir()
+        operator = build_operator(
+            table, baseline_dir, io=baseline_io, config=config
+        )
+        expected = run_sort(operator, table)
+        assert len(ops) >= 10
+
+        for cancel_at in range(len(ops)):
+            state = {"operator": None, "count": 0}
+
+            def on_op(op, path, index):
+                state["count"] += 1
+                if state["count"] == cancel_at + 1:
+                    state["operator"].cancel()
+
+            injector = FaultInjector(on_op=on_op)
+            spill_dir = tmp_path / f"cancel-{cancel_at}"
+            spill_dir.mkdir()
+            operator = build_operator(
+                table, spill_dir, io=injector, config=config
+            )
+            state["operator"] = operator
+            try:
+                result = run_sort(operator, table)
+            except SortCancelledError:
+                pass
+            else:
+                assert_byte_identical(result, expected)
+            leaked = [
+                thread.name
+                for thread in threading.enumerate()
+                if thread.name.startswith("spill-prefetch")
+            ]
+            assert not leaked, (cancel_at, leaked)
+            assert_no_spill_files(spill_dir), cancel_at
+
     def test_cleanup_errors_recorded_not_swallowed(self, rng, tmp_path):
         table = mixed_table(rng, 2000)
         injector = FaultInjector(
@@ -401,7 +459,7 @@ class TestLifecycleAndCleanup:
             result = run_sort(operator, table)
         assert_byte_identical(result, expected_result(table))
         assert len(operator.stats.cleanup_errors) == 1
-        assert "run-00000" in operator.stats.cleanup_errors[0]
+        assert "-00000.bin" in operator.stats.cleanup_errors[0]
         # The one file whose removal failed is still there; the rest went.
         leftovers = os.listdir(tmp_path)
         assert len(leftovers) == 1

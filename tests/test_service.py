@@ -1,0 +1,674 @@
+"""The concurrent query service: governor, admission, cancellation, cache.
+
+The acceptance bar mirrors the robustness posture of the service layer:
+under a memory budget sized for two queries, eight concurrent external
+sorts must all complete byte-identical to their serial runs with the
+governor's forced spills visible in stats; a deliberately overloaded
+service must reject or shed with typed errors instead of OOMing or
+deadlocking; and no outcome -- completion, cancellation, timeout,
+shedding -- may leak a grant, a spill file, or a thread.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import tempfile
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from test_external_kway import assert_byte_identical, mixed_table
+from repro.engine import Database
+from repro.errors import (
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceShutdownError,
+    SortCancelledError,
+)
+from repro.service import (
+    MemoryGovernor,
+    Priority,
+    ResultCache,
+    SortService,
+)
+from repro.sort.operator import SortConfig
+from repro.table.table import Table
+
+
+def spill_dirs() -> set:
+    return set(glob.glob(os.path.join(tempfile.gettempdir(), "repro-spill-*")))
+
+
+def service_threads() -> list:
+    return [
+        thread.name
+        for thread in threading.enumerate()
+        if thread.name.startswith(("repro-service", "spill-prefetch"))
+    ]
+
+
+def int_table(rng, n: int) -> Table:
+    return Table.from_pydict(
+        {
+            "a": [int(v) for v in rng.integers(0, 10_000, n)],
+            "b": [int(v) for v in rng.integers(0, 50, n)],
+            "seq": list(range(n)),
+        }
+    )
+
+
+class GatedDatabase(Database):
+    """A database whose query execution blocks until a gate opens.
+
+    Lets admission tests fill the queue deterministically: the single
+    worker parks inside ``execute_bound`` while the test submits, then
+    the gate opens and everything drains.
+    """
+
+    def __init__(self, sort_config=None):
+        super().__init__(sort_config)
+        self.gate = threading.Event()
+        self.entered = threading.Event()  # set once a worker reaches the gate
+
+    def execute_bound(self, logical, sort_config=None):
+        self.entered.set()
+        self.gate.wait(timeout=30)
+        return super().execute_bound(logical, sort_config)
+
+
+# --------------------------------------------------------------------- #
+# Governor unit tests
+# --------------------------------------------------------------------- #
+
+
+class TestMemoryGovernor:
+    def test_single_grant_gets_full_budget(self):
+        governor = MemoryGovernor(1 << 20, min_grant_bytes=64 << 10)
+        with governor.acquire("q1") as grant:
+            assert grant.granted_bytes == 1 << 20
+        assert governor.active_grants == 0
+
+    def test_admission_revokes_fair_shares(self):
+        governor = MemoryGovernor(1 << 20, min_grant_bytes=64 << 10)
+        first = governor.acquire("q1")
+        assert first.granted_bytes == 1 << 20
+        second = governor.acquire("q2")
+        # Admitting q2 shrank q1's grant in place: a revocation.
+        assert first.granted_bytes == (1 << 20) // 2
+        assert second.granted_bytes == (1 << 20) // 2
+        assert governor.stats.revocations >= 1
+        second.release()
+        # Shares regrow when a peer leaves.
+        assert first.granted_bytes == 1 << 20
+        first.release()
+
+    def test_grant_to_rows_translation(self):
+        governor = MemoryGovernor(1 << 20, row_bytes=64)
+        with governor.acquire("q1") as grant:
+            assert grant.effective_run_threshold(10 ** 9) == (1 << 20) // 64
+            # Capped at the configured base, floored at one row.
+            assert grant.effective_run_threshold(100) == 100
+            grant.granted_bytes = 0
+            assert grant.effective_run_threshold(100) == 1
+
+    def test_acquire_blocks_then_times_out_typed(self):
+        governor = MemoryGovernor(128 << 10, min_grant_bytes=128 << 10)
+        assert governor.max_active == 1
+        holder = governor.acquire("q1")
+        starved = []
+        with pytest.raises(ServiceOverloadError) as info:
+            governor.acquire(
+                "q2", timeout_s=0.15, on_starved=lambda: starved.append(1)
+            )
+        assert info.value.retry_after_s > 0
+        assert len(starved) >= 1  # fired on every wait slice
+        assert governor.stats.grant_timeouts == 1
+        assert governor.stats.grant_waits == 1  # one acquire, counted once
+        holder.release()
+        # The budget is free again: acquire succeeds immediately.
+        governor.acquire("q3", timeout_s=0.1).release()
+
+    def test_release_unblocks_waiter(self):
+        governor = MemoryGovernor(128 << 10, min_grant_bytes=128 << 10)
+        holder = governor.acquire("q1")
+        got = []
+
+        def waiter():
+            grant = governor.acquire("q2", timeout_s=5.0)
+            got.append(grant)
+            grant.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        holder.release()
+        thread.join(timeout=5)
+        assert len(got) == 1
+        assert governor.stats.grant_wait_s > 0
+
+    def test_spill_accounting_high_watermark(self):
+        governor = MemoryGovernor(1 << 20)
+        first = governor.acquire("q1")
+        second = governor.acquire("q2")
+        first.record_spill(1000)
+        second.record_spill(500)
+        assert governor.concurrent_spill_bytes == 1500
+        first.release()
+        assert governor.concurrent_spill_bytes == 500
+        second.record_spill(200)
+        second.release()
+        assert governor.concurrent_spill_bytes == 0
+        assert governor.stats.peak_concurrent_spill_bytes == 1500
+
+    def test_release_is_idempotent(self):
+        governor = MemoryGovernor(1 << 20)
+        grant = governor.acquire("q1")
+        grant.release()
+        grant.release()
+        assert governor.active_grants == 0
+        assert governor.stats.grants_issued == 1
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ServiceError):
+            MemoryGovernor(0)
+
+
+# --------------------------------------------------------------------- #
+# Result cache unit tests
+# --------------------------------------------------------------------- #
+
+
+class TestResultCache:
+    def test_key_normalizes_whitespace(self):
+        versions = (("t", 1),)
+        assert ResultCache.key(
+            "SELECT  *\nFROM t   ORDER BY a", versions
+        ) == ResultCache.key("SELECT * FROM t ORDER BY a", versions)
+
+    def test_version_bump_changes_key(self):
+        assert ResultCache.key("q", (("t", 1),)) != ResultCache.key(
+            "q", (("t", 2),)
+        )
+
+    def test_lru_eviction(self, rng):
+        cache = ResultCache(capacity=2)
+        tables = [int_table(rng, 4) for _ in range(3)]
+        keys = [ResultCache.key(f"q{i}", ()) for i in range(3)]
+        cache.put(keys[0], tables[0])
+        cache.put(keys[1], tables[1])
+        assert cache.get(keys[0]) is tables[0]  # refresh key 0
+        cache.put(keys[2], tables[2])  # evicts key 1, the LRU
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is tables[0]
+        assert cache.get(keys[2]) is tables[2]
+        assert cache.hits == 3 and cache.misses == 1
+
+    def test_zero_capacity_disables(self, rng):
+        cache = ResultCache(capacity=0)
+        key = ResultCache.key("q", ())
+        cache.put(key, int_table(rng, 2))
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+
+# --------------------------------------------------------------------- #
+# Service basics: results, cache wiring, lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestServiceBasics:
+    def test_matches_serial_execution(self, rng):
+        db = Database()
+        db.register("t", int_table(rng, 3000))
+        expected = db.execute("SELECT * FROM t ORDER BY a, seq")
+        with SortService(db, memory_budget=4 << 20, workers=2) as service:
+            result = service.execute("SELECT * FROM t ORDER BY a, seq")
+        assert_byte_identical(result, expected)
+
+    def test_topn_and_group_by_run_through_service(self, rng):
+        db = Database()
+        db.register("t", int_table(rng, 3000))
+        with SortService(db, memory_budget=4 << 20, workers=2) as service:
+            topn = service.execute(
+                "SELECT a, seq FROM t ORDER BY a DESC LIMIT 7"
+            )
+            grouped = service.execute(
+                "SELECT b, count(*) FROM t GROUP BY b"
+            )
+        assert topn.num_rows == 7
+        assert grouped.num_rows == 50
+
+    def test_cache_hit_and_invalidation_on_register(self, rng):
+        db = Database()
+        db.register("t", int_table(rng, 2000))
+        sql = "SELECT * FROM t ORDER BY a, seq"
+        with SortService(db, memory_budget=4 << 20, workers=2) as service:
+            first = service.submit(sql)
+            first.result(timeout=30)
+            assert not first.from_cache
+            again = service.submit("SELECT  *  FROM t ORDER BY a, seq")
+            again.result(timeout=30)
+            assert again.from_cache  # whitespace-normalized key matched
+            assert again.result(timeout=1) is first.result(timeout=1)
+
+            # A write bumps the table version: the cached entry's key is
+            # never asked for again.
+            replacement = int_table(rng, 500)
+            db.register("t", replacement)
+            fresh = service.submit(sql)
+            result = fresh.result(timeout=30)
+            assert not fresh.from_cache
+            assert result.num_rows == 500
+            stats = service.stats
+            assert stats.cache_hits == 1
+            assert stats.cache_misses == 2
+
+    def test_shutdown_fails_queued_and_refuses_new(self, rng):
+        db = GatedDatabase()
+        db.register("t", int_table(rng, 100))
+        service = SortService(
+            db, memory_budget=4 << 20, workers=1, queue_limit=8
+        )
+        running = service.submit("SELECT * FROM t ORDER BY a")
+        assert db.entered.wait(5)  # the worker holds it at the gate
+        queued = [
+            service.submit("SELECT * FROM t ORDER BY seq") for _ in range(3)
+        ]
+        db.gate.set()
+        service.shutdown()
+        running.result(timeout=30)  # the in-flight query still finishes
+        for ticket in queued[-2:]:  # the tail of the queue never ran
+            if ticket.exception() is not None:
+                assert isinstance(ticket.exception(), ServiceShutdownError)
+        with pytest.raises(ServiceShutdownError):
+            service.submit("SELECT * FROM t ORDER BY a")
+        assert not service_threads()
+
+    def test_result_timeout_is_typed(self, rng):
+        db = GatedDatabase()
+        db.register("t", int_table(rng, 100))
+        with SortService(db, memory_budget=4 << 20, workers=1) as service:
+            ticket = service.submit("SELECT * FROM t ORDER BY a")
+            with pytest.raises(ServiceError):
+                ticket.result(timeout=0.05)
+            db.gate.set()
+            ticket.result(timeout=30)
+
+
+# --------------------------------------------------------------------- #
+# Admission control, shedding, deadlines, cancellation
+# --------------------------------------------------------------------- #
+
+
+class TestAdmissionAndCancellation:
+    def test_full_queue_rejects_with_retry_after(self, rng):
+        db = GatedDatabase()
+        db.register("t", int_table(rng, 100))
+        with SortService(
+            db, memory_budget=4 << 20, workers=1, queue_limit=2
+        ) as service:
+            tickets = [service.submit("SELECT * FROM t ORDER BY a")]
+            assert db.entered.wait(5)  # worker parked; queue is empty
+            # Worker holds ticket 0 at the gate; two more fill the queue.
+            tickets += [
+                service.submit("SELECT * FROM t ORDER BY seq"),
+                service.submit("SELECT * FROM t ORDER BY a DESC"),
+            ]
+            with pytest.raises(ServiceOverloadError) as info:
+                service.submit("SELECT * FROM t ORDER BY b")
+            assert info.value.retry_after_s > 0
+            assert not info.value.shed
+            db.gate.set()
+            for ticket in tickets:
+                ticket.result(timeout=30)
+            stats = service.stats
+        assert stats.rejected == 1
+        assert stats.admitted == 3
+        assert stats.queue_peak == 2
+
+    def test_high_priority_sheds_queued_low(self, rng):
+        db = GatedDatabase()
+        db.register("t", int_table(rng, 100))
+        with SortService(
+            db, memory_budget=4 << 20, workers=1, queue_limit=2
+        ) as service:
+            service.submit("SELECT * FROM t ORDER BY a")  # parks at gate
+            assert db.entered.wait(5)
+            low = [
+                service.submit(
+                    "SELECT * FROM t ORDER BY seq", Priority.LOW
+                ),
+                service.submit(
+                    "SELECT * FROM t ORDER BY a DESC", Priority.LOW
+                ),
+            ]
+            high = service.submit(
+                "SELECT * FROM t ORDER BY b", Priority.HIGH
+            )
+            # The *newest* LOW ticket was evicted, completed shed.
+            error = low[1].exception(timeout=5)
+            assert isinstance(error, ServiceOverloadError)
+            assert error.shed
+            # A second HIGH evicts the remaining LOW the same way...
+            high2 = service.submit(
+                "SELECT * FROM t ORDER BY b DESC", Priority.HIGH
+            )
+            assert low[0].exception(timeout=5).shed
+            # ...but with only HIGH work queued, an equal-priority
+            # newcomer is rejected, not shed.
+            with pytest.raises(ServiceOverloadError) as info:
+                service.submit("SELECT * FROM t ORDER BY b", Priority.HIGH)
+            assert not info.value.shed
+            db.gate.set()
+            high.result(timeout=30)
+            high2.result(timeout=30)
+            assert service.stats.shed == 2
+
+    def test_worker_prefers_high_priority(self, rng):
+        db = GatedDatabase()
+        db.register("t", int_table(rng, 100))
+        with SortService(
+            db, memory_budget=4 << 20, workers=1, queue_limit=8
+        ) as service:
+            service.submit("SELECT * FROM t ORDER BY a")  # parks at gate
+            assert db.entered.wait(5)
+            low = service.submit("SELECT * FROM t ORDER BY seq", Priority.LOW)
+            high = service.submit("SELECT * FROM t ORDER BY b", Priority.HIGH)
+            order = []
+            for name, ticket in (("low", low), ("high", high)):
+                original = ticket._complete
+                ticket._complete = (
+                    lambda result, _name=name, _orig=original: (
+                        order.append(_name),
+                        _orig(result),
+                    )[1]
+                )
+            db.gate.set()
+            low.result(timeout=30)
+            high.result(timeout=30)
+            # The single worker drained HIGH first despite LOW being
+            # submitted earlier.
+            assert order == ["high", "low"]
+
+    def test_cancel_queued_ticket_never_runs(self, rng):
+        db = GatedDatabase()
+        db.register("t", int_table(rng, 100))
+        with SortService(
+            db, memory_budget=4 << 20, workers=1, queue_limit=8
+        ) as service:
+            service.submit("SELECT * FROM t ORDER BY a")  # parks at gate
+            assert db.entered.wait(5)
+            victim = service.submit("SELECT * FROM t ORDER BY seq")
+            victim.cancel()
+            db.gate.set()
+            with pytest.raises(SortCancelledError):
+                victim.result(timeout=30)
+            assert service.stats.cancelled == 1
+
+    def test_cancel_mid_external_sort_leaves_no_spill_files(self, rng):
+        before = spill_dirs()
+        db = Database(
+            sort_config=SortConfig(external=True, run_threshold=1000)
+        )
+        db.register("t", mixed_table(rng, 60_000))
+        with SortService(
+            db, memory_budget=64 << 20, workers=1, cache_capacity=0
+        ) as service:
+            ticket = service.submit("SELECT * FROM t ORDER BY a, s, seq")
+            time.sleep(0.05)
+            ticket.cancel()
+            with pytest.raises(SortCancelledError):
+                ticket.result(timeout=30)
+            assert service.stats.cancelled == 1
+        assert service.governor.active_grants == 0
+        assert spill_dirs() == before
+
+    def test_deadline_expiry_is_a_timeout_error(self, rng):
+        db = GatedDatabase(
+            sort_config=SortConfig(external=True, run_threshold=1000)
+        )
+        db.register("t", int_table(rng, 100))
+        with SortService(db, memory_budget=4 << 20, workers=1) as service:
+            blocker = service.submit("SELECT * FROM t ORDER BY a")
+            assert db.entered.wait(5)
+            doomed = service.submit(
+                "SELECT * FROM t ORDER BY seq", deadline_s=0.01
+            )
+            time.sleep(0.05)  # the deadline passes while doomed is queued
+            db.gate.set()
+            blocker.result(timeout=30)
+            with pytest.raises(QueryTimeoutError):
+                doomed.result(timeout=30)
+            assert service.stats.timed_out == 1
+        assert not service_threads()
+
+    def test_governor_starvation_sheds_queued_low_work(self, rng):
+        # Budget fits exactly one grant and the sole holder parks at the
+        # gate, so the second worker's acquire starves; the on_starved
+        # hook must shed the queued LOW ticket with a typed error.
+        db = GatedDatabase()
+        db.register("t", int_table(rng, 100))
+        with SortService(
+            db,
+            memory_budget=128 << 10,
+            min_grant_bytes=128 << 10,
+            workers=2,
+            queue_limit=8,
+            admission_timeout_s=5.0,
+        ) as service:
+            first = service.submit("SELECT * FROM t ORDER BY a")
+            assert db.entered.wait(5)  # the sole grant is now held
+            second = service.submit("SELECT * FROM t ORDER BY seq")
+            low = service.submit("SELECT * FROM t ORDER BY b", Priority.LOW)
+            error = low.exception(timeout=10)
+            assert isinstance(error, ServiceOverloadError)
+            assert error.shed
+            db.gate.set()
+            first.result(timeout=30)
+            second.result(timeout=30)
+            assert service.stats.shed == 1
+            assert service.stats.grant_waits >= 1
+
+
+# --------------------------------------------------------------------- #
+# Acceptance scenarios
+# --------------------------------------------------------------------- #
+
+
+class TestAcceptanceScenarios:
+    def test_eight_sorts_under_budget_for_two(self, rng):
+        """The ISSUE's headline scenario, executed literally.
+
+        The budget admits two minimum grants; eight concurrent external
+        sorts must all finish byte-identical to their serial runs, with
+        the governor's revocations and forced early spills visible in
+        stats, every grant returned, and zero spill files left behind.
+        """
+        before = spill_dirs()
+        config = SortConfig(external=True, run_threshold=8192)
+        db = Database(sort_config=config)
+        queries = []
+        for i in range(8):
+            db.register(f"t{i}", mixed_table(rng, 12_000))
+            queries.append(f"SELECT * FROM t{i} ORDER BY a, s DESC, seq")
+        expected = {sql: db.execute(sql) for sql in queries}
+
+        budget = 256 << 10
+        with SortService(
+            db,
+            memory_budget=budget,
+            min_grant_bytes=budget // 2,  # sized for exactly two queries
+            workers=8,
+            cache_capacity=0,
+            admission_timeout_s=60.0,
+        ) as service:
+            tickets = [service.submit(sql) for sql in queries]
+            for sql, ticket in zip(queries, tickets):
+                assert_byte_identical(ticket.result(timeout=120), expected[sql])
+                # Each query really sorted (no cache) and really spilled.
+                assert not ticket.from_cache
+                assert sum(
+                    stats.runs_generated for stats in ticket.sort_stats
+                ) > 2
+            stats = service.stats
+
+        assert stats.completed == 8
+        assert stats.failed == 0
+        # Two grants max, so six of eight queries waited their turn...
+        assert stats.peak_active_grants == 2
+        assert stats.grant_waits >= 1
+        # ...and every admission shrank someone: with half the budget a
+        # grant covers 2048 rows against the 8192-row threshold, so the
+        # governor forced runs to cut (and spill) early.
+        assert stats.governor_forced_spills > 0
+        assert stats.peak_concurrent_spill_bytes > 0
+        assert service.governor.active_grants == 0
+        assert service.governor.concurrent_spill_bytes == 0
+        assert spill_dirs() == before
+        assert not service_threads()
+
+    def test_overload_degrades_typed_not_oom(self, rng):
+        """Deliberate overload: every outcome is a typed error or a result."""
+        db = Database(
+            sort_config=SortConfig(external=True, run_threshold=2000)
+        )
+        db.register("t", mixed_table(rng, 30_000))
+        outcomes = {"ok": 0, "rejected": 0, "shed": 0}
+        with SortService(
+            db,
+            memory_budget=256 << 10,
+            workers=2,
+            queue_limit=2,
+            cache_capacity=0,
+        ) as service:
+            tickets = []
+            for i in range(12):
+                priority = [Priority.LOW, Priority.NORMAL, Priority.HIGH][
+                    i % 3
+                ]
+                try:
+                    tickets.append(
+                        (
+                            service.submit(
+                                f"SELECT * FROM t ORDER BY a, seq OFFSET {i}",
+                                priority,
+                            )
+                        )
+                    )
+                except ServiceOverloadError as error:
+                    assert error.retry_after_s > 0
+                    outcomes["rejected"] += 1
+            for ticket in tickets:
+                try:
+                    ticket.result(timeout=120)
+                    outcomes["ok"] += 1
+                except ServiceOverloadError as error:
+                    assert error.shed
+                    outcomes["shed"] += 1
+            stats = service.stats
+        # Overload produced typed pushback, and whatever was admitted ran
+        # to completion -- nothing hung, nothing died untyped.
+        assert outcomes["rejected"] + outcomes["shed"] > 0
+        assert outcomes["ok"] == stats.completed > 0
+        assert stats.rejected == outcomes["rejected"]
+        assert stats.shed == outcomes["shed"]
+        assert service.governor.active_grants == 0
+
+
+# --------------------------------------------------------------------- #
+# Randomized concurrent stress
+# --------------------------------------------------------------------- #
+
+
+class TestConcurrentStress:
+    def test_randomized_mixed_workload(self, rng):
+        """N submitter threads, mixed queries, cancels, tight budget.
+
+        Every ticket must land in exactly one bucket -- byte-identical
+        result, typed overload/timeout, or cancellation -- and the
+        session-level invariants (grants returned, no spill files, no
+        threads) must hold afterwards.
+        """
+        before = spill_dirs()
+        config = SortConfig(external=True, run_threshold=1500)
+        db = Database(sort_config=config)
+        db.register("u", mixed_table(rng, 6000))
+        db.register("v", int_table(rng, 6000))
+        queries = [
+            "SELECT * FROM u ORDER BY a, s, seq",
+            "SELECT * FROM u ORDER BY s DESC NULLS FIRST, seq",
+            "SELECT * FROM u ORDER BY f DESC, a, seq",
+            "SELECT a, seq FROM u ORDER BY a DESC LIMIT 25",
+            "SELECT * FROM v ORDER BY a, seq",
+            "SELECT * FROM v ORDER BY b DESC, seq",
+            "SELECT seq FROM v ORDER BY a LIMIT 10 OFFSET 5",
+            "SELECT b, count(*) FROM v GROUP BY b",
+        ]
+        expected = {sql: db.execute(sql) for sql in queries}
+
+        service = SortService(
+            db,
+            memory_budget=192 << 10,
+            min_grant_bytes=64 << 10,
+            workers=6,
+            queue_limit=6,
+            cache_capacity=4,
+            admission_timeout_s=60.0,
+        )
+        results: list[tuple[str, object]] = []
+        results_lock = threading.Lock()
+
+        def submitter(worker_id: int) -> None:
+            local = np.random.default_rng(1000 + worker_id)
+            for _ in range(12):
+                sql = queries[int(local.integers(len(queries)))]
+                priority = Priority(int(local.integers(3)))
+                try:
+                    ticket = service.submit(sql, priority)
+                except ServiceOverloadError as error:
+                    assert error.retry_after_s > 0
+                    continue
+                if local.random() < 0.2:
+                    time.sleep(float(local.random()) * 0.01)
+                    ticket.cancel()
+                with results_lock:
+                    results.append((sql, ticket))
+
+        threads = [
+            threading.Thread(target=submitter, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+
+        outcomes = {"ok": 0, "cached": 0, "cancelled": 0, "shed": 0}
+        for sql, ticket in results:
+            try:
+                result = ticket.result(timeout=120)
+            except SortCancelledError:
+                outcomes["cancelled"] += 1
+            except ServiceOverloadError as error:
+                assert error.shed
+                outcomes["shed"] += 1
+            else:
+                assert_byte_identical(result, expected[sql])
+                outcomes["ok"] += 1
+                if ticket.from_cache:
+                    outcomes["cached"] += 1
+        service.shutdown()
+
+        assert outcomes["ok"] > 0
+        stats = service.stats
+        assert stats.completed == outcomes["ok"]
+        assert stats.cancelled == outcomes["cancelled"]
+        assert stats.failed == 0
+        assert service.governor.active_grants == 0
+        assert service.governor.concurrent_spill_bytes == 0
+        assert spill_dirs() == before
+        assert not service_threads()
