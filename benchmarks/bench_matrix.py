@@ -1,0 +1,365 @@
+"""Scenario x sort-path benchmark matrix; writes BENCH_matrix.json.
+
+Sweeps every scenario in the catalog (:mod:`repro.workloads.scenarios`)
+across every sort path the repo grew -- in-memory multi-run, external
+spilling, streaming Top-N, multi-core parallel, the concurrent query
+service, and the incremental (maintained-view) sorter -- and records one
+cell per (scenario, path):
+
+* wall-clock seconds and rows/s (best of ``REPS`` measured runs, so a
+  single scheduler hiccup does not poison the recorded artifact);
+* the heuristic dispatch decisions that run actually made
+  (``vector_sort_paths`` / ``vector_sort_reasons`` per generated run,
+  the external ``rungen_path`` + presortedness probe, the chosen
+  algorithm) -- these are **deterministic** for a given (rows, seed),
+  which is what lets ``benchmarks/regress.py`` gate on them;
+* the run-length histogram summary, merge passes, k-way rounds, and the
+  degradation/spill counters.
+
+Every cell's output is asserted **byte-identical** to the scalar oracle
+(``SortConfig(use_vector_kernels=False)`` -- the row-at-a-time reference
+path) before its timing is recorded; the Top-N cell compares against the
+oracle's ``[offset, offset+limit)`` slice.  A cell that diverges raises
+with the scenario name, path, rows, and seed in the message.
+
+The recorded ``BENCH_matrix.json`` at the repository root is the
+committed trajectory baseline: CI re-runs this script at the same
+(rows, seed) and ``regress.py`` fails the build on a >15% normalized
+hot-path slowdown or a dispatch-path flip that arrives without an
+accompanying baseline update (see ``docs/sort-pipeline.md``).
+
+Runs standalone (``python benchmarks/bench_matrix.py [--rows N]
+[--out PATH]``) or under pytest (slow-marked smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np  # noqa: E402
+import pytest  # noqa: E402
+
+from repro.engine import Database  # noqa: E402
+from repro.service import SortService  # noqa: E402
+from repro.sort.external import ExternalSortOperator  # noqa: E402
+from repro.sort.incremental import IncrementalSorter  # noqa: E402
+from repro.sort.operator import SortConfig, SortOperator, sort_table  # noqa: E402
+from repro.sort.parallel_exec import parallel_platform_supported  # noqa: E402
+from repro.sort.topn import TopNOperator  # noqa: E402
+from repro.table.chunk import chunk_table  # noqa: E402
+from repro.table.table import Table  # noqa: E402
+from repro.types.sortspec import SortSpec  # noqa: E402
+from repro.workloads.scenarios import SCENARIOS  # noqa: E402
+
+OUTPUT = os.path.join(os.path.dirname(_SRC), "BENCH_matrix.json")
+
+# The committed baseline and the CI gate run at exactly this scale and
+# seed: dispatch decisions (radix vs lexsort, replacement selection vs
+# argsort) depend on row count, so regress.py refuses to compare runs
+# recorded at different scales.
+DEFAULT_ROWS = 24_000
+SEED = 17
+REPS = 2
+
+PATHS = ("in_memory", "external", "topn", "parallel", "service", "incremental")
+REFERENCE_CELL = ("uniform", "in_memory")
+
+TOPN_LIMIT = 100
+TOPN_OFFSET = 7
+SERVICE_QUERIES = 3
+SERVICE_WORKERS = 2
+INCREMENTAL_DELTAS = 8
+
+
+def _spec(scenario) -> SortSpec:
+    return SortSpec.of(*[part.strip() for part in scenario.order_by.split(",")])
+
+
+def assert_identical(
+    actual: Table, expected: Table, context: str, strict: bool = True
+) -> None:
+    """Byte-identity between a path's output and the scalar oracle.
+
+    ``strict=False`` (the Top-N cell, which rebuilds rows instead of
+    gathering them) still compares validity exactly and every valid
+    value byte-for-byte, but ignores the data bytes under NULL masks.
+    """
+    assert actual.num_rows == expected.num_rows, (
+        f"{context}: {actual.num_rows} rows != {expected.num_rows}"
+    )
+    assert actual.schema.names == expected.schema.names, context
+    for name in expected.schema.names:
+        left, right = actual.column(name), expected.column(name)
+        assert np.array_equal(left.validity, right.validity), (
+            f"{context}: column {name!r} validity diverged"
+        )
+        left_data, right_data = left.data, right.data
+        if not strict:
+            valid = right.validity
+            left_data, right_data = left_data[valid], right_data[valid]
+        assert np.array_equal(left_data, right_data), (
+            f"{context}: column {name!r} values diverged"
+        )
+
+
+def _run_lengths_summary(lengths) -> dict:
+    if not lengths:
+        return {"count": 0, "min": 0, "max": 0, "mean": 0.0}
+    return {
+        "count": len(lengths),
+        "min": int(min(lengths)),
+        "max": int(max(lengths)),
+        "mean": float(np.mean(lengths)),
+    }
+
+
+def _dispatch_summary(stats) -> dict:
+    """The gate-visible slice of a ``SortStats``: dispatch + run shape."""
+    return {
+        "algorithm": stats.algorithm,
+        "vector_sort_paths": dict(stats.vector_sort_paths),
+        "vector_sort_reasons": dict(stats.vector_sort_reasons),
+        "rungen_path": stats.rungen_path,
+        "rungen_probe": stats.rungen_probe,
+        "runs_generated": stats.runs_generated,
+        "run_lengths": _run_lengths_summary(stats.run_lengths),
+        "merge_passes": stats.merge_passes,
+        "kway_rounds": stats.kway_rounds,
+        "memory_run_fallbacks": stats.memory_run_fallbacks,
+        "governor_forced_spills": stats.governor_forced_spills,
+        "checksum_verifications": stats.checksum_verifications,
+        "spill_retries": stats.spill_retries,
+        "spill_failovers": stats.spill_failovers,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Path runners: each returns (result_table, dispatch_dict | None, extras)
+# ---------------------------------------------------------------------- #
+
+
+def _run_in_memory(table, spec, rows):
+    config = SortConfig(run_threshold=max(2048, rows // 4))
+    operator = SortOperator(table.schema, spec, config)
+    for chunk in chunk_table(table, config.vector_size):
+        operator.sink(chunk)
+    result = operator.finalize()
+    return result, _dispatch_summary(operator.stats), {}
+
+
+def _run_external(table, spec, rows):
+    config = SortConfig(external=True, run_threshold=max(2048, rows // 4))
+    with ExternalSortOperator(table.schema, spec, config) as operator:
+        for chunk in chunk_table(table, config.vector_size):
+            operator.sink(chunk)
+        result = operator.finalize()
+    return result, _dispatch_summary(operator.stats), {}
+
+
+def _run_topn(table, spec, rows):
+    operator = TopNOperator(table.schema, spec, TOPN_LIMIT, TOPN_OFFSET)
+    for chunk in chunk_table(table):
+        operator.sink(chunk)
+    # The heap keeps no run/dispatch counters; the cell records time only.
+    return operator.finalize(), None, {"limit": TOPN_LIMIT, "offset": TOPN_OFFSET}
+
+
+def _run_parallel(table, spec, rows):
+    config = SortConfig(
+        num_workers=2, parallel_morsel_rows=max(2048, rows // 4)
+    )
+    operator = SortOperator(table.schema, spec, config)
+    for chunk in chunk_table(table, config.vector_size):
+        operator.sink(chunk)
+    result = operator.finalize()
+    extras = {
+        "parallel_supported": parallel_platform_supported(),
+        "parallel_workers": operator.stats.parallel_workers,
+    }
+    return result, _dispatch_summary(operator.stats), extras
+
+
+def _run_service(table, spec, rows, scenario):
+    config = SortConfig(external=True, run_threshold=max(2048, rows // 4))
+    db = Database(sort_config=config)
+    db.register("t", table)
+    sql = scenario.sql()
+    with SortService(
+        db,
+        memory_budget=8 << 20,
+        min_grant_bytes=256 << 10,
+        workers=SERVICE_WORKERS,
+        queue_limit=SERVICE_QUERIES,
+        cache_capacity=0,
+        admission_timeout_s=600.0,
+    ) as service:
+        tickets = [service.submit(sql) for _ in range(SERVICE_QUERIES)]
+        results = [ticket.result(timeout=600) for ticket in tickets]
+        stats_lists = [ticket.sort_stats for ticket in tickets]
+        service_stats = service.stats
+    dispatch = None
+    for stats_list in stats_lists:
+        if stats_list:
+            dispatch = _dispatch_summary(stats_list[0])
+            break
+    extras = {
+        "queries": SERVICE_QUERIES,
+        "grant_waits": service_stats.grant_waits,
+        "governor_forced_spills": service_stats.governor_forced_spills,
+    }
+    return results, dispatch, extras
+
+
+def _run_incremental(table, spec, rows):
+    sorter = IncrementalSorter(
+        table.schema, spec, SortConfig(), compact_threshold=4
+    )
+    bounds = np.linspace(0, table.num_rows, INCREMENTAL_DELTAS + 1).astype(int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi > lo:
+            sorter.insert(table.take(np.arange(lo, hi)))
+    result = sorter.view()
+    extras = {
+        "deltas": sorter.stats.deltas_inserted,
+        "compactions": sorter.stats.compactions,
+        "rows_compacted": sorter.stats.rows_compacted,
+        "peak_runs": sorter.stats.peak_runs,
+    }
+    return result, _dispatch_summary(sorter.stats.sort), extras
+
+
+# ---------------------------------------------------------------------- #
+# The matrix sweep
+# ---------------------------------------------------------------------- #
+
+
+def bench_cell(path, scenario, table, spec, oracle, rows):
+    context = (
+        f"scenario={scenario.name} path={path} rows={rows} seed={SEED}"
+    )
+    best_s = None
+    dispatch = None
+    extras = {}
+    for _ in range(REPS):
+        started = time.perf_counter()
+        if path == "in_memory":
+            result, dispatch, extras = _run_in_memory(table, spec, rows)
+        elif path == "external":
+            result, dispatch, extras = _run_external(table, spec, rows)
+        elif path == "topn":
+            result, dispatch, extras = _run_topn(table, spec, rows)
+        elif path == "parallel":
+            result, dispatch, extras = _run_parallel(table, spec, rows)
+        elif path == "service":
+            result, dispatch, extras = _run_service(table, spec, rows, scenario)
+        elif path == "incremental":
+            result, dispatch, extras = _run_incremental(table, spec, rows)
+        else:  # pragma: no cover - registry drift is a programming error
+            raise ValueError(f"unknown path {path!r}")
+        elapsed = time.perf_counter() - started
+        if path == "topn":
+            expected = oracle.take(
+                np.arange(TOPN_OFFSET, TOPN_OFFSET + TOPN_LIMIT)
+            )
+            assert_identical(result, expected, context, strict=False)
+        elif path == "service":
+            for result_table in result:
+                assert_identical(result_table, oracle, context)
+        else:
+            assert_identical(result, oracle, context)
+        best_s = elapsed if best_s is None else min(best_s, elapsed)
+    cell = {
+        "seconds": best_s,
+        "rows_per_s": rows / best_s,
+        "identical": True,
+        "dispatch": dispatch,
+    }
+    cell.update(extras)
+    return cell
+
+
+def bench_scenario(scenario, rows):
+    table = scenario.table(rows, seed=SEED)
+    spec = _spec(scenario)
+    started = time.perf_counter()
+    oracle = sort_table(table, spec, SortConfig(use_vector_kernels=False))
+    oracle_s = time.perf_counter() - started
+    cells = {
+        path: bench_cell(path, scenario, table, spec, oracle, rows)
+        for path in PATHS
+    }
+    return {
+        "description": scenario.description,
+        "order_by": scenario.order_by,
+        "oracle_seconds": oracle_s,
+        "paths": cells,
+    }
+
+
+def main(rows: int = DEFAULT_ROWS, out: str = OUTPUT) -> dict:
+    results = {
+        "rows": rows,
+        "seed": SEED,
+        "reps": REPS,
+        "cpu_count": os.cpu_count(),
+        "paths": list(PATHS),
+        "reference_cell": list(REFERENCE_CELL),
+        "scenarios": {},
+    }
+    for name, scenario in SCENARIOS.items():
+        results["scenarios"][name] = bench_scenario(scenario, rows)
+        numbers = results["scenarios"][name]["paths"]
+        fastest = min(cell["seconds"] for cell in numbers.values())
+        print(
+            f"{name}: "
+            + " ".join(
+                f"{path}={cell['seconds']:.3f}s" for path, cell in numbers.items()
+            )
+            + f" (fastest {fastest:.3f}s)"
+        )
+    with open(out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"wrote {out}: {len(results['scenarios'])} scenarios x "
+        f"{len(PATHS)} paths, every cell byte-identical to the scalar oracle"
+    )
+    return results
+
+
+@pytest.mark.slow
+def test_matrix_smoke(tmp_path, capsys):
+    with capsys.disabled():
+        print()
+        results = main(rows=6_000, out=str(tmp_path / "BENCH_matrix.json"))
+    assert len(results["scenarios"]) >= 7
+    for numbers in results["scenarios"].values():
+        assert set(numbers["paths"]) == set(PATHS)
+        for cell in numbers["paths"].values():
+            assert cell["identical"] is True
+            assert cell["seconds"] > 0
+    # The dispatch counters the regression gate keys on must be present
+    # on every full-sort path (Top-N legitimately records none).
+    for numbers in results["scenarios"].values():
+        for path, cell in numbers["paths"].items():
+            if path == "topn":
+                assert cell["dispatch"] is None
+            else:
+                assert cell["dispatch"] is not None
+                assert cell["dispatch"]["runs_generated"] > 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS)
+    parser.add_argument("--out", type=str, default=OUTPUT)
+    arguments = parser.parse_args()
+    main(rows=arguments.rows, out=arguments.out)

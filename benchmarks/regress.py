@@ -1,0 +1,182 @@
+"""Regression gate over the recorded benchmark-matrix trajectory.
+
+Compares a freshly measured ``BENCH_matrix.json`` (the *candidate*)
+against the committed baseline and **fails** (exit 1) when the sort
+pipeline regressed:
+
+* **Hot-path slowdown** -- a cell whose normalized time grew by more
+  than ``--threshold`` (default 15%).  Cell times are normalized by the
+  *same run's* reference cell (``uniform x in_memory``), so the
+  comparison measures the pipeline's shape, not the runner's absolute
+  speed: a uniformly slower machine scales every cell including the
+  reference and the ratios cancel.  Cells faster than ``--min-seconds``
+  in both runs are skipped as timer noise (they are still checked for
+  identity and dispatch).
+* **Dispatch-path flip** -- a cell whose dominant vectorized sort
+  kernel (argmax of ``vector_sort_paths``) or external run-generation
+  path (``rungen_path``) differs from the baseline.  Dispatch is
+  deterministic for a given (rows, seed), so a flip means the
+  heuristics changed; an *intended* change must ship with a regenerated
+  baseline in the same commit (the "artifact update" that makes the
+  gate pass).
+* **Shape loss** -- a scenario, path, or byte-identity flag present in
+  the baseline but missing (or false) in the candidate.
+* **Scale mismatch** -- candidate recorded at different (rows, seed):
+  dispatch choices are row-count dependent, so cross-scale comparison
+  is refused rather than fudged.
+
+Usage (CI runs exactly this; see ``docs/sort-pipeline.md``)::
+
+    python benchmarks/bench_matrix.py --rows 24000 --out BENCH_matrix_ci.json
+    python benchmarks/regress.py --baseline BENCH_matrix.json \
+        --candidate BENCH_matrix_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_THRESHOLD = 0.15
+DEFAULT_MIN_SECONDS = 0.02
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(_REPO, "BENCH_matrix.json")
+
+
+def dominant_vector_path(dispatch: dict | None) -> str | None:
+    """The most-used vectorized sort kernel of a cell, or None."""
+    if not dispatch:
+        return None
+    paths = dispatch.get("vector_sort_paths") or {}
+    if not paths:
+        return None
+    # Deterministic argmax: highest count, ties broken by name.
+    return max(sorted(paths), key=lambda name: paths[name])
+
+
+def _reference_seconds(matrix: dict) -> float:
+    scenario, path = matrix.get("reference_cell", ["uniform", "in_memory"])
+    try:
+        return matrix["scenarios"][scenario]["paths"][path]["seconds"]
+    except KeyError:
+        raise SystemExit(
+            f"reference cell {scenario}/{path} missing from matrix"
+        )
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> list[str]:
+    """Every violation of the recorded trajectory, as human-readable lines."""
+    violations: list[str] = []
+    for field in ("rows", "seed"):
+        if baseline.get(field) != candidate.get(field):
+            violations.append(
+                f"scale mismatch: baseline {field}={baseline.get(field)} "
+                f"vs candidate {field}={candidate.get(field)}; dispatch is "
+                f"scale-dependent, re-run the candidate at the baseline scale"
+            )
+    if violations:
+        return violations
+
+    base_ref = _reference_seconds(baseline)
+    cand_ref = _reference_seconds(candidate)
+    ref_name = "/".join(baseline.get("reference_cell", ["uniform", "in_memory"]))
+
+    for scenario, base_entry in baseline["scenarios"].items():
+        cand_entry = candidate["scenarios"].get(scenario)
+        if cand_entry is None:
+            violations.append(f"{scenario}: scenario missing from candidate")
+            continue
+        for path, base_cell in base_entry["paths"].items():
+            cand_cell = cand_entry["paths"].get(path)
+            cell = f"{scenario}/{path}"
+            if cand_cell is None:
+                violations.append(f"{cell}: path missing from candidate")
+                continue
+            if cand_cell.get("identical") is not True:
+                violations.append(
+                    f"{cell}: candidate output not byte-identical to the "
+                    f"scalar oracle"
+                )
+            base_primary = dominant_vector_path(base_cell.get("dispatch"))
+            cand_primary = dominant_vector_path(cand_cell.get("dispatch"))
+            if base_primary != cand_primary:
+                violations.append(
+                    f"{cell}: dominant vector sort path flipped "
+                    f"{base_primary!r} -> {cand_primary!r} without a "
+                    f"baseline update"
+                )
+            base_rungen = (base_cell.get("dispatch") or {}).get("rungen_path")
+            cand_rungen = (cand_cell.get("dispatch") or {}).get("rungen_path")
+            if base_rungen != cand_rungen:
+                violations.append(
+                    f"{cell}: run-generation path flipped "
+                    f"{base_rungen!r} -> {cand_rungen!r} without a "
+                    f"baseline update"
+                )
+            base_s = base_cell["seconds"]
+            cand_s = cand_cell["seconds"]
+            if (scenario, path) == tuple(
+                baseline.get("reference_cell", ["uniform", "in_memory"])
+            ):
+                continue  # the reference normalizes itself to 1.0
+            if base_s < min_seconds and cand_s < min_seconds:
+                continue  # timer noise; identity+dispatch already checked
+            base_norm = base_s / base_ref
+            cand_norm = cand_s / cand_ref
+            if cand_norm > base_norm * (1.0 + threshold):
+                violations.append(
+                    f"{cell}: hot-path slowdown {base_norm:.2f} -> "
+                    f"{cand_norm:.2f} (x{ref_name}; "
+                    f"{100 * (cand_norm / base_norm - 1):.0f}% > "
+                    f"{100 * threshold:.0f}% allowed)"
+                )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    parser.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS
+    )
+    arguments = parser.parse_args(argv)
+    with open(arguments.baseline) as fh:
+        baseline = json.load(fh)
+    with open(arguments.candidate) as fh:
+        candidate = json.load(fh)
+    violations = compare(
+        baseline,
+        candidate,
+        threshold=arguments.threshold,
+        min_seconds=arguments.min_seconds,
+    )
+    cells = sum(len(entry["paths"]) for entry in baseline["scenarios"].values())
+    if violations:
+        print(f"REGRESSION GATE FAILED ({len(violations)} violation(s)):")
+        for line in violations:
+            print(f"  - {line}")
+        print(
+            "If the dispatch or performance change is intended, regenerate "
+            "the baseline (python benchmarks/bench_matrix.py) and commit "
+            "BENCH_matrix.json with this change."
+        )
+        return 1
+    print(
+        f"regression gate passed: {cells} cells, no slowdown beyond "
+        f"{100 * arguments.threshold:.0f}% and no dispatch flips"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

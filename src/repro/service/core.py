@@ -53,6 +53,7 @@ from repro.errors import (
 )
 from repro.service.cache import ResultCache
 from repro.service.governor import MemoryGovernor
+from repro.sort.incremental import DEFAULT_COMPACT_THRESHOLD, IncrementalSorter
 from repro.sort.operator import SortConfig
 from repro.table.table import Table
 
@@ -88,7 +89,10 @@ class ServiceStats:
     ``governor_forced_spills`` sums the per-query
     ``SortStats.governor_forced_spills`` of completed queries.  Grant
     and spill watermarks come from the governor, cache hit counters
-    from the result cache.
+    from the result cache.  ``view_deltas`` / ``view_snapshots`` count
+    completed maintenance operations on incremental sorted views
+    (:meth:`SortService.append_delta` / :meth:`~SortService.
+    view_snapshot`); both also count under ``completed``.
     """
 
     admitted: int = 0
@@ -98,6 +102,8 @@ class ServiceStats:
     timed_out: int = 0
     completed: int = 0
     failed: int = 0
+    view_deltas: int = 0
+    view_snapshots: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     grant_waits: int = 0
@@ -136,6 +142,9 @@ class QueryTicket:
         self.cancel_event = threading.Event()
         self.sort_stats: list = []
         self.from_cache = False
+        # Maintenance tickets (incremental-view appends/snapshots) carry
+        # their work as a callable instead of SQL; see SortService.
+        self._work = None
         self._done = threading.Event()
         self._result: Table | None = None
         self._error: BaseException | None = None
@@ -177,6 +186,22 @@ class QueryTicket:
         self._done.set()
 
 
+class _MaintainedView:
+    """One incremental sorted view: its sorter plus a maintenance lock.
+
+    The lock serializes appends, compactions, and snapshots -- the
+    service may run maintenance tickets for the same view on different
+    workers, and :class:`IncrementalSorter` is not thread-safe.
+    """
+
+    __slots__ = ("name", "sorter", "lock")
+
+    def __init__(self, name: str, sorter: IncrementalSorter) -> None:
+        self.name = name
+        self.sorter = sorter
+        self.lock = threading.Lock()
+
+
 class SortService:
     """Thread-pool query service over one :class:`Database`.
 
@@ -216,6 +241,7 @@ class SortService:
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._queue: list[QueryTicket] = []
+        self._views: dict[str, _MaintainedView] = {}
         self._seq = itertools.count()
         self._order = itertools.count()  # FIFO tiebreak within a priority
         self._queue_order: dict[str, int] = {}
@@ -328,6 +354,131 @@ class SortService:
         """Submit and wait: the one-call blocking entry point."""
         return self.submit(sql, priority, deadline_s).result(timeout)
 
+    # ------------------------------------------------------------------ #
+    # Incremental sorted views (the continuously-serving workload)
+    # ------------------------------------------------------------------ #
+
+    def maintain_view(
+        self,
+        name: str,
+        table: str,
+        order_by: str,
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    ) -> None:
+        """Start maintaining a sorted view over deltas for ``table``.
+
+        The view begins empty and is fed by :meth:`append_delta`; its
+        schema comes from the registered ``table``.  Maintenance runs as
+        ordinary tickets on the worker pool: appends and snapshots queue
+        behind queries, acquire a governor grant while they merge, honor
+        deadlines/cancellation through the sorter's cooperative
+        checkpoints, and are serialized per view.
+        """
+        schema = self.database.table(table).schema
+        sorter = IncrementalSorter(
+            schema,
+            order_by,
+            config=self.database.sort_config,
+            compact_threshold=compact_threshold,
+        )
+        with self._lock:
+            if name in self._views:
+                raise ServiceError(f"view {name!r} is already maintained")
+            self._views[name] = _MaintainedView(name, sorter)
+
+    def _view(self, name: str) -> "_MaintainedView":
+        with self._lock:
+            try:
+                return self._views[name]
+            except KeyError:
+                raise ServiceError(f"no maintained view {name!r}") from None
+
+    def _submit_work(
+        self,
+        label: str,
+        work,
+        priority: Priority,
+        deadline_s: float | None,
+    ) -> QueryTicket:
+        """Admit a maintenance ticket through the normal queue rules."""
+        ticket = self.submit(label, priority, deadline_s)
+        ticket._work = work
+        return ticket
+
+    def append_delta(
+        self,
+        name: str,
+        delta: Table,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: float | None = None,
+    ) -> QueryTicket:
+        """Queue one arriving batch for a maintained view.
+
+        The returned ticket completes with the delta once it is merged
+        into the view (so ``result()`` doubles as a write barrier);
+        admission control, shedding, deadlines, and cancellation apply
+        exactly as for queries.  Workers dequeue appends FIFO within a
+        priority class, but with several workers two appends to one
+        view can race to the view lock -- equal-key tie order then
+        depends on application order.  When arrival order must be
+        deterministic (e.g. byte identity with a one-shot sort), wait
+        on each append's ``result()`` before submitting the next, or
+        run a single-worker service.
+        """
+        view = self._view(name)
+
+        def work(config: SortConfig) -> Table:
+            with view.lock:
+                previous = view.sorter.config
+                view.sorter.config = config
+                try:
+                    view.sorter.insert(delta)
+                finally:
+                    view.sorter.config = previous
+            with self._lock:
+                self._stats.view_deltas += 1
+            return delta
+
+        return self._submit_work(
+            f"@view-append {name}", work, priority, deadline_s
+        )
+
+    def view_snapshot(
+        self,
+        name: str,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: float | None = None,
+    ) -> QueryTicket:
+        """Queue a read of a maintained view's current sorted state.
+
+        The ticket completes with the sorted :class:`Table` covering
+        every delta whose append ticket ran before this one (compaction
+        and, for long strings, exact-order refinement happen here if
+        pending -- repeat snapshots of an unchanged view are served from
+        the sorter's cache).
+        """
+        view = self._view(name)
+
+        def work(config: SortConfig) -> Table:
+            with view.lock:
+                previous = view.sorter.config
+                view.sorter.config = config
+                try:
+                    result = view.sorter.view()
+                finally:
+                    view.sorter.config = previous
+            with self._lock:
+                self._stats.view_snapshots += 1
+            return result
+
+        return self._submit_work(
+            f"@view-snapshot {name}", work, priority, deadline_s
+        )
+
+    def view_stats(self, name: str):
+        """The view's :class:`repro.sort.incremental.IncrementalStats`."""
+        return self._view(name).sorter.stats
+
     def _lowest_priority_queued(self) -> QueryTicket | None:
         """The shed candidate: lowest priority, then newest (lock held)."""
         if not self._queue:
@@ -408,24 +559,32 @@ class SortService:
             )
             return
         try:
-            plan = self.database.plan(ticket.sql)
-            versions = tuple(
-                (name, self.database.table_version(name))
-                for name in self.database.referenced_tables(plan)
-            )
-            key = ResultCache.key(ticket.sql, versions)
-            cached = self.cache.get(key)
-            if cached is not None:
-                with self._lock:
-                    self._stats.completed += 1
-                ticket.from_cache = True
-                ticket._complete(cached)
-                return
-            result = self._run_query(ticket, plan)
+            if ticket._work is not None:
+                # Maintenance work (incremental-view appends/snapshots)
+                # has no SQL plan and never touches the result cache --
+                # a view is its own versioned state.
+                result = self._run_query(ticket, None)
+                key = None
+            else:
+                plan = self.database.plan(ticket.sql)
+                versions = tuple(
+                    (name, self.database.table_version(name))
+                    for name in self.database.referenced_tables(plan)
+                )
+                key = ResultCache.key(ticket.sql, versions)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    with self._lock:
+                        self._stats.completed += 1
+                    ticket.from_cache = True
+                    ticket._complete(cached)
+                    return
+                result = self._run_query(ticket, plan)
         except BaseException as error:
             self._finish_error(ticket, error)
             return
-        self.cache.put(key, result)
+        if key is not None:
+            self.cache.put(key, result)
         self._observe_latency(time.monotonic() - started)
         with self._lock:
             self._stats.completed += 1
@@ -469,6 +628,8 @@ class SortService:
                 cancel_event=ticket.cancel_event,
                 memory_grant=grant,
             )
+            if ticket._work is not None:
+                return ticket._work(config)
             result, ticket.sort_stats = self.database.execute_bound(
                 plan, config
             )

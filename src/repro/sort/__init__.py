@@ -21,6 +21,10 @@ from repro.sort.faults import (
     InjectedFault,
     SpillIO,
 )
+from repro.sort.incremental import (
+    IncrementalSorter,
+    IncrementalStats,
+)
 from repro.sort.heuristic import (
     RADIX_MIN_ROWS,
     RADIX_SKEW_LIMIT,
@@ -101,6 +105,8 @@ __all__ = [
     "vector_sort_rows",
     "RADIX_MIN_ROWS",
     "RADIX_SKEW_LIMIT",
+    "IncrementalSorter",
+    "IncrementalStats",
     "IntroStats",
     "intro_argsort",
     "introsort",

@@ -141,7 +141,11 @@ from repro.sort.spillfile import (
     read_header,
     unpack_extra,
 )
-from repro.sort.stringsort import inexact_prefix_end, refine_key_order
+from repro.sort.stringsort import (
+    inexact_prefix_end,
+    refine_key_order,
+    refinement_must_defer,
+)
 from repro.table.chunk import DataChunk, chunk_table
 from repro.table.table import Table
 from repro.types.datatypes import TypeId
@@ -827,7 +831,16 @@ class ExternalSortOperator:
                     keys.matrix[:, : keys.layout.key_width],
                     vector_threshold=None,
                 )
-            if exact_strings and self.config.use_vector_kernels:
+            if (
+                exact_strings
+                and self.config.use_vector_kernels
+                and not refinement_must_defer(keys.layout)
+            ):
+                # With later key bytes after the truncated VARCHAR
+                # segment, refining here would spill runs the k-way
+                # kernel cannot merge (no longer byte-sorted); such
+                # sorts spill raw and the merge's settled-batch
+                # refinement produces the exact order instead.
                 order = self._refine_run_order(table, keys, order)
             sorted_keys = np.ascontiguousarray(keys.matrix[order])
             ovc = (

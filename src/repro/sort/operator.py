@@ -38,7 +38,7 @@ from repro.keys.normalizer import MAX_STRING_PREFIX, NormalizedKeys, normalize_k
 from repro.rows.block import RowBlock
 from repro.sort.heuristic import vector_sort_rows
 from repro.sort.kernels import merge_indices
-from repro.sort.stringsort import refine_key_order
+from repro.sort.stringsort import refine_key_order, refinement_must_defer
 from repro.sort.parallel_exec import (
     DEFAULT_MORSEL_ROWS as DEFAULT_PARALLEL_MORSEL_ROWS,
     ParallelSortExecutor,
@@ -735,10 +735,17 @@ class SortOperator:
             else:
                 order = self._pdq_argsort(table, keys)
 
-            if not keys.prefix_exact and self._vector_exact_strings():
+            if (
+                not keys.prefix_exact
+                and self._vector_exact_strings()
+                and not refinement_must_defer(keys.layout)
+            ):
                 # Adaptive tie-break re-encoding: only byte-equal groups
                 # of the prefix order are re-sorted on their full strings,
-                # so the run is exact without a per-row comparator.
+                # so the run is exact without a per-row comparator.  With
+                # later key bytes after the truncated segment the repair
+                # would break the run's memcmp sortedness, so it is
+                # deferred to the final merged result (finalize).
                 order = self._refine_run_order(table, keys, order)
             sorted_keys = keys.matrix[order]
             payload = RowBlock.from_table(table).take(np.asarray(order))
@@ -909,13 +916,29 @@ class SortOperator:
             )
         merged_keys = np.concatenate([left.keys, right.keys])[perm]
         payload = left.payload.concat(right.payload).take(perm)
-        if not self.stats.prefix_exact and self.config.exact_varchar:
+        if (
+            not self.stats.prefix_exact
+            and self.config.exact_varchar
+            and not self._defer_refinement()
+        ):
             merged_keys, payload = self._refine_merged(
                 merged_keys, payload, key_width
             )
         self.stats.kernel_merges += 1
         return SortedRun(
             merged_keys, payload, key_width, layout=self._key_layout
+        )
+
+    def _defer_refinement(self) -> bool:
+        """Exact-string repair must wait for the final merged result.
+
+        True when key bytes follow the first truncated VARCHAR segment
+        (see :func:`repro.sort.stringsort.refinement_must_defer`):
+        refining per run or per merge would hand the merge kernels runs
+        that are no longer byte-sorted.
+        """
+        return self._key_layout is not None and refinement_must_defer(
+            self._key_layout
         )
 
     def _refine_merged(
@@ -983,6 +1006,29 @@ class SortOperator:
                     if len(runs) % 2 == 1:
                         merged.append(runs[-1])
                     runs = merged
+            if (
+                not self.stats.prefix_exact
+                and self._vector_exact_strings()
+                and self._defer_refinement()
+            ):
+                # Deferred exact-string repair: runs and merges stayed in
+                # raw byte order (later key bytes follow the truncated
+                # VARCHAR segment), so one refinement of the final result
+                # produces the exact order -- tie groups arrive sorted by
+                # the remaining key bytes and row id, which the stable
+                # re-sort preserves for equal full strings.
+                final = runs[0]
+                merged_keys, payload = self._refine_merged(
+                    final.keys, final.payload, final.key_width
+                )
+                runs = [
+                    SortedRun(
+                        merged_keys,
+                        payload,
+                        final.key_width,
+                        layout=final.layout,
+                    )
+                ]
             self._runs = runs
             return runs[0].payload.to_table()
         finally:

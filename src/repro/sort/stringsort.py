@@ -41,6 +41,7 @@ __all__ = [
     "exact_group_changed",
     "inexact_prefix_end",
     "refine_key_order",
+    "refinement_must_defer",
 ]
 
 #: Bytes of string tail re-encoded per refinement round.  Wide enough that a
@@ -61,6 +62,24 @@ def inexact_prefix_end(layout) -> int | None:
         if not segment.prefix_exact:
             return segment.offset + segment.total_width
     return None
+
+
+def refinement_must_defer(layout) -> bool:
+    """True when key bytes follow the first truncated VARCHAR segment.
+
+    Refinement stable-sorts byte-equal tie groups on their full strings,
+    which scrambles every *later* key segment's bytes within the group.
+    With nothing after the truncated segment but the row-id suffix
+    (which merges never compare) a refined run stays memcmp-mergeable;
+    with later ORDER BY columns it does not -- the merge kernels would
+    consume runs that are no longer byte-sorted.  Such sorts must keep
+    every run and intermediate merge in raw byte order and refine only
+    the final merged result (whose tie groups then arrive ordered by
+    the remaining key bytes and row id, exactly the stable-refinement
+    precondition).
+    """
+    end = inexact_prefix_end(layout)
+    return end is not None and end < layout.key_width
 
 
 def _tie_groups(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:

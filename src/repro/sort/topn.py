@@ -7,10 +7,14 @@ operator: a bounded max-heap keeps only the best ``limit + offset`` rows
 seen so far, so memory is O(limit + offset) rather than O(n) and the cost
 is O(n log(limit + offset)).
 
-Heap entries compare on the normalized key prefix first (a memcmp, the fast
-path); equal prefixes fall back to an exact tuple comparison and finally to
-arrival order, so results are exact even when VARCHAR values exceed the
-encoded prefix.
+Heap entries compare on the normalized key bytes first (a memcmp, the fast
+path); with VARCHAR keys the memcmp stops at the end of the first string
+segment -- a byte difference past it is *not* decisive, because the
+truncated strings may still differ where the prefix ended and a full
+string outranks every later ORDER BY column.  Rows equal on the decisive
+bytes fall back to an exact tuple comparison and finally to arrival
+order, so results are exact even when VARCHAR values exceed the encoded
+prefix.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Any
 
 from repro.errors import SortError
 from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
+from repro.types.datatypes import TypeId
 from repro.sort.operator import SortConfig, raise_if_cancelled
 from repro.table.chunk import DataChunk, chunk_table
 from repro.table.table import Table
@@ -84,6 +89,16 @@ class TopNOperator:
         self._heap: list[_HeapEntry] = []
         self._seen = 0
         self._key_indices = [schema.index_of(n) for n in spec.column_names]
+        # Bytes of the normalized key that are decisive on their own:
+        # everything up to the end of the first VARCHAR segment (whose
+        # truncated prefix may hide a difference that outranks every
+        # later key byte), or the whole key when no string key exists.
+        # None until the first chunk's layout pins the offsets.
+        self._decisive: int | None = None
+        self._has_string_key = any(
+            schema.column(name).dtype.type_id is TypeId.VARCHAR
+            for name in spec.column_names
+        )
 
     def sink(self, chunk: DataChunk) -> None:
         """Offer one vector batch; keeps at most limit+offset best rows."""
@@ -99,10 +114,19 @@ class TopNOperator:
             string_prefix=MAX_STRING_PREFIX,
             include_row_id=False,
         )
+        if self._decisive is None:
+            self._decisive = keys.layout.key_width
+            if self._has_string_key:
+                for segment in keys.layout.segments:
+                    if segment.dtype.type_id is TypeId.VARCHAR:
+                        self._decisive = (
+                            segment.offset + segment.total_width
+                        )
+                        break
         for i in range(len(table)):
             row = table.row(i)
             entry = _HeapEntry(
-                keys.key_bytes(i),
+                keys.key_bytes(i)[: self._decisive],
                 tuple(row[j] for j in self._key_indices),
                 self._seen + i,
                 row,

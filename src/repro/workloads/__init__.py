@@ -15,7 +15,22 @@ from repro.workloads.tpcds import (
     scaled_rows,
 )
 
+# Imported after tpcds: the scenario catalog builds its TPC-DS entries
+# on top of this package's synthesizers.
+from repro.workloads.scenarios import (  # noqa: E402
+    SCENARIOS,
+    VALUE_GENERATORS,
+    ColumnSpec,
+    Scenario,
+    scenario_table,
+)
+
 __all__ = [
+    "SCENARIOS",
+    "VALUE_GENERATORS",
+    "ColumnSpec",
+    "Scenario",
+    "scenario_table",
     "CORRELATED_UNIQUE_VALUES",
     "PAPER_GRID",
     "Distribution",

@@ -1,0 +1,197 @@
+"""The incremental sorter: maintained-view semantics, unit by unit.
+
+The scenario differential suite (tests/test_oracle.py) already proves
+the view equals the one-shot sort for every workload generator; these
+tests pin the *contract* -- argument validation, run buffering and
+auto-compaction, view caching, the deferred-string edge the harness
+exposed, and the SortService integration (appends/snapshots as
+governed tickets).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from test_external_kway import assert_byte_identical
+from repro.engine.database import Database
+from repro.errors import SchemaError, ServiceError, SortError
+from repro.service.core import SortService
+from repro.sort.incremental import IncrementalSorter
+from repro.sort.operator import SortConfig, sort_table
+from repro.table.table import Table
+from repro.types.sortspec import SortSpec
+
+
+def _table(values: dict) -> Table:
+    return Table.from_pydict(values)
+
+
+def _ints(n: int, start: int = 0) -> Table:
+    return _table(
+        {"a": [(start + i) * 7 % 23 for i in range(n)], "p": list(range(n))}
+    )
+
+
+def oracle(table: Table, spec: str) -> Table:
+    parsed = SortSpec.of(*[p.strip() for p in spec.split(",")])
+    return sort_table(table, parsed, SortConfig(use_vector_kernels=False))
+
+
+# --------------------------------------------------------------------- #
+# Construction and validation
+# --------------------------------------------------------------------- #
+
+
+def test_compact_threshold_must_be_at_least_two():
+    table = _ints(4)
+    with pytest.raises(SortError, match="at least 2"):
+        IncrementalSorter(table.schema, "a", compact_threshold=1)
+
+
+def test_requires_vector_kernels():
+    table = _ints(4)
+    with pytest.raises(SortError, match="use_vector_kernels"):
+        IncrementalSorter(
+            table.schema, "a", config=SortConfig(use_vector_kernels=False)
+        )
+
+
+def test_unknown_sort_column_rejected_at_construction():
+    table = _ints(4)
+    with pytest.raises(SchemaError):
+        IncrementalSorter(table.schema, "nope")
+
+
+def test_delta_schema_must_match():
+    table = _ints(4)
+    sorter = IncrementalSorter(table.schema, "a")
+    with pytest.raises(SortError, match="does not match view"):
+        sorter.insert(_table({"b": [1]}))
+
+
+def test_prefix_only_views_rejected():
+    # exact_varchar=False would let truncated prefixes decide the view
+    # order, which drifts as deltas arrive; the sorter refuses.
+    table = _table({"s": ["x" * 20, "y" * 20], "p": [0, 1]})
+    sorter = IncrementalSorter(
+        table.schema,
+        "s",
+        config=SortConfig(exact_varchar=False, string_prefix=4),
+    )
+    with pytest.raises(SortError, match="exact_varchar"):
+        sorter.insert(table)
+
+
+# --------------------------------------------------------------------- #
+# Run buffering, compaction, caching
+# --------------------------------------------------------------------- #
+
+
+def test_empty_insert_and_empty_view():
+    table = _ints(4)
+    sorter = IncrementalSorter(table.schema, "a")
+    sorter.insert(table.slice(0, 0))
+    assert sorter.num_rows == 0
+    assert sorter.pending_runs == 0
+    assert sorter.view().num_rows == 0
+    assert sorter.stats.deltas_inserted == 0
+
+
+def test_runs_buffer_until_threshold_then_compact():
+    table = _ints(40)
+    sorter = IncrementalSorter(table.schema, "a", compact_threshold=3)
+    sorter.insert(table.slice(0, 10))
+    sorter.insert(table.slice(10, 20))
+    assert sorter.pending_runs == 2
+    assert sorter.stats.compactions == 0
+    sorter.insert(table.slice(20, 30))  # third run triggers compaction
+    assert sorter.pending_runs == 1
+    assert sorter.stats.compactions == 1
+    assert sorter.stats.runs_compacted == 3
+    assert sorter.stats.rows_compacted == 30
+    assert sorter.stats.peak_runs == 3
+    assert sorter.num_rows == 30
+    sorter.insert(table.slice(30, 40))
+    assert sorter.num_rows == 40
+    assert_byte_identical(oracle(table, "a, p"), sorter.view())
+    # view() compacted the trailing run into the single view run.
+    assert sorter.pending_runs == 1
+
+
+def test_view_snapshot_cached_until_next_insert():
+    table = _ints(30)
+    sorter = IncrementalSorter(table.schema, "a")
+    sorter.insert(table.slice(0, 15))
+    first = sorter.view()
+    assert sorter.view() is first  # steady reads are free
+    sorter.insert(table.slice(15, 30))
+    second = sorter.view()
+    assert second is not first
+    assert_byte_identical(oracle(table, "a, p"), second)
+
+
+def test_stable_tie_order_across_deltas():
+    # Equal keys across deltas must keep arrival order (row-id suffix +
+    # earlier-run-wins merge), exactly like the one-shot stable sort.
+    table = _table({"a": [5] * 12, "p": list(range(12))})
+    sorter = IncrementalSorter(table.schema, "a", compact_threshold=2)
+    for start in range(0, 12, 3):
+        sorter.insert(table.slice(start, start + 3))
+    assert_byte_identical(table, sorter.view())
+
+
+def test_deferred_string_refinement_through_compaction():
+    # Duplicate full strings beyond the 12-byte prefix with a trailing
+    # tiebreak key: refinement must not scramble the trailing key bytes
+    # before compaction merges (the deferred-refinement bug the bench
+    # matrix exposed in the one-shot operators).
+    strings = [f"prefix-{'pad' * 4}-{i % 3:02d}" for i in range(24)]
+    table = _table({"s": strings, "p": [23 - i for i in range(24)]})
+    sorter = IncrementalSorter(table.schema, "s, p", compact_threshold=2)
+    for start in range(0, 24, 6):
+        sorter.insert(table.slice(start, start + 6))
+    assert_byte_identical(oracle(table, "s, p"), sorter.view())
+    assert sorter.stats.sort.full_key_compares >= 0  # refine ran per view
+
+
+# --------------------------------------------------------------------- #
+# Service integration: appends and snapshots as governed tickets
+# --------------------------------------------------------------------- #
+
+
+def _service(db: Database) -> SortService:
+    return SortService(
+        db, memory_budget=8 << 20, workers=1, cache_capacity=0
+    )
+
+
+def test_service_maintained_view_round_trip():
+    table = _ints(36)
+    db = Database()
+    db.register("t", table)
+    with _service(db) as service:
+        service.maintain_view("v", "t", "a, p", compact_threshold=3)
+        for start in range(0, 36, 9):
+            delta = table.slice(start, start + 9)
+            # result() is the write barrier that pins arrival order.
+            assert service.append_delta("v", delta).result(10.0) is delta
+        snapshot = service.view_snapshot("v").result(10.0)
+        assert_byte_identical(oracle(table, "a, p"), snapshot)
+        stats = service.view_stats("v")
+        assert stats.deltas_inserted == 4
+        assert stats.rows_inserted == 36
+        assert service.stats.view_deltas == 4
+        assert service.stats.view_snapshots == 1
+
+
+def test_service_duplicate_and_missing_views_rejected():
+    db = Database()
+    db.register("t", _ints(4))
+    with _service(db) as service:
+        service.maintain_view("v", "t", "a")
+        with pytest.raises(ServiceError, match="already maintained"):
+            service.maintain_view("v", "t", "a")
+        with pytest.raises(ServiceError, match="no maintained view"):
+            service.view_snapshot("ghost")
+        with pytest.raises(ServiceError, match="no maintained view"):
+            service.append_delta("ghost", _ints(1))

@@ -1,0 +1,218 @@
+"""The bench-matrix regression gate's contract (benchmarks/regress.py).
+
+The gate compares a candidate BENCH_matrix.json against the committed
+baseline.  These tests drive it with synthetic matrices: the required
+negative test (an injected >15% hot-path slowdown MUST fail the gate),
+the hardware-robustness property (a uniformly slower machine must NOT
+fail it, because cells are normalized by the same run's reference
+cell), and the dispatch-flip / shape-loss / scale-mismatch rules.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+_BENCHMARKS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+if _BENCHMARKS not in sys.path:
+    sys.path.insert(0, _BENCHMARKS)
+
+from regress import compare, dominant_vector_path, main  # noqa: E402
+
+
+def make_matrix() -> dict:
+    """A small but structurally faithful BENCH_matrix.json payload."""
+
+    def cell(seconds, vector_paths=None, rungen=None):
+        dispatch = None
+        if vector_paths is not None:
+            dispatch = {
+                "vector_sort_paths": vector_paths,
+                "rungen_path": rungen or "",
+            }
+        return {"seconds": seconds, "identical": True, "dispatch": dispatch}
+
+    return {
+        "rows": 24_000,
+        "seed": 17,
+        "reference_cell": ["uniform", "in_memory"],
+        "scenarios": {
+            "uniform": {
+                "paths": {
+                    "in_memory": cell(0.10, {"radix": 2}),
+                    "external": cell(0.20, {"radix": 2}, rungen="argsort"),
+                    "topn": cell(0.05),
+                }
+            },
+            "near_sorted": {
+                "paths": {
+                    "in_memory": cell(0.08, {"radix": 2}),
+                    "external": cell(
+                        0.15, {"radix": 1}, rungen="replacement_selection"
+                    ),
+                    "topn": cell(0.04),
+                }
+            },
+            "long_string": {
+                "paths": {
+                    "in_memory": cell(0.40, {"lexsort": 2}),
+                    "external": cell(0.60, {"lexsort": 2}, rungen="argsort"),
+                    "topn": cell(0.30),
+                }
+            },
+        },
+    }
+
+
+def test_identical_matrices_pass():
+    baseline = make_matrix()
+    assert compare(baseline, copy.deepcopy(baseline)) == []
+
+
+def test_injected_slowdown_fails():
+    """The ISSUE's negative test: a 1.3x hot-cell slowdown must gate."""
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    cell = candidate["scenarios"]["long_string"]["paths"]["external"]
+    cell["seconds"] *= 1.3
+    violations = compare(baseline, candidate, threshold=0.15)
+    assert len(violations) == 1
+    assert "long_string/external" in violations[0]
+    assert "hot-path slowdown" in violations[0]
+
+
+def test_uniformly_slower_machine_passes():
+    """2x slower hardware scales the reference too; ratios cancel."""
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    for entry in candidate["scenarios"].values():
+        for cell in entry["paths"].values():
+            cell["seconds"] *= 2.0
+    assert compare(baseline, candidate) == []
+
+
+def test_reference_speedup_flags_relative_slowdowns():
+    """A reference-cell speedup makes unchanged cells relatively slower."""
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    # Candidate reference got 2x faster; other cells unchanged would look
+    # "relatively slower" -- and genuinely are, relative to the pipeline
+    # baseline.  The gate flags them: asserting the behavior documents it.
+    candidate["scenarios"]["uniform"]["paths"]["in_memory"]["seconds"] /= 2
+    violations = compare(baseline, candidate)
+    assert all("hot-path slowdown" in v for v in violations)
+
+
+def test_dispatch_flip_fails():
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    flipped = candidate["scenarios"]["long_string"]["paths"]["in_memory"]
+    flipped["dispatch"]["vector_sort_paths"] = {"radix": 2}
+    violations = compare(baseline, candidate)
+    assert any(
+        "dominant vector sort path flipped" in v
+        and "long_string/in_memory" in v
+        for v in violations
+    )
+
+
+def test_rungen_flip_fails():
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    cell = candidate["scenarios"]["near_sorted"]["paths"]["external"]
+    cell["dispatch"]["rungen_path"] = "argsort"
+    violations = compare(baseline, candidate)
+    assert any("run-generation path flipped" in v for v in violations)
+
+
+def test_missing_path_and_scenario_fail():
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    del candidate["scenarios"]["near_sorted"]["paths"]["external"]
+    del candidate["scenarios"]["long_string"]
+    violations = compare(baseline, candidate)
+    assert any("path missing" in v for v in violations)
+    assert any("scenario missing" in v for v in violations)
+
+
+def test_identity_loss_fails():
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    candidate["scenarios"]["uniform"]["paths"]["external"]["identical"] = False
+    violations = compare(baseline, candidate)
+    assert any("not byte-identical" in v for v in violations)
+
+
+def test_scale_mismatch_refused():
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    candidate["rows"] = 6_000
+    violations = compare(baseline, candidate)
+    assert violations and "scale mismatch" in violations[0]
+
+
+def test_sub_floor_cells_skip_timing_but_keep_dispatch():
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    # topn cells are below the default 0.02s floor after scaling down.
+    for matrix in (baseline, candidate):
+        for entry in matrix["scenarios"].values():
+            entry["paths"]["topn"]["seconds"] = 0.001
+    candidate["scenarios"]["uniform"]["paths"]["topn"]["seconds"] = 0.01
+    assert compare(baseline, candidate) == []
+
+
+def test_dominant_vector_path_tiebreak_deterministic():
+    assert dominant_vector_path({"vector_sort_paths": {"b": 2, "a": 2}}) == "a"
+    assert dominant_vector_path({"vector_sort_paths": {}}) is None
+    assert dominant_vector_path(None) is None
+
+
+def test_cli_exit_codes(tmp_path):
+    """End to end through the argparse entry point, as CI invokes it."""
+    baseline = make_matrix()
+    candidate = copy.deepcopy(baseline)
+    base_path = tmp_path / "baseline.json"
+    cand_path = tmp_path / "candidate.json"
+    base_path.write_text(json.dumps(baseline))
+    cand_path.write_text(json.dumps(candidate))
+    assert (
+        main(["--baseline", str(base_path), "--candidate", str(cand_path)])
+        == 0
+    )
+    candidate["scenarios"]["long_string"]["paths"]["external"]["seconds"] *= 1.3
+    cand_path.write_text(json.dumps(candidate))
+    assert (
+        main(["--baseline", str(base_path), "--candidate", str(cand_path)])
+        == 1
+    )
+
+
+@pytest.mark.slow
+def test_gate_against_committed_baseline_subprocess(tmp_path):
+    """The committed BENCH_matrix.json gates a copy of itself (exit 0)."""
+    repo = os.path.dirname(_BENCHMARKS)
+    baseline = os.path.join(repo, "BENCH_matrix.json")
+    assert os.path.exists(baseline), "committed baseline missing"
+    candidate = tmp_path / "candidate.json"
+    candidate.write_text(open(baseline).read())
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(_BENCHMARKS, "regress.py"),
+            "--baseline",
+            baseline,
+            "--candidate",
+            str(candidate),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,127 @@
+"""The workload scenario catalog: determinism, rng hygiene, shapes.
+
+The generators' whole value is *reproducibility*: the bench matrix, the
+regression gate, the dispatch-stability table, and the differential
+oracle suite all assume that ``Scenario.table(n, seed)`` yields the
+same bytes forever.  These tests pin that property (including
+independence from global numpy RNG state), the catalog's declared
+stress shapes (long strings really exceed the key prefix, null
+fractions really produce NULLs), and the back-compat entry point the
+PR 7/8 recorded benchmarks import.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from test_external_kway import assert_byte_identical
+from repro.errors import ReproError
+from repro.keys.normalizer import MAX_STRING_PREFIX
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    ColumnSpec,
+    scenario_table,
+)
+
+ROWS = 500
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_same_seed_same_bytes(name):
+    scenario = SCENARIOS[name]
+    assert_byte_identical(
+        scenario.table(ROWS, seed=11), scenario.table(ROWS, seed=11)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_different_seed_different_bytes(name):
+    if name == "reverse":
+        pytest.skip("reverse is deliberately seed-independent")
+    scenario = SCENARIOS[name]
+    first = scenario.table(ROWS, seed=1)
+    second = scenario.table(ROWS, seed=2)
+    assert any(
+        not np.array_equal(
+            first.column(col).data, second.column(col).data
+        )
+        for col in first.schema.names
+    )
+
+
+def test_generators_ignore_global_rng_state():
+    """Interleaved legacy np.random calls must not perturb a scenario."""
+    before = SCENARIOS["zipf_skew"].table(ROWS, seed=3)
+    np.random.seed(12345)
+    np.random.random(1000)
+    after = SCENARIOS["zipf_skew"].table(ROWS, seed=3)
+    assert_byte_identical(before, after)
+
+
+def test_unknown_generator_raises():
+    spec = ColumnSpec("x", "no-such-generator")
+    with pytest.raises(ReproError, match="unknown value generator"):
+        spec.build(np.random.default_rng(0), 10)
+
+
+def test_scenario_table_backcompat_alias():
+    """The pre-catalog name "zipf_dups" still resolves (PR 7 artifacts)."""
+    assert_byte_identical(
+        scenario_table("zipf_dups", ROWS, seed=5),
+        SCENARIOS["zipf_skew"].table(ROWS, seed=5),
+    )
+    with pytest.raises(ReproError, match="unknown scenario"):
+        scenario_table("no-such-scenario", ROWS)
+
+
+def test_long_strings_exceed_key_prefix():
+    """The scenario only stresses refinement if truncation actually
+    happens: shared stems past MAX_STRING_PREFIX, ties on the prefix."""
+    table = SCENARIOS["long_string"].table(ROWS, seed=9)
+    values = table.column("s").data
+    assert all(len(v.encode()) > MAX_STRING_PREFIX for v in values)
+    prefixes = {v[:MAX_STRING_PREFIX] for v in values}
+    assert len(prefixes) < ROWS / 10  # prefix ties are the common case
+
+
+def test_mixed_null_fractions_materialize():
+    table = SCENARIOS["mixed_null"].table(2000, seed=13)
+    for col, fraction in (("a", 0.08), ("f", 0.05), ("s", 0.05)):
+        validity = table.column(col).validity
+        assert validity is not None
+        nulls = int((~validity).sum())
+        assert 0 < nulls < 2000
+        assert abs(nulls / 2000 - fraction) < 0.03
+    # NULL slots carry the canonical sentinels (what the sort writes).
+    validity = table.column("s").validity
+    assert all(v == "" for v in table.column("s").data[~validity])
+
+
+def test_near_sorted_is_a_permutation_with_local_order():
+    table = SCENARIOS["near_sorted"].table(2000, seed=7)
+    values = np.sort(table.column("a").data)
+    assert np.array_equal(values, np.arange(2000))
+
+
+def test_sql_rendering():
+    scenario = SCENARIOS["mixed_null"]
+    assert scenario.sql() == (
+        "SELECT * FROM t ORDER BY a NULLS FIRST, f DESC, s"
+    )
+    assert scenario.sql(limit=10) == (
+        "SELECT * FROM t ORDER BY a NULLS FIRST, f DESC, s LIMIT 10"
+    )
+    assert scenario.sql(limit=10, offset=3).endswith("LIMIT 10 OFFSET 3")
+
+
+def test_every_scenario_declares_order_and_description():
+    for name, scenario in SCENARIOS.items():
+        assert scenario.name == name
+        assert scenario.description
+        assert scenario.order_by
+        table = scenario.table(8, seed=1)
+        assert table.num_rows == 8
+        for part in scenario.order_by.split(","):
+            column = part.strip().split()[0]
+            assert column in table.schema.names
