@@ -138,6 +138,9 @@ def _dispatch_summary(stats) -> dict:
         "checksum_verifications": stats.checksum_verifications,
         "spill_retries": stats.spill_retries,
         "spill_failovers": stats.spill_failovers,
+        "sorts_elided": stats.sorts_elided
+        + stats.sorts_subsumed
+        + stats.sorts_refined,
     }
 
 

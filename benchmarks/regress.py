@@ -25,11 +25,22 @@ pipeline regressed:
   dispatch choices are row-count dependent, so cross-scale comparison
   is refused rather than fudged.
 
+The gate also covers the planner order-propagation cells
+(``BENCH_planner.json`` from ``bench_order_propagation.py``) when a
+candidate is supplied: every cell must stay byte-identical to its
+forced-resort oracle, keep its recorded ``sorts_elided`` /
+``cache_prefix_hits`` counters (a drop means the planner silently
+stopped eliding), and hold the ``min_speedup`` floor the cell itself
+records (3x for the single-input elisions, parity for the merge join).
+
 Usage (CI runs exactly this; see ``docs/sort-pipeline.md``)::
 
     python benchmarks/bench_matrix.py --rows 24000 --out BENCH_matrix_ci.json
     python benchmarks/regress.py --baseline BENCH_matrix.json \
         --candidate BENCH_matrix_ci.json
+    python benchmarks/bench_order_propagation.py --out BENCH_planner_ci.json
+    python benchmarks/regress.py --planner-baseline BENCH_planner.json \
+        --planner-candidate BENCH_planner_ci.json
 """
 
 from __future__ import annotations
@@ -44,6 +55,7 @@ DEFAULT_MIN_SECONDS = 0.02
 
 _REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(_REPO, "BENCH_matrix.json")
+DEFAULT_PLANNER_BASELINE = os.path.join(_REPO, "BENCH_planner.json")
 
 
 def dominant_vector_path(dispatch: dict | None) -> str | None:
@@ -121,6 +133,16 @@ def compare(
                     f"{base_rungen!r} -> {cand_rungen!r} without a "
                     f"baseline update"
                 )
+            # Order-propagation savings are deterministic per cell; a
+            # drop means the planner stopped eliding a sort it used to.
+            base_elided = (base_cell.get("dispatch") or {}).get("sorts_elided")
+            cand_elided = (cand_cell.get("dispatch") or {}).get("sorts_elided")
+            if base_elided is not None and cand_elided != base_elided:
+                violations.append(
+                    f"{cell}: sorts_elided changed "
+                    f"{base_elided!r} -> {cand_elided!r} without a "
+                    f"baseline update"
+                )
             base_s = base_cell["seconds"]
             cand_s = cand_cell["seconds"]
             if (scenario, path) == tuple(
@@ -141,34 +163,109 @@ def compare(
     return violations
 
 
+def compare_planner(baseline: dict, candidate: dict) -> list[str]:
+    """Violations of the planner order-propagation trajectory.
+
+    Counters (``sorts_elided``, ``cache_prefix_hits``) are exact: the
+    planner's elision decisions are deterministic for a given (rows,
+    seed), so any drift means the optimizer changed and the baseline
+    must be regenerated in the same commit.  Speedup floors come from
+    the cells themselves (``min_speedup``) and are only enforced when
+    the candidate ran at gate scale (``gated`` true).
+    """
+    violations: list[str] = []
+    for field in ("rows", "seed"):
+        if baseline.get(field) != candidate.get(field):
+            violations.append(
+                f"planner scale mismatch: baseline {field}="
+                f"{baseline.get(field)} vs candidate "
+                f"{candidate.get(field)}; re-run the candidate at the "
+                f"baseline scale"
+            )
+    if violations:
+        return violations
+    for name, base_cell in baseline.get("cells", {}).items():
+        cand_cell = candidate.get("cells", {}).get(name)
+        if cand_cell is None:
+            violations.append(f"planner/{name}: cell missing from candidate")
+            continue
+        if cand_cell.get("identical") is not True:
+            violations.append(
+                f"planner/{name}: elided output not identical to the "
+                f"forced-resort oracle"
+            )
+        for counter in ("sorts_elided", "sorts_subsumed", "cache_prefix_hits"):
+            if counter not in base_cell:
+                continue
+            if cand_cell.get(counter) != base_cell[counter]:
+                violations.append(
+                    f"planner/{name}: {counter} changed "
+                    f"{base_cell[counter]!r} -> {cand_cell.get(counter)!r} "
+                    f"without a baseline update"
+                )
+        floor = base_cell.get("min_speedup")
+        if (
+            floor is not None
+            and candidate.get("gated")
+            and cand_cell.get("speedup", 0.0) < floor
+        ):
+            violations.append(
+                f"planner/{name}: speedup {cand_cell.get('speedup', 0.0):.2f}x "
+                f"fell below the {floor:.1f}x floor (forced "
+                f"{cand_cell.get('forced_s', 0.0):.4f}s vs elided "
+                f"{cand_cell.get('elided_s', 0.0):.4f}s)"
+            )
+    return violations
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
-    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--candidate", default=None)
+    parser.add_argument(
+        "--planner-baseline", default=DEFAULT_PLANNER_BASELINE
+    )
+    parser.add_argument("--planner-candidate", default=None)
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     parser.add_argument(
         "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS
     )
     arguments = parser.parse_args(argv)
-    with open(arguments.baseline) as fh:
-        baseline = json.load(fh)
-    with open(arguments.candidate) as fh:
-        candidate = json.load(fh)
-    violations = compare(
-        baseline,
-        candidate,
-        threshold=arguments.threshold,
-        min_seconds=arguments.min_seconds,
-    )
-    cells = sum(len(entry["paths"]) for entry in baseline["scenarios"].values())
+    if arguments.candidate is None and arguments.planner_candidate is None:
+        parser.error("need --candidate and/or --planner-candidate")
+
+    violations: list[str] = []
+    cells = 0
+    if arguments.candidate is not None:
+        with open(arguments.baseline) as fh:
+            baseline = json.load(fh)
+        with open(arguments.candidate) as fh:
+            candidate = json.load(fh)
+        violations += compare(
+            baseline,
+            candidate,
+            threshold=arguments.threshold,
+            min_seconds=arguments.min_seconds,
+        )
+        cells += sum(
+            len(entry["paths"]) for entry in baseline["scenarios"].values()
+        )
+    if arguments.planner_candidate is not None:
+        with open(arguments.planner_baseline) as fh:
+            planner_baseline = json.load(fh)
+        with open(arguments.planner_candidate) as fh:
+            planner_candidate = json.load(fh)
+        violations += compare_planner(planner_baseline, planner_candidate)
+        cells += len(planner_baseline.get("cells", {}))
     if violations:
         print(f"REGRESSION GATE FAILED ({len(violations)} violation(s)):")
         for line in violations:
             print(f"  - {line}")
         print(
             "If the dispatch or performance change is intended, regenerate "
-            "the baseline (python benchmarks/bench_matrix.py) and commit "
-            "BENCH_matrix.json with this change."
+            "the baseline (python benchmarks/bench_matrix.py and/or "
+            "python benchmarks/bench_order_propagation.py) and commit the "
+            "updated BENCH_*.json with this change."
         )
         return 1
     print(

@@ -73,11 +73,19 @@ def group_by(
     keys: Sequence[str],
     aggregates: Sequence[Aggregate],
     config: SortConfig | None = None,
+    presorted: bool = False,
 ) -> Table:
     """Group ``table`` by ``keys`` and evaluate ``aggregates`` per group.
 
     Output: one row per distinct key combination (NULL is a group, SQL
     semantics), key columns first in key order, then aggregate columns.
+
+    ``presorted`` asserts the input already arrives sorted by ``keys``
+    (ascending, NULLS LAST -- the exact spec this function would sort
+    by): the internal sort is skipped and boundary detection runs
+    directly.  The output is byte-identical either way, because the
+    sort is stable and sorting an already-sorted table is the identity
+    permutation.
     """
     keys = list(keys)
     if not keys:
@@ -94,7 +102,10 @@ def group_by(
                 raise SortError(f"{a.name} needs a numeric column")
 
     spec = SortSpec(tuple(SortKey(k) for k in keys))
-    sorted_table = sort_table(table, spec, config)
+    if presorted:
+        sorted_table = table
+    else:
+        sorted_table = sort_table(table, spec, config)
     n = sorted_table.num_rows
 
     norm = normalize_keys(

@@ -452,6 +452,20 @@ def _print_sort_stats(stats) -> None:
         f"reencoded_rows={stats.reencoded_rows}",
         file=err,
     )
+    if (
+        stats.sorts_elided
+        or stats.sorts_subsumed
+        or stats.sorts_refined
+        or stats.refine_fallbacks
+    ):
+        print(
+            "order_propagation: "
+            f"elided={stats.sorts_elided} "
+            f"subsumed={stats.sorts_subsumed} "
+            f"refined={stats.sorts_refined} "
+            f"refine_fallbacks={stats.refine_fallbacks}",
+            file=err,
+        )
     if stats.key_width_used:
         print(
             "key_width: "
@@ -564,7 +578,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=err,
         )
         print(
-            f"cache: hits={stats.cache_hits} misses={stats.cache_misses}",
+            f"cache: hits={stats.cache_hits} misses={stats.cache_misses} "
+            f"prefix_hits={stats.cache_prefix_hits}",
+            file=err,
+        )
+        print(
+            "order_propagation: "
+            f"elided={stats.sorts_elided} subsumed={stats.sorts_subsumed}",
             file=err,
         )
         print(

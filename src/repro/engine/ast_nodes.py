@@ -14,6 +14,7 @@ __all__ = [
     "OrderItem",
     "TableRef",
     "SubqueryRef",
+    "JoinRef",
     "SelectStatement",
     "Selection",
     "FromItem",
@@ -69,8 +70,21 @@ class SubqueryRef:
     alias: str | None = None
 
 
+@dataclass(frozen=True)
+class JoinRef:
+    """FROM <left> JOIN <right> ON a = b [AND c = d ...]
+
+    ``on`` holds the raw equality pairs as written; which side each
+    column belongs to is resolved at bind time against the two schemas.
+    """
+
+    left: Union[TableRef, SubqueryRef]
+    right: Union[TableRef, SubqueryRef]
+    on: tuple[tuple[str, str], ...]
+
+
 Selection = Union[StarSelection, CountStar, tuple]
-FromItem = Union[TableRef, SubqueryRef]
+FromItem = Union[TableRef, SubqueryRef, JoinRef]
 
 
 @dataclass(frozen=True)

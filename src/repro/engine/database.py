@@ -17,6 +17,7 @@ from repro.engine.operators import (
     FilterOperator,
     GroupByOperator,
     LimitOperator,
+    MergeJoinOperator,
     PhysicalOperator,
     ProjectOperator,
     ScanOperator,
@@ -28,6 +29,7 @@ from repro.engine.parser import parse
 from repro.sort.operator import SortConfig
 from repro.table.table import Table
 from repro.types.schema import Schema
+from repro.types.sortspec import SortSpec
 
 __all__ = ["Database"]
 
@@ -44,16 +46,46 @@ class Database:
     def __init__(self, sort_config: SortConfig | None = None) -> None:
         self._tables: dict[str, Table] = {}
         self._versions: dict[str, int] = {}
+        self._orderings: dict[str, SortSpec] = {}
         self.sort_config = sort_config or SortConfig()
 
     # -- catalog ---------------------------------------------------------- #
 
     def register(self, name: str, table: Table) -> None:
-        """Register (or replace) a named table, bumping its version."""
+        """Register (or replace) a named table, bumping its version.
+
+        Replacing a table drops any declared ordering: the new contents
+        make no sortedness promise until :meth:`declare_ordering` is
+        called again (a maintained-view publisher re-declares after
+        every snapshot).
+        """
         if not name or not name.isidentifier():
             raise EngineError(f"invalid table name {name!r}")
         self._tables[name] = table
         self._versions[name] = self._versions.get(name, 0) + 1
+        self._orderings.pop(name, None)
+
+    def declare_ordering(self, name: str, spec: SortSpec | str) -> None:
+        """Promise that table ``name`` is exactly sorted by ``spec``.
+
+        The optimizer's order-propagation pass consults this catalog to
+        elide, subsume, or downgrade sorts over scans of the table.
+        ``spec`` may be a :class:`SortSpec` or ORDER BY text like
+        ``"a, b DESC"``.  The declaration is the caller's promise --
+        typically a maintained incremental view whose snapshots come
+        out of :meth:`repro.sort.incremental.IncrementalSorter.view` --
+        and is dropped automatically when the table is re-registered.
+        """
+        if isinstance(spec, str):
+            spec = SortSpec.of(*(part.strip() for part in spec.split(",")))
+        schema = self.table(name).schema
+        for key in spec.keys:
+            schema.column(key.column)  # raises on unknown columns
+        self._orderings[name] = spec
+
+    def table_ordering(self, name: str) -> SortSpec | None:
+        """The declared ordering of ``name``, or None if unordered."""
+        return self._orderings.get(name)
 
     def table(self, name: str) -> Table:
         try:
@@ -76,16 +108,35 @@ class Database:
 
     # -- planning ---------------------------------------------------------- #
 
-    def plan(self, sql: str, optimize: bool = True) -> planmod.LogicalPlan:
-        """Parse and bind ``sql``; optionally run the optimizer rewrites."""
+    def plan(
+        self,
+        sql: str,
+        optimize: bool = True,
+        propagate_order: bool = True,
+    ) -> planmod.LogicalPlan:
+        """Parse and bind ``sql``; optionally run the optimizer rewrites.
+
+        ``propagate_order=False`` plans without the order-propagation
+        pass (every sort stays a full sort) -- the oracle configuration
+        the differential tests and benchmarks compare against.
+        """
         logical = planmod.bind(parse(sql), self._schema_of)
         if optimize:
-            logical = planmod.optimize(logical)
+            logical = planmod.optimize(
+                logical,
+                self.table_ordering if propagate_order else None,
+                propagate_order,
+            )
         return logical
 
-    def explain(self, sql: str, optimize: bool = True) -> str:
+    def explain(
+        self,
+        sql: str,
+        optimize: bool = True,
+        propagate_order: bool = True,
+    ) -> str:
         """The textual plan the query would execute."""
-        return planmod.explain(self.plan(sql, optimize))
+        return planmod.explain(self.plan(sql, optimize, propagate_order))
 
     def _physical(
         self,
@@ -105,7 +156,13 @@ class Database:
         if isinstance(logical, planmod.LogicalFilter):
             return FilterOperator(child(), logical.condition)
         if isinstance(logical, planmod.LogicalSort):
-            operator = SortExecOperator(child(), logical.spec, config)
+            operator = SortExecOperator(
+                child(),
+                logical.spec,
+                config,
+                mode=logical.mode,
+                refine_prefix=logical.refine_prefix,
+            )
             if sinks is not None:
                 sinks.append(operator)
             return operator
@@ -114,13 +171,31 @@ class Database:
         if isinstance(logical, planmod.LogicalAggregate):
             return CountAggregateOperator(child())
         if isinstance(logical, planmod.LogicalGroupBy):
-            return GroupByOperator(
+            operator = GroupByOperator(
                 child(),
                 logical.schema,
                 logical.keys,
                 logical.aggregates,
                 config,
+                presorted=logical.presorted,
             )
+            if sinks is not None:
+                sinks.append(operator)
+            return operator
+        if isinstance(logical, planmod.LogicalJoin):
+            operator = MergeJoinOperator(
+                logical.schema,
+                self._physical(logical.left, sort_config, sinks),
+                self._physical(logical.right, sort_config, sinks),
+                logical.left_keys,
+                logical.right_keys,
+                config,
+                left_presorted=logical.left_presorted,
+                right_presorted=logical.right_presorted,
+            )
+            if sinks is not None:
+                sinks.append(operator)
+            return operator
         if isinstance(logical, planmod.LogicalTopN):
             return TopNExecOperator(
                 child(),
@@ -139,9 +214,10 @@ class Database:
             node = stack.pop()
             if isinstance(node, planmod.LogicalScan):
                 names.add(node.table_name)
-            node_child = getattr(node, "child", None)
-            if node_child is not None:
-                stack.append(node_child)
+            for attr in ("child", "left", "right"):
+                node_child = getattr(node, attr, None)
+                if node_child is not None:
+                    stack.append(node_child)
         return tuple(sorted(names))
 
     # -- execution ---------------------------------------------------------- #
@@ -151,16 +227,20 @@ class Database:
         sql: str,
         optimize: bool = True,
         sort_config: SortConfig | None = None,
+        propagate_order: bool = True,
     ) -> Table:
         """Run a query and return the full result table.
 
         ``sort_config`` overrides the database-wide config for this one
         query -- the hook a query service uses to attach its per-query
         cancellation event and memory grant without mutating shared
-        state.
+        state.  ``propagate_order=False`` forces every sort to run in
+        full (the differential oracle).
         """
         return collect(
-            self._physical(self.plan(sql, optimize), sort_config)
+            self._physical(
+                self.plan(sql, optimize, propagate_order), sort_config
+            )
         )
 
     def execute_bound(
@@ -170,8 +250,9 @@ class Database:
     ) -> tuple[Table, list]:
         """Execute an already-bound plan, returning (result, sort stats).
 
-        The stats list holds one ``SortStats`` per full-sort pipeline
-        breaker, in plan order; Top-N and streaming operators
+        The stats list holds one ``SortStats`` per sort-bearing pipeline
+        breaker (full/elided/refined sorts, merge joins, presorted
+        group-bys), in plan order; Top-N and streaming operators
         contribute none.  The service layer plans once (for the cache
         key's table set), then executes here under its per-query
         config.
@@ -190,6 +271,7 @@ class Database:
         sql: str,
         optimize: bool = True,
         sort_config: SortConfig | None = None,
+        propagate_order: bool = True,
     ) -> tuple[Table, list]:
         """Run a query, also returning the sort operators' ``SortStats``.
 
@@ -197,4 +279,6 @@ class Database:
         used to surface governor-forced spills and degradation counters
         per query.
         """
-        return self.execute_bound(self.plan(sql, optimize), sort_config)
+        return self.execute_bound(
+            self.plan(sql, optimize, propagate_order), sort_config
+        )

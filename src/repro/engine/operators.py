@@ -34,6 +34,7 @@ __all__ = [
     "LimitOperator",
     "CountAggregateOperator",
     "GroupByOperator",
+    "MergeJoinOperator",
     "collect",
 ]
 
@@ -118,6 +119,18 @@ class SortExecOperator(PhysicalOperator):
     multi-core executor of :mod:`repro.sort.parallel_exec`; the
     measured parallel schedule lands in ``last_stats`` next to the
     usual counters.
+
+    The optimizer's order-propagation pass downgrades the operator via
+    ``mode``:
+
+    * ``"elided"`` / ``"subsumed"``: the input already arrives in (at
+      least) the requested order -- stream the child through untouched
+      and record only a ``sorts_elided`` / ``sorts_subsumed`` counter.
+    * ``"refine"``: the input is exactly sorted by ``refine_prefix``, a
+      leading prefix of ``spec`` -- run the vectorized tie-group
+      refinement (:func:`repro.sort.refine.refine_sorted`) and fall
+      back to the full sort (counting ``refine_fallbacks``) when that
+      pass declines.
     """
 
     def __init__(
@@ -125,14 +138,50 @@ class SortExecOperator(PhysicalOperator):
         child: PhysicalOperator,
         spec: SortSpec,
         config: SortConfig | None = None,
+        mode: str = "full",
+        refine_prefix: SortSpec | None = None,
     ) -> None:
         super().__init__(child.schema)
         self.child = child
         self.spec = spec
         self.config = config or SortConfig()
+        self.mode = mode
+        self.refine_prefix = refine_prefix
         self.last_stats = None
 
     def chunks(self) -> Iterator[DataChunk]:
+        from repro.sort.operator import SortStats
+
+        if self.mode in ("elided", "subsumed"):
+            stats = SortStats()
+            if self.mode == "elided":
+                stats.sorts_elided += 1
+            else:
+                stats.sorts_subsumed += 1
+            self.last_stats = stats
+            yield from self.child.chunks()
+            return
+        if self.mode == "refine" and self.refine_prefix is not None:
+            from repro.sort.refine import refine_sorted
+
+            source = collect(self.child)
+            stats = SortStats()
+            refined = refine_sorted(
+                source, self.spec, self.refine_prefix, self.config, stats
+            )
+            if refined is not None:
+                self.last_stats = stats
+                yield from chunk_table(refined, self.config.vector_size)
+                return
+            # The refinement pass declined; run the full sort operator.
+            sorter = SortOperator(self.schema, self.spec, self.config)
+            for chunk in chunk_table(source, self.config.vector_size):
+                sorter.sink(chunk)
+            result = sorter.finalize()
+            sorter.stats.refine_fallbacks += 1
+            self.last_stats = sorter.stats
+            yield from chunk_table(result, self.config.vector_size)
+            return
         if self.config.external:
             from repro.sort.external import ExternalSortOperator
 
@@ -225,7 +274,13 @@ class LimitOperator(PhysicalOperator):
 
 
 class GroupByOperator(PhysicalOperator):
-    """Sort-based GROUP BY: a pipeline breaker like the sort itself."""
+    """Sort-based GROUP BY: a pipeline breaker like the sort itself.
+
+    ``presorted`` is the optimizer's order-propagation promise that the
+    input already arrives sorted by the grouping keys; the internal
+    sort is skipped (``last_stats.sorts_elided``) and aggregation runs
+    straight off the group boundaries.
+    """
 
     def __init__(
         self,
@@ -234,18 +289,80 @@ class GroupByOperator(PhysicalOperator):
         keys: tuple[str, ...],
         aggregates: tuple,
         config: SortConfig | None = None,
+        presorted: bool = False,
     ) -> None:
         super().__init__(schema)
         self.child = child
         self.keys = keys
         self.aggregates = aggregates
         self.config = config or SortConfig()
+        self.presorted = presorted
+        self.last_stats = None
 
     def chunks(self) -> Iterator[DataChunk]:
         from repro.aggregate.groupby import group_by
+        from repro.sort.operator import SortStats
 
         source = collect(self.child)
-        result = group_by(source, self.keys, self.aggregates, self.config)
+        if self.presorted:
+            stats = SortStats()
+            stats.sorts_elided += 1
+            self.last_stats = stats
+        result = group_by(
+            source,
+            self.keys,
+            self.aggregates,
+            self.config,
+            presorted=self.presorted,
+        )
+        yield from chunk_table(result)
+
+
+class MergeJoinOperator(PhysicalOperator):
+    """Sort-merge inner join: drains both children, merges sorted runs.
+
+    Order-propagation sets ``left_presorted`` / ``right_presorted`` when
+    that input already arrives sorted by its join keys; the join then
+    skips that side's sort and ``last_stats`` records the elision.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: tuple[str, ...],
+        right_keys: tuple[str, ...],
+        config: SortConfig | None = None,
+        left_presorted: bool = False,
+        right_presorted: bool = False,
+    ) -> None:
+        super().__init__(schema)
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.config = config or SortConfig()
+        self.left_presorted = left_presorted
+        self.right_presorted = right_presorted
+        self.last_stats = None
+
+    def chunks(self) -> Iterator[DataChunk]:
+        from repro.join.merge_join import merge_join
+        from repro.sort.operator import SortStats
+
+        stats = SortStats()
+        result = merge_join(
+            collect(self.left),
+            collect(self.right),
+            self.left_keys,
+            self.right_keys,
+            config=self.config,
+            left_presorted=self.left_presorted,
+            right_presorted=self.right_presorted,
+            stats=stats,
+        )
+        self.last_stats = stats
         yield from chunk_table(result)
 
 

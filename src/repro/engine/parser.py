@@ -15,8 +15,10 @@ plus plain ``SELECT ... ORDER BY ...`` statements.  The grammar:
     select_list:= '*' | item (',' item)*
     item       := column
                 | COUNT '(' ('*' | column) ')'
-                | (SUM|MIN|MAX|AVG) '(' column ')' 
-    from_item  := identifier | '(' select ')' [AS? identifier]
+                | (SUM|MIN|MAX|AVG) '(' column ')'
+    from_item  := base_item [[INNER] JOIN base_item ON join_cond]
+    base_item  := identifier | '(' select ')' [AS? identifier]
+    join_cond  := column '=' column (AND column '=' column)*
     order_list := order_key (',' order_key)*
     order_key  := column [ASC|DESC] [NULLS (FIRST|LAST)]
 
@@ -33,6 +35,7 @@ from repro.errors import ParseError
 from repro.engine.ast_nodes import (
     AggregateItem,
     CountStar,
+    JoinRef,
     OrderItem,
     SelectStatement,
     StarSelection,
@@ -75,6 +78,9 @@ _KEYWORDS = {
     "AS",
     "WHERE",
     "AND",
+    "JOIN",
+    "INNER",
+    "ON",
     "IS",
     "NOT",
     "NULL",
@@ -303,6 +309,28 @@ class _Parser:
         return self.expect_ident()
 
     def parse_from_item(self):
+        item = self.parse_base_from_item()
+        if self.accept_keyword("INNER"):
+            self.expect_keyword("JOIN")
+            return self.parse_join_tail(item)
+        if self.accept_keyword("JOIN"):
+            return self.parse_join_tail(item)
+        return item
+
+    def parse_join_tail(self, left):
+        right = self.parse_base_from_item()
+        self.expect_keyword("ON")
+        pairs = [self.parse_join_equality()]
+        while self.accept_keyword("AND"):
+            pairs.append(self.parse_join_equality())
+        return JoinRef(left, right, tuple(pairs))
+
+    def parse_join_equality(self) -> tuple[str, str]:
+        first = self.expect_ident()
+        self.expect_symbol("=")
+        return first, self.expect_ident()
+
+    def parse_base_from_item(self):
         if self.accept_symbol("("):
             subquery = self.parse_select()
             self.expect_symbol(")")

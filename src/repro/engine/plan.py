@@ -1,4 +1,4 @@
-"""Logical plans, binding, and the two optimizer rules that matter here.
+"""Logical plans, binding, and the optimizer rules that matter here.
 
 The paper's benchmarking methodology (Section VII-A) hinges on optimizer
 behaviour: a full sort is dropped when its order cannot affect the result
@@ -7,9 +7,32 @@ specialized top-N operator.  We implement exactly those rules so the
 paper's counter-measure -- adding ``OFFSET 1`` -- is observable in this
 engine too.
 
+On top of those, the planner propagates **order properties** bottom-up
+(Do & Graefe's "interesting orderings" reuse, arXiv 2209.08420): every
+node derives the :class:`~repro.types.sortspec.SortSpec` its output is
+known to be sorted by (:func:`provided_ordering`) -- scans of tables
+with a declared ordering (incremental sorted views), sorts, group-bys
+and merge joins establish order; filters, projections and limits
+preserve it.  :func:`optimize` then rewrites each ``LogicalSort`` whose
+requirement is already provided:
+
+* **elided** -- the provided ordering equals the spec; the sort becomes
+  a pass-through.
+* **subsumed** -- the spec is a proper prefix of the provided ordering
+  (``ORDER BY a, b`` over input sorted ``a, b, c``); also pass-through.
+* **refine** -- a proper prefix of the spec is provided; the sort
+  downgrades to the vectorized tie-group refinement pass
+  (:func:`repro.sort.refine.refine_sorted`) that only orders rows
+  *within* already-sorted prefix groups.
+
+The same derivation marks ``LogicalGroupBy`` inputs as presorted (the
+aggregate skips its internal sort) and elides either input sort of a
+``LogicalJoin`` (sort-merge join over pre-sorted inputs).
+
 Plan shape::
 
-    Scan -> [Project] -> [Sort] -> [Limit] -> [Aggregate]
+    Scan[/Join] -> [Filter] -> [GroupBy] -> [Sort] -> [Limit]
+        -> [Project | Aggregate]
 
 built from the AST by :func:`bind`, rewritten by :func:`optimize`.
 """
@@ -24,6 +47,7 @@ from repro.errors import BindError
 from repro.engine.ast_nodes import (
     AggregateItem,
     CountStar,
+    JoinRef,
     SelectStatement,
     StarSelection,
     SubqueryRef,
@@ -31,7 +55,12 @@ from repro.engine.ast_nodes import (
 )
 from repro.types.datatypes import BIGINT, DOUBLE
 from repro.types.schema import ColumnDef, Schema
-from repro.types.sortspec import SortSpec
+from repro.types.sortspec import (
+    SortKey,
+    SortSpec,
+    common_order_prefix,
+    ordering_satisfies,
+)
 
 __all__ = [
     "LogicalPlan",
@@ -42,11 +71,16 @@ __all__ = [
     "LogicalLimit",
     "LogicalAggregate",
     "LogicalGroupBy",
+    "LogicalJoin",
     "LogicalTopN",
     "bind",
     "optimize",
+    "provided_ordering",
     "explain",
 ]
+
+OrderingLookup = Callable[[str], "SortSpec | None"]
+"""Resolves a base table name to its declared ordering, or ``None``."""
 
 
 @dataclass(frozen=True)
@@ -77,8 +111,24 @@ class LogicalFilter(LogicalPlan):
 
 @dataclass(frozen=True)
 class LogicalSort(LogicalPlan):
+    """ORDER BY.  ``mode`` records what the optimizer decided:
+
+    * ``"full"`` -- run the sort operator (the default).
+    * ``"elided"`` / ``"subsumed"`` -- the input's provided ordering
+      already satisfies (equals / extends beyond) the spec; execution
+      streams chunks through untouched.
+    * ``"refine"`` -- the input provides ``refine_prefix`` (a proper
+      leading prefix of the spec); execution only orders rows within
+      the existing prefix groups.
+
+    ``reason`` names the order source for ``explain`` output.
+    """
+
     child: LogicalPlan
     spec: SortSpec
+    mode: str = "full"
+    reason: str = ""
+    refine_prefix: SortSpec | None = None
 
 
 @dataclass(frozen=True)
@@ -97,11 +147,38 @@ class LogicalAggregate(LogicalPlan):
 
 @dataclass(frozen=True)
 class LogicalGroupBy(LogicalPlan):
-    """Sort-based GROUP BY with aggregate expressions."""
+    """Sort-based GROUP BY with aggregate expressions.
+
+    ``presorted`` is set by the optimizer when the input's provided
+    ordering covers the grouping keys (ascending, NULLS LAST); the
+    physical operator then skips its internal sort and detects group
+    boundaries directly.
+    """
 
     child: LogicalPlan
     keys: tuple[str, ...]
     aggregates: tuple[Aggregate, ...]
+    presorted: bool = False
+
+
+@dataclass(frozen=True)
+class LogicalJoin(LogicalPlan):
+    """Inner sort-merge equi-join of two children.
+
+    Output columns are all left columns then all right columns, with
+    colliding names prefixed ``l_`` / ``r_`` (mirroring
+    :func:`repro.join.merge_join.merge_join`).  ``left_presorted`` /
+    ``right_presorted`` are set by the optimizer when that side's
+    provided ordering already covers its join keys, eliding the
+    operator's input sort.
+    """
+
+    left: LogicalPlan
+    right: LogicalPlan
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+    left_presorted: bool = False
+    right_presorted: bool = False
 
 
 @dataclass(frozen=True)
@@ -123,14 +200,7 @@ CatalogLookup = Callable[[str], Schema]
 
 def bind(statement: SelectStatement, catalog: CatalogLookup) -> LogicalPlan:
     """Resolve names and produce the canonical logical plan."""
-    source = statement.source
-    if isinstance(source, TableRef):
-        schema = catalog(source.name)
-        plan: LogicalPlan = LogicalScan(schema, source.name)
-    elif isinstance(source, SubqueryRef):
-        plan = bind(source.query, catalog)
-    else:  # pragma: no cover - parser only produces the two above
-        raise BindError(f"unsupported FROM item {source!r}")
+    plan = _bind_from_item(statement.source, catalog)
 
     if statement.where is not None:
         statement.where.validate(plan.schema)
@@ -188,6 +258,71 @@ def bind(statement: SelectStatement, catalog: CatalogLookup) -> LogicalPlan:
     elif not isinstance(selection, StarSelection):  # pragma: no cover
         raise BindError(f"unsupported selection {selection!r}")
     return plan
+
+
+def _bind_from_item(source, catalog: CatalogLookup) -> LogicalPlan:
+    if isinstance(source, TableRef):
+        return LogicalScan(catalog(source.name), source.name)
+    if isinstance(source, SubqueryRef):
+        return bind(source.query, catalog)
+    if isinstance(source, JoinRef):
+        return _bind_join(source, catalog)
+    raise BindError(f"unsupported FROM item {source!r}")
+
+
+def join_output_schema(left: Schema, right: Schema) -> Schema:
+    """The merge join's output schema: left then right columns, with
+    colliding names prefixed ``l_`` / ``r_`` (exactly the naming of
+    :func:`repro.join.merge_join.merge_join`)."""
+    defs = []
+    for column in left.columns:
+        name = f"l_{column.name}" if column.name in right else column.name
+        defs.append(ColumnDef(name, column.dtype, column.nullable))
+    for column in right.columns:
+        name = f"r_{column.name}" if column.name in left else column.name
+        defs.append(ColumnDef(name, column.dtype, column.nullable))
+    return Schema(tuple(defs))
+
+
+def _bind_join(source: JoinRef, catalog: CatalogLookup) -> LogicalPlan:
+    """Resolve a ``FROM x JOIN y ON a = b [AND ...]`` item.
+
+    Each ON equality's bare column names are resolved by side: the name
+    found in the left schema pairs with the name found in the right
+    (either order per equality).  A name present in both schemas binds
+    left-first.
+    """
+    left = _bind_from_item(source.left, catalog)
+    right = _bind_from_item(source.right, catalog)
+    left_keys: list[str] = []
+    right_keys: list[str] = []
+    for a, b in source.on:
+        if a in left.schema and b in right.schema:
+            lk, rk = a, b
+        elif b in left.schema and a in right.schema:
+            lk, rk = b, a
+        else:
+            raise BindError(
+                f"cannot resolve join condition {a} = {b}: need one "
+                f"column from each side (left has "
+                f"{list(left.schema.names)}, right has "
+                f"{list(right.schema.names)})"
+            )
+        lt = left.schema.column(lk).dtype
+        rt = right.schema.column(rk).dtype
+        if lt.type_id is not rt.type_id:
+            raise BindError(
+                f"cannot join {lk} ({lt.name}) with {rk} ({rt.name})"
+            )
+        left_keys.append(lk)
+        right_keys.append(rk)
+    return LogicalJoin(
+        join_output_schema(left.schema, right.schema),
+        left,
+        right,
+        tuple(left_keys),
+        tuple(right_keys),
+    )
 
 
 def _select_item_name(item) -> str:
@@ -265,14 +400,118 @@ def _bind_group_by(
 # ---------------------------------------------------------------------- #
 
 
-def optimize(plan: LogicalPlan) -> LogicalPlan:
-    """Apply the sort-elision and top-N rewrites bottom-up."""
-    plan = _rewrite_children(plan)
+def provided_ordering(
+    plan: LogicalPlan, table_ordering: OrderingLookup | None = None
+) -> SortSpec | None:
+    """The ordering a node's output is known to carry, or ``None``.
+
+    Derivation rules (bottom-up):
+
+    * ``Scan`` -- the table's declared ordering (``table_ordering``),
+      e.g. a published incremental sorted view.
+    * ``Filter`` / ``Limit`` -- preserve the child's ordering.
+    * ``Project`` -- preserves the longest leading prefix whose columns
+      survive the projection.
+    * ``Sort`` / ``TopN`` -- establish their spec; a pass-through
+      (elided/subsumed) sort re-provides the child's stronger ordering.
+    * ``GroupBy`` -- output rows are in key order (ascending, NULLS
+      LAST): the sort-based aggregate emits groups sorted by its keys.
+    * ``Join`` -- the merge join emits key groups in left-key order, so
+      the output is sorted by the left join keys (ascending, NULLS
+      LAST) under their output names.
+    """
+    lookup = table_ordering or (lambda name: None)
+    if isinstance(plan, LogicalScan):
+        return lookup(plan.table_name)
+    if isinstance(plan, (LogicalFilter, LogicalLimit)):
+        return provided_ordering(plan.child, lookup)
+    if isinstance(plan, LogicalProject):
+        child = provided_ordering(plan.child, lookup)
+        if child is None:
+            return None
+        kept = []
+        for key in child.keys:
+            if key.column not in plan.columns:
+                break
+            kept.append(key)
+        return SortSpec(tuple(kept)) if kept else None
+    if isinstance(plan, LogicalSort):
+        if plan.mode in ("elided", "subsumed"):
+            return provided_ordering(plan.child, lookup)
+        return plan.spec
+    if isinstance(plan, LogicalTopN):
+        return plan.spec
+    if isinstance(plan, LogicalGroupBy):
+        return SortSpec(tuple(SortKey(k) for k in plan.keys))
+    if isinstance(plan, LogicalJoin):
+        keys = []
+        for name in plan.left_keys:
+            output = f"l_{name}" if name in plan.right.schema else name
+            keys.append(SortKey(output))
+        return SortSpec(tuple(keys))
+    return None
+
+
+def _order_source(plan: LogicalPlan) -> str:
+    """A short label for where a provided ordering came from."""
+    if isinstance(plan, (LogicalFilter, LogicalLimit)):
+        return _order_source(plan.child)
+    if isinstance(plan, LogicalProject):
+        return _order_source(plan.child)
+    if isinstance(plan, LogicalScan):
+        return f"Scan({plan.table_name})"
+    if isinstance(plan, LogicalSort):
+        if plan.mode in ("elided", "subsumed"):
+            return _order_source(plan.child)
+        return "Sort"
+    if isinstance(plan, LogicalTopN):
+        return "TopN"
+    if isinstance(plan, LogicalGroupBy):
+        return "GroupBy"
+    if isinstance(plan, LogicalJoin):
+        return "MergeJoin"
+    return "input"
+
+
+def optimize(
+    plan: LogicalPlan,
+    table_ordering: OrderingLookup | None = None,
+    propagate_order: bool = True,
+) -> LogicalPlan:
+    """Apply sort-elision, order-propagation, and top-N rewrites.
+
+    ``table_ordering`` resolves base-table names to declared orderings
+    (:meth:`repro.engine.database.Database.table_ordering`); without it
+    only orderings established *inside* the plan (sorts, group-bys,
+    joins) propagate.  ``propagate_order=False`` disables the whole
+    order-propagation pass (every sort runs in full) while keeping the
+    classic rewrites -- the oracle configuration differential tests
+    compare against.
+    """
+    lookup = table_ordering or (lambda name: None)
+    return _optimize(plan, lookup, propagate_order)
+
+
+def _optimize(
+    plan: LogicalPlan, lookup: OrderingLookup, propagate: bool = True
+) -> LogicalPlan:
+    plan = _rewrite_children(plan, lookup, propagate)
     if isinstance(plan, LogicalAggregate):
         plan = replace(plan, child=_drop_irrelevant_sort(plan.child))
+    if propagate and isinstance(plan, LogicalSort):
+        plan = _apply_order_property(plan, lookup)
+    if propagate and isinstance(plan, LogicalGroupBy) and not plan.presorted:
+        needed = SortSpec(tuple(SortKey(k) for k in plan.keys))
+        if ordering_satisfies(provided_ordering(plan.child, lookup), needed):
+            plan = replace(plan, presorted=True)
+    if propagate and isinstance(plan, LogicalJoin):
+        plan = _elide_join_input_sorts(plan, lookup)
     if isinstance(plan, LogicalLimit) and isinstance(plan.child, LogicalSort):
-        # ORDER BY ... LIMIT n [OFFSET m] -> top-N (paper, Section VII-A).
-        if plan.limit is not None:
+        # ORDER BY ... LIMIT n [OFFSET m] -> top-N (paper, Section VII-A)
+        # -- but only for a sort that would actually run: a pass-through
+        # or refine-mode sort under a streaming Limit is already cheaper
+        # than a heap over the whole input.
+        if plan.limit is not None and plan.child.mode == "full":
             sort = plan.child
             return LogicalTopN(
                 plan.schema, sort.child, sort.spec, plan.limit, plan.offset
@@ -280,7 +519,61 @@ def optimize(plan: LogicalPlan) -> LogicalPlan:
     return plan
 
 
-def _rewrite_children(plan: LogicalPlan) -> LogicalPlan:
+def _apply_order_property(
+    sort: LogicalSort, lookup: OrderingLookup
+) -> LogicalSort:
+    """Downgrade a sort whose requirement is (partly) provided."""
+    provided = provided_ordering(sort.child, lookup)
+    if provided is None:
+        return sort
+    shared = common_order_prefix(provided, sort.spec)
+    if shared >= len(sort.spec.keys):
+        mode = (
+            "elided" if len(provided.keys) == len(sort.spec.keys)
+            else "subsumed"
+        )
+        return replace(
+            sort,
+            mode=mode,
+            reason=f"provided by {_order_source(sort.child)}",
+            refine_prefix=None,
+        )
+    if shared > 0:
+        return replace(
+            sort,
+            mode="refine",
+            reason=f"prefix provided by {_order_source(sort.child)}",
+            refine_prefix=SortSpec(sort.spec.keys[:shared]),
+        )
+    return sort
+
+
+def _elide_join_input_sorts(
+    join: LogicalJoin, lookup: OrderingLookup
+) -> LogicalJoin:
+    """Mark join inputs whose provided ordering covers their keys."""
+    left_need = SortSpec(tuple(SortKey(k) for k in join.left_keys))
+    right_need = SortSpec(tuple(SortKey(k) for k in join.right_keys))
+    if not join.left_presorted and ordering_satisfies(
+        provided_ordering(join.left, lookup), left_need
+    ):
+        join = replace(join, left_presorted=True)
+    if not join.right_presorted and ordering_satisfies(
+        provided_ordering(join.right, lookup), right_need
+    ):
+        join = replace(join, right_presorted=True)
+    return join
+
+
+def _rewrite_children(
+    plan: LogicalPlan, lookup: OrderingLookup, propagate: bool
+) -> LogicalPlan:
+    if isinstance(plan, LogicalJoin):
+        return replace(
+            plan,
+            left=_optimize(plan.left, lookup, propagate),
+            right=_optimize(plan.right, lookup, propagate),
+        )
     if isinstance(
         plan,
         (
@@ -292,7 +585,7 @@ def _rewrite_children(plan: LogicalPlan) -> LogicalPlan:
             LogicalGroupBy,
         ),
     ):
-        return replace(plan, child=optimize(plan.child))
+        return replace(plan, child=_optimize(plan.child, lookup, propagate))
     return plan
 
 
@@ -331,7 +624,16 @@ def explain(plan: LogicalPlan, indent: int = 0) -> str:
         )
         return f"{pad}Filter({parts})\n" + explain(plan.child, indent + 1)
     if isinstance(plan, LogicalSort):
-        return f"{pad}Sort({plan.spec})\n" + explain(plan.child, indent + 1)
+        if plan.mode == "full":
+            label = f"Sort({plan.spec})"
+        elif plan.mode == "refine":
+            label = (
+                f"Sort[refine: {plan.refine_prefix} {plan.reason}]"
+                f"({plan.spec})"
+            )
+        else:
+            label = f"Sort[{plan.mode}: {plan.reason}]({plan.spec})"
+        return f"{pad}{label}\n" + explain(plan.child, indent + 1)
     if isinstance(plan, LogicalLimit):
         return (
             f"{pad}Limit(limit={plan.limit}, offset={plan.offset})\n"
@@ -342,9 +644,28 @@ def explain(plan: LogicalPlan, indent: int = 0) -> str:
     if isinstance(plan, LogicalGroupBy):
         aggs = ", ".join(a.output_name for a in plan.aggregates)
         keys = ", ".join(plan.keys)
+        presorted = ", presorted" if plan.presorted else ""
         return (
-            f"{pad}GroupBy(keys=[{keys}], aggregates=[{aggs}])\n"
+            f"{pad}GroupBy(keys=[{keys}], aggregates=[{aggs}]{presorted})\n"
             + explain(plan.child, indent + 1)
+        )
+    if isinstance(plan, LogicalJoin):
+        pairs = ", ".join(
+            f"{lk} = {rk}" for lk, rk in zip(plan.left_keys, plan.right_keys)
+        )
+        notes = "".join(
+            f", {side} presorted"
+            for side, flag in (
+                ("left", plan.left_presorted),
+                ("right", plan.right_presorted),
+            )
+            if flag
+        )
+        return (
+            f"{pad}MergeJoin(on [{pairs}]{notes})\n"
+            + explain(plan.left, indent + 1)
+            + "\n"
+            + explain(plan.right, indent + 1)
         )
     if isinstance(plan, LogicalTopN):
         return (

@@ -6,13 +6,25 @@ compare tuples", requiring the full tuple comparisons that make
 interpreted engines slow and normalized keys attractive (Section V-B).
 
 This operator does exactly that: both inputs are sorted by their join
-keys with the paper's sort operator (normalized keys and all), then a
-single merge pass aligns equal-key groups and emits their cross products.
-Comparisons during the merge are memcmp over normalized keys -- the
-behaviour Section V-B argues for.
+keys with the paper's sort operator (normalized keys and all), then the
+equal-key groups of the two sides are aligned and their cross products
+emitted.  The alignment itself is vectorized over the kernel layer's
+whole-row scalars (:func:`repro.sort.kernels.void_view`): one
+``searchsorted`` matches every left group against the right side's
+group representatives in memcmp order -- the same comparison the k-way
+merge kernel streams through -- and the matched groups' cross products
+are expanded with ``repeat``/arange arithmetic, no per-group Python
+loop.
 
-SQL semantics: NULL join keys match nothing (inner join), and rows within
-a group keep their sorted order, so output order is deterministic.
+Planner integration: ``left_presorted`` / ``right_presorted`` skip that
+side's input sort when the caller (the optimizer's order-propagation
+pass, :mod:`repro.engine.plan`) knows the input already arrives sorted
+by its join keys; ``stats.sorts_elided`` counts each skipped sort.
+
+SQL semantics: NULL join keys match nothing (inner join), and rows
+within a group keep their sorted order, so output order is
+deterministic -- key groups ascend by the left join keys, pairs within
+a group are in (left-sorted, right-sorted) nested order.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ import numpy as np
 
 from repro.errors import SortError
 from repro.keys.normalizer import MAX_STRING_PREFIX, normalize_keys
+from repro.sort.kernels import void_view
 from repro.sort.operator import SortConfig, sort_table
 from repro.table.table import Table
 from repro.types.schema import ColumnDef, Schema
@@ -60,6 +73,9 @@ def merge_join(
     left_prefix: str = "l_",
     right_prefix: str = "r_",
     config: SortConfig | None = None,
+    left_presorted: bool = False,
+    right_presorted: bool = False,
+    stats=None,
 ) -> Table:
     """Inner sort-merge join of two tables on equality of key columns.
 
@@ -69,6 +85,12 @@ def merge_join(
         left_prefix, right_prefix: prefixes applied to colliding output
             column names.
         config: sort configuration for the two input sorts.
+        left_presorted, right_presorted: skip that side's input sort;
+            the caller asserts the table already arrives sorted by its
+            join keys (ascending, NULLS LAST) -- the planner sets this
+            from the provided-ordering derivation.
+        stats: optional :class:`repro.sort.operator.SortStats`;
+            ``sorts_elided`` counts each presorted side.
 
     Returns:
         The joined table: all left columns then all right columns, with
@@ -93,12 +115,22 @@ def merge_join(
 
     left_spec = SortSpec(tuple(SortKey(k) for k in left_keys))
     right_spec = SortSpec(tuple(SortKey(k) for k in right_keys))
-    left_sorted = sort_table(left, left_spec, config)
-    right_sorted = sort_table(right, right_spec, config)
+    if left_presorted:
+        left_sorted = left
+        if stats is not None:
+            stats.sorts_elided += 1
+    else:
+        left_sorted = sort_table(left, left_spec, config)
+    if right_presorted:
+        right_sorted = right
+        if stats is not None:
+            stats.sorts_elided += 1
+    else:
+        right_sorted = sort_table(right, right_spec, config)
 
     # Normalized keys with a fixed string prefix: both sides share one
     # encoding, so group alignment is memcmp over byte rows.  A truncated
-    # prefix only over-groups; exact equality is re-checked per group.
+    # prefix only over-groups; exact equality is re-checked per pair.
     left_norm = normalize_keys(
         left_sorted, left_spec, string_prefix=MAX_STRING_PREFIX,
         include_row_id=False,
@@ -107,40 +139,10 @@ def merge_join(
         right_sorted, right_spec, string_prefix=MAX_STRING_PREFIX,
         include_row_id=False,
     )
-    prefix_exact = left_norm.prefix_exact and right_norm.prefix_exact
 
-    left_valid = _all_keys_valid(left_sorted, left_keys)
-    right_valid = _all_keys_valid(right_sorted, right_keys)
-
-    left_starts = _group_boundaries(left_norm.matrix)
-    right_starts = _group_boundaries(right_norm.matrix)
-
-    left_out: list[np.ndarray] = []
-    right_out: list[np.ndarray] = []
-    li = ri = 0
-    while li + 1 < len(left_starts) and ri + 1 < len(right_starts):
-        l_start, l_stop = int(left_starts[li]), int(left_starts[li + 1])
-        r_start, r_stop = int(right_starts[ri]), int(right_starts[ri + 1])
-        l_key = left_norm.matrix[l_start].tobytes()
-        r_key = right_norm.matrix[r_start].tobytes()
-        if l_key < r_key:
-            li += 1
-        elif r_key < l_key:
-            ri += 1
-        else:
-            _emit_group(
-                left_sorted, right_sorted, left_keys, right_keys,
-                left_valid, right_valid, prefix_exact,
-                l_start, l_stop, r_start, r_stop, left_out, right_out,
-            )
-            li += 1
-            ri += 1
-
-    left_index = (
-        np.concatenate(left_out) if left_out else np.zeros(0, dtype=np.int64)
-    )
-    right_index = (
-        np.concatenate(right_out) if right_out else np.zeros(0, dtype=np.int64)
+    left_index, right_index = _align_groups(
+        left_sorted, right_sorted, left_keys, right_keys,
+        left_norm, right_norm,
     )
     left_rows = left_sorted.take(left_index)
     right_rows = right_sorted.take(right_index)
@@ -162,48 +164,73 @@ def _all_keys_valid(table: Table, keys: list[str]) -> np.ndarray:
     return valid
 
 
-def _emit_group(
+def _align_groups(
     left_sorted: Table,
     right_sorted: Table,
     left_keys: list[str],
     right_keys: list[str],
-    left_valid: np.ndarray,
-    right_valid: np.ndarray,
-    prefix_exact: bool,
-    l_start: int,
-    l_stop: int,
-    r_start: int,
-    r_stop: int,
-    left_out: list[np.ndarray],
-    right_out: list[np.ndarray],
-) -> None:
-    """Emit the cross product of one matched key group.
+    left_norm,
+    right_norm,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row index pairs of the join, fully vectorized.
 
-    NULL keys match nothing; when string prefixes were truncated the
-    group's rows are re-checked on full values (a prefix group may mix
-    several true keys).
+    NULL keys are dropped up front (they match nothing, and both specs
+    sort them last so removal preserves group contiguity); group
+    representatives are matched side-to-side with one ``searchsorted``
+    over whole-row void scalars; matched groups expand to their cross
+    products with repeat/arange arithmetic.  When a string prefix was
+    truncated the candidate pairs are re-checked against the full
+    values in one vectorized comparison per affected key column.
     """
-    l_index = np.arange(l_start, l_stop, dtype=np.int64)[
-        left_valid[l_start:l_stop]
-    ]
-    r_index = np.arange(r_start, r_stop, dtype=np.int64)[
-        right_valid[r_start:r_stop]
-    ]
-    if len(l_index) == 0 or len(r_index) == 0:
-        return
-    if prefix_exact:
-        left_out.append(np.repeat(l_index, len(r_index)))
-        right_out.append(np.tile(r_index, len(l_index)))
-        return
-    # Truncated prefixes: group by exact values within the prefix group.
-    for li in l_index:
-        l_values = tuple(
-            left_sorted.column(k).value(int(li)) for k in left_keys
+    empty = np.zeros(0, dtype=np.int64)
+    l_rows = np.flatnonzero(_all_keys_valid(left_sorted, left_keys))
+    r_rows = np.flatnonzero(_all_keys_valid(right_sorted, right_keys))
+    if len(l_rows) == 0 or len(r_rows) == 0:
+        return empty, empty
+    l_matrix = left_norm.matrix[l_rows]
+    r_matrix = right_norm.matrix[r_rows]
+    left_starts = _group_boundaries(l_matrix)
+    right_starts = _group_boundaries(r_matrix)
+
+    l_group_keys = void_view(np.ascontiguousarray(l_matrix[left_starts[:-1]]))
+    r_group_keys = void_view(np.ascontiguousarray(r_matrix[right_starts[:-1]]))
+    pos = np.searchsorted(r_group_keys, l_group_keys)
+    in_range = pos < len(r_group_keys)
+    matched = np.zeros(len(l_group_keys), dtype=bool)
+    matched[in_range] = r_group_keys[pos[in_range]] == l_group_keys[in_range]
+    lg = np.flatnonzero(matched)
+    rg = pos[matched]
+    if len(lg) == 0:
+        return empty, empty
+
+    l_start = left_starts[lg]
+    l_len = left_starts[lg + 1] - l_start
+    r_start = right_starts[rg]
+    r_len = right_starts[rg + 1] - r_start
+    pair_counts = l_len * r_len
+    total = int(pair_counts.sum())
+    base = np.repeat(np.cumsum(pair_counts) - pair_counts, pair_counts)
+    ordinal = np.arange(total, dtype=np.int64) - base
+    r_len_rep = np.repeat(r_len, pair_counts)
+    left_pos = np.repeat(l_start, pair_counts) + ordinal // r_len_rep
+    right_pos = np.repeat(r_start, pair_counts) + ordinal % r_len_rep
+    left_index = l_rows[left_pos]
+    right_index = r_rows[right_pos]
+
+    # Truncated prefixes over-group: re-check exact equality per pair,
+    # only for key columns whose prefix was inexact on either side.
+    l_segments = left_norm.layout.segments
+    r_segments = right_norm.layout.segments
+    keep = None
+    for i, (lk, rk) in enumerate(zip(left_keys, right_keys)):
+        if l_segments[i].prefix_exact and r_segments[i].prefix_exact:
+            continue
+        equal = (
+            left_sorted.column(lk).data[left_index]
+            == right_sorted.column(rk).data[right_index]
         )
-        for ri in r_index:
-            r_values = tuple(
-                right_sorted.column(k).value(int(ri)) for k in right_keys
-            )
-            if l_values == r_values:
-                left_out.append(np.array([li], dtype=np.int64))
-                right_out.append(np.array([ri], dtype=np.int64))
+        keep = equal if keep is None else (keep & equal)
+    if keep is not None:
+        left_index = left_index[keep]
+        right_index = right_index[keep]
+    return left_index, right_index

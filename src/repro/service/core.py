@@ -87,12 +87,18 @@ class ServiceStats:
     governor; ``cancelled`` tickets aborted by the caller;
     ``timed_out`` tickets whose deadline expired mid-flight.
     ``governor_forced_spills`` sums the per-query
-    ``SortStats.governor_forced_spills`` of completed queries.  Grant
-    and spill watermarks come from the governor, cache hit counters
-    from the result cache.  ``view_deltas`` / ``view_snapshots`` count
-    completed maintenance operations on incremental sorted views
-    (:meth:`SortService.append_delta` / :meth:`~SortService.
-    view_snapshot`); both also count under ``completed``.
+    ``SortStats.governor_forced_spills`` of completed queries, and
+    ``sorts_elided`` / ``sorts_subsumed`` likewise sum the planner's
+    order-propagation savings (sorts skipped because their order was
+    already provided).  Grant and spill watermarks come from the
+    governor, cache hit counters from the result cache --
+    ``cache_prefix_hits`` counts requests answered below full-query
+    granularity (a cached full ORDER BY sliced for Top-N or served
+    under a prefix-compatible ORDER BY).  ``view_deltas`` /
+    ``view_snapshots`` count completed maintenance operations on
+    incremental sorted views (:meth:`SortService.append_delta` /
+    :meth:`~SortService.view_snapshot`); both also count under
+    ``completed``.
     """
 
     admitted: int = 0
@@ -106,6 +112,9 @@ class ServiceStats:
     view_snapshots: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_prefix_hits: int = 0
+    sorts_elided: int = 0
+    sorts_subsumed: int = 0
     grant_waits: int = 0
     grant_wait_s: float = 0.0
     revocations: int = 0
@@ -475,6 +484,28 @@ class SortService:
             f"@view-snapshot {name}", work, priority, deadline_s
         )
 
+    def publish_view(
+        self,
+        name: str,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+    ) -> Table:
+        """Snapshot a maintained view into the database catalog.
+
+        Takes a :meth:`view_snapshot` (exact sorted order), registers
+        the result as table ``name``, and declares its ordering via
+        :meth:`repro.engine.database.Database.declare_ordering` -- so
+        subsequent queries over the published view get planner-level
+        sort elision, subsumption, and tie-group refinement.  Blocks
+        for the snapshot; returns the published table.
+        """
+        view = self._view(name)
+        table = self.view_snapshot(name, priority, deadline_s).result(timeout)
+        self.database.register(name, table)
+        self.database.declare_ordering(name, view.sorter.spec)
+        return table
+
     def view_stats(self, name: str):
         """The view's :class:`repro.sort.incremental.IncrementalStats`."""
         return self._view(name).sorter.stats
@@ -573,6 +604,11 @@ class SortService:
                 )
                 key = ResultCache.key(ticket.sql, versions)
                 cached = self.cache.get(key)
+                if cached is None:
+                    # Below full-query granularity: a cached complete
+                    # ORDER BY result can answer this query's Top-N /
+                    # prefix-compatible ORDER BY by slicing.
+                    cached = self.cache.serve_prefix(ticket.sql, versions)
                 if cached is not None:
                     with self._lock:
                         self._stats.completed += 1
@@ -584,7 +620,7 @@ class SortService:
             self._finish_error(ticket, error)
             return
         if key is not None:
-            self.cache.put(key, result)
+            self.cache.put(key, result, ticket.sql)
         self._observe_latency(time.monotonic() - started)
         with self._lock:
             self._stats.completed += 1
@@ -592,6 +628,8 @@ class SortService:
                 self._stats.governor_forced_spills += (
                     stats.governor_forced_spills
                 )
+                self._stats.sorts_elided += stats.sorts_elided
+                self._stats.sorts_subsumed += stats.sorts_subsumed
         ticket._complete(result)
 
     def _run_query(self, ticket: QueryTicket, plan) -> Table:
@@ -680,4 +718,5 @@ class SortService:
         )
         snapshot.cache_hits = self.cache.hits
         snapshot.cache_misses = self.cache.misses
+        snapshot.cache_prefix_hits = self.cache.prefix_hits
         return snapshot

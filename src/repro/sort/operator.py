@@ -414,6 +414,18 @@ class SortStats:
     ``run_threshold`` because a shrinking memory grant
     (``SortConfig.memory_grant``) lowered the live threshold -- the
     governor forcing an early spill.
+
+    The order-propagation counters describe planner-level sortedness
+    reuse (:mod:`repro.engine.plan`): ``sorts_elided`` counts sorts
+    skipped entirely because the input's provided ordering already
+    satisfied the spec, ``sorts_subsumed`` sorts satisfied by a strictly
+    longer provided ordering (``ORDER BY a, b`` over input sorted
+    ``a, b, c``), ``sorts_refined`` sorts downgraded to the tie-group
+    refinement pass (:func:`repro.sort.refine.refine_sorted`) because a
+    proper prefix of the spec was provided, and ``refine_fallbacks``
+    refine attempts that fell back to a full sort (truncated-VARCHAR
+    suffixes where :func:`repro.sort.stringsort.refinement_must_defer`
+    says byte order is inexact, or a scalar-only config).
     """
 
     rows_sorted: int = 0
@@ -462,6 +474,10 @@ class SortStats:
     rungen_probe: float = -1.0
     merge_passes: int = 0
     governor_forced_spills: int = 0
+    sorts_elided: int = 0
+    sorts_subsumed: int = 0
+    sorts_refined: int = 0
+    refine_fallbacks: int = 0
 
     def record_vector_sort(self, path: str, reason: str) -> None:
         self.vector_sort_paths[path] = self.vector_sort_paths.get(path, 0) + 1

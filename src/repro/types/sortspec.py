@@ -24,7 +24,9 @@ __all__ = [
     "NullOrder",
     "SortKey",
     "SortSpec",
+    "common_order_prefix",
     "compare_values",
+    "ordering_satisfies",
     "tuple_compare",
 ]
 
@@ -158,6 +160,46 @@ class SortSpec:
 
     def __str__(self) -> str:
         return ", ".join(str(k) for k in self.keys)
+
+
+def _keys_equivalent(provided: SortKey, required: SortKey) -> bool:
+    """Whether one provided key delivers exactly one required key's order.
+
+    Column, direction, and *effective* NULL placement must all agree:
+    ``a`` and ``a ASC NULLS LAST`` are the same ordering under the
+    engine's defaults, while ``a DESC`` or ``a NULLS FIRST`` are not.
+    """
+    return (
+        provided.column == required.column
+        and provided.order is required.order
+        and provided.effective_null_order is required.effective_null_order
+    )
+
+
+def common_order_prefix(provided: SortSpec, required: SortSpec) -> int:
+    """Length of the longest shared leading key run of two specs.
+
+    Rows sorted by ``provided`` are also sorted by any leading prefix of
+    it, so the first ``common_order_prefix`` keys of ``required`` come
+    for free from an input ordered by ``provided``.
+    """
+    count = 0
+    for have, need in zip(provided.keys, required.keys):
+        if not _keys_equivalent(have, need):
+            break
+        count += 1
+    return count
+
+
+def ordering_satisfies(provided: SortSpec | None, required: SortSpec) -> bool:
+    """Whether an input ordered by ``provided`` already satisfies
+    ``required`` -- i.e. ``required`` is a (possibly full) leading prefix
+    of ``provided``.  ``ORDER BY a, b`` is satisfied by an input sorted
+    on ``a, b, c``; it is *not* satisfied by ``a DESC, b`` or ``b, a``.
+    """
+    if provided is None:
+        return False
+    return common_order_prefix(provided, required) >= len(required.keys)
 
 
 def compare_values(left: Any, right: Any, key: SortKey) -> int:

@@ -134,8 +134,16 @@ def window(
     spec: WindowSpec,
     functions: Sequence[WindowFunction],
     config: SortConfig | None = None,
+    presorted: bool = False,
 ) -> Table:
-    """Evaluate window functions; returns the sorted table + new columns."""
+    """Evaluate window functions; returns the sorted table + new columns.
+
+    ``presorted`` asserts the input already arrives sorted by the
+    window's (PARTITION BY, ORDER BY) sort spec, so the internal sort
+    is skipped -- the order-propagation fast path.  Results are
+    byte-identical either way (the sort is stable, and a stable sort of
+    sorted input is the identity).
+    """
     if not functions:
         raise SortError("no window functions requested")
     names = {f.output_name for f in functions}
@@ -149,7 +157,11 @@ def window(
                 f"output column {f.output_name!r} already exists"
             )
 
-    sorted_table = sort_table(table, spec.sort_spec(), config)
+    if presorted:
+        spec.sort_spec()  # still validates the spec is non-empty
+        sorted_table = table
+    else:
+        sorted_table = sort_table(table, spec.sort_spec(), config)
     n = sorted_table.num_rows
     partitions = _partition_ids(sorted_table, spec)
 

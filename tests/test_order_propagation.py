@@ -1,0 +1,375 @@
+"""Differential tests for planner-level order propagation.
+
+Every fast path the order-property framework enables -- sort elision,
+prefix subsumption, tie-group refinement, presorted GROUP BY/window,
+merge joins over pre-sorted inputs, and prefix-serving result-cache
+hits -- is checked for **byte identity** against the same query run
+with ``propagate_order=False``: the differential oracle that re-sorts
+everything in full.  The suites parameterize over the scenario catalog
+(:mod:`repro.workloads.scenarios`), so skew, near-sortedness,
+duplicate-heavy keys, NULL mixes, and truncated long-VARCHAR prefixes
+all pass through the same assertions.
+
+The refinement boundary is pinned exactly where
+:func:`repro.sort.stringsort.refinement_must_defer` draws it: a
+truncated VARCHAR in the *provided prefix* refines in place, while one
+in the suffix followed by further ORDER BY columns must fall back to a
+full sort (counted by ``refine_fallbacks``) -- and both sides of the
+boundary stay byte-identical to the oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database
+from repro.service import SortService
+from repro.sort.operator import sort_table
+from repro.table.table import Table
+from repro.types.sortspec import SortSpec
+from repro.window.functions import WindowFunction, WindowSpec, window
+from repro.workloads.scenarios import SCENARIOS
+
+ROWS = 2_000
+SEED = 29
+
+ALL_SCENARIOS = sorted(SCENARIOS)
+
+
+def _spec(order_by: str) -> SortSpec:
+    return SortSpec.of(*(part.strip() for part in order_by.split(",")))
+
+
+def _first_key(order_by: str) -> str:
+    return order_by.split(",")[0].strip()
+
+
+def _view_db(scenario: str, declared: str | None = None, rows: int = ROWS):
+    """A database with view ``v``: the scenario table sorted+declared."""
+    sc = SCENARIOS[scenario]
+    declared = declared or sc.order_by
+    db = Database()
+    db.register("v", sort_table(sc.table(rows, seed=SEED), _spec(declared)))
+    db.declare_ordering("v", declared)
+    return db, sc
+
+
+def _counters(stats_list):
+    return {
+        "elided": sum(s.sorts_elided for s in stats_list),
+        "subsumed": sum(s.sorts_subsumed for s in stats_list),
+        "refined": sum(s.sorts_refined for s in stats_list),
+        "fallbacks": sum(s.refine_fallbacks for s in stats_list),
+    }
+
+
+class TestSortElision:
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_exact_order_elided_and_identical(self, scenario):
+        db, sc = _view_db(scenario)
+        sql = f"SELECT * FROM v ORDER BY {sc.order_by}"
+        forced = db.execute(sql, propagate_order=False)
+        result, stats = db.execute_detailed(sql)
+        assert result.equals(forced), scenario
+        assert _counters(stats)["elided"] == 1
+        assert "elided" in db.explain(sql)
+
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_prefix_order_subsumed_and_identical(self, scenario):
+        """ORDER BY a leading prefix of the declared ordering.
+
+        The forced oracle stable-sorts the view table by the prefix
+        alone: ties stay in view order, which IS the declared full
+        ordering -- so skipping the sort is byte-identical.
+        """
+        db, sc = _view_db(scenario)
+        sql = f"SELECT * FROM v ORDER BY {_first_key(sc.order_by)}"
+        forced = db.execute(sql, propagate_order=False)
+        result, stats = db.execute_detailed(sql)
+        assert result.equals(forced), scenario
+        assert _counters(stats)["subsumed"] == 1
+        assert "subsumed" in db.explain(sql)
+
+    @pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+    def test_provided_prefix_refined_and_identical(self, scenario):
+        """Declared ordering covers only the first ORDER BY key.
+
+        The planner downgrades the sort to tie-group refinement; where
+        the refinement pass declines (truncated-VARCHAR suffix followed
+        by more keys) it falls back to a full sort.  Either way the
+        output must match the forced full re-sort byte for byte.
+        """
+        order_by = SCENARIOS[scenario].order_by
+        db, sc = _view_db(scenario, declared=_first_key(order_by))
+        sql = f"SELECT * FROM v ORDER BY {order_by}"
+        forced = db.execute(sql, propagate_order=False)
+        result, stats = db.execute_detailed(sql)
+        assert result.equals(forced), scenario
+        counters = _counters(stats)
+        assert counters["refined"] + counters["fallbacks"] == 1
+        assert "refine" in db.explain(sql)
+
+    def test_truncated_prefix_refines_in_place(self):
+        """Truncated VARCHAR in the *provided prefix*: refinement runs.
+
+        The view is exactly sorted on ``s`` (long strings beyond the
+        key prefix); the suffix key ``p`` is exact, so
+        ``refinement_must_defer`` does not apply and the cheap path
+        serves the sort.
+        """
+        db, _ = _view_db("long_string", declared="s")
+        sql = "SELECT * FROM v ORDER BY s, p"
+        forced = db.execute(sql, propagate_order=False)
+        result, stats = db.execute_detailed(sql)
+        assert result.equals(forced)
+        counters = _counters(stats)
+        assert counters["refined"] == 1
+        assert counters["fallbacks"] == 0
+
+    def test_truncated_suffix_defers_to_full_sort(self):
+        """Truncated VARCHAR in the suffix, followed by another key.
+
+        ``refinement_must_defer`` reports the suffix byte order inexact
+        past the truncated segment, so the refinement pass must decline
+        and the operator must fall back to a full sort -- counted, and
+        still byte-identical.
+        """
+        db, _ = _view_db("mixed_null", declared="a NULLS FIRST")
+        sql = "SELECT * FROM v ORDER BY a NULLS FIRST, s, f DESC"
+        forced = db.execute(sql, propagate_order=False)
+        result, stats = db.execute_detailed(sql)
+        assert result.equals(forced)
+        counters = _counters(stats)
+        assert counters["fallbacks"] == 1
+        assert counters["refined"] == 0
+
+    def test_propagation_off_is_the_oracle(self):
+        """``propagate_order=False`` plans contain no elision markers."""
+        db, sc = _view_db("uniform")
+        sql = f"SELECT * FROM v ORDER BY {sc.order_by}"
+        plan_text = db.explain(sql, propagate_order=False)
+        assert "elided" not in plan_text
+        assert "subsumed" not in plan_text
+        _, stats = db.execute_bound(db.plan(sql, propagate_order=False))
+        assert _counters(stats)["elided"] == 0
+
+
+class TestPresortedAggregation:
+    @pytest.mark.parametrize(
+        "scenario", ["uniform", "dup_heavy", "long_string", "tpcds_catalog"]
+    )
+    def test_groupby_over_sorted_input(self, scenario):
+        sc = SCENARIOS[scenario]
+        key = _first_key(sc.order_by)
+        other = next(
+            c.name for c in sc.table(4, seed=SEED).schema.columns
+            if c.name != key
+        )
+        db, _ = _view_db(scenario, declared=key)
+        sql = f"SELECT {key}, count(*), sum({other}) FROM v GROUP BY {key}"
+        forced = db.execute(sql, propagate_order=False)
+        result, stats = db.execute_detailed(sql)
+        assert result.equals(forced), scenario
+        assert _counters(stats)["elided"] == 1
+        assert "presorted" in db.explain(sql)
+
+    def test_groupby_unsorted_input_still_sorts(self):
+        db = Database()
+        db.register("t", SCENARIOS["uniform"].table(ROWS, seed=SEED))
+        sql = "SELECT a, count(*) FROM t GROUP BY a"
+        result, stats = db.execute_detailed(sql)
+        assert result.equals(db.execute(sql, propagate_order=False))
+        assert _counters(stats)["elided"] == 0
+
+    def test_window_presorted_fast_path(self):
+        """Library-level window(): presorted=True is byte-identical."""
+        table = SCENARIOS["dup_heavy"].table(ROWS, seed=SEED)
+        spec = WindowSpec.of(partition_by=["a"], order_by=["p"])
+        functions = [
+            WindowFunction("row_number"),
+            WindowFunction("running_sum", column="p", output="rsum"),
+        ]
+        baseline = window(table, spec, functions)
+        presorted = window(
+            sort_table(table, spec.sort_spec()),
+            spec,
+            functions,
+            presorted=True,
+        )
+        assert presorted.equals(baseline)
+
+
+class TestMergeJoin:
+    @pytest.mark.parametrize(
+        "sorted_sides", [(), ("l",), ("r",), ("l", "r")]
+    )
+    def test_join_elides_per_presorted_side(self, sorted_sides):
+        sc = SCENARIOS["tpcds_catalog"]
+        key = SortSpec.of("cs_item_sk")
+        db = Database()
+        for name, side, seed in (("l", "l", SEED), ("r", "r", SEED + 1)):
+            table = sc.table(ROWS if side == "l" else ROWS // 2, seed=seed)
+            if side in sorted_sides:
+                db.register(name, sort_table(table, key))
+                db.declare_ordering(name, "cs_item_sk")
+            else:
+                db.register(name, table)
+        sql = "SELECT * FROM l JOIN r ON cs_item_sk = cs_item_sk"
+        forced = db.execute(sql, propagate_order=False)
+        result, stats = db.execute_detailed(sql)
+        assert result.equals(forced)
+        assert result.num_rows > 0, "join matched nothing; test is vacuous"
+        assert _counters(stats)["elided"] == len(sorted_sides)
+
+    def test_string_key_join_beyond_prefix(self):
+        """Join keys whose first 12 bytes collide: exact recheck path."""
+        base = SCENARIOS["long_string"].table(400, seed=SEED)
+        db = Database()
+        db.register("l", base)
+        db.register("r", base.slice(0, 150))  # guaranteed overlap
+        sql = "SELECT * FROM l JOIN r ON s = s"
+        forced = db.execute(sql, propagate_order=False)
+        result, _ = db.execute_detailed(sql)
+        assert result.equals(forced)
+        assert result.num_rows >= 150
+
+
+class TestIncrementalViewScan:
+    def test_published_view_scan_elides(self):
+        sc = SCENARIOS["uniform"]
+        table = sc.table(ROWS, seed=SEED)
+        db = Database()
+        db.register("t", table)
+        with SortService(
+            db, memory_budget=64 << 20, workers=1, cache_capacity=4
+        ) as service:
+            service.maintain_view("mv", "t", sc.order_by)
+            third = ROWS // 3
+            for delta in (
+                table.slice(0, third),
+                table.slice(third, 2 * third),
+                table.slice(2 * third, ROWS),
+            ):
+                service.append_delta("mv", delta).result(timeout=60)
+            service.publish_view("mv")
+            sql = f"SELECT * FROM mv ORDER BY {sc.order_by}"
+            served = service.submit(sql).result(timeout=60)
+            stats = service.stats
+        forced = db.execute(sql, propagate_order=False)
+        assert served.equals(forced)
+        assert stats.sorts_elided == 1
+        assert "elided" in db.explain(sql)
+
+
+class TestResultCacheNormalization:
+    def _service(self, db):
+        return SortService(
+            db, memory_budget=64 << 20, workers=1, cache_capacity=8
+        )
+
+    def test_keyword_case_shares_one_entry(self):
+        db = Database()
+        db.register("t", SCENARIOS["uniform"].table(ROWS, seed=SEED))
+        with self._service(db) as service:
+            first = service.submit("SELECT * FROM t ORDER BY a, p").result(
+                timeout=60
+            )
+            second = service.submit("select * from t order by a, p").result(
+                timeout=60
+            )
+            stats = service.stats
+        assert second.equals(first)
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+
+    def test_string_literal_case_is_distinct(self):
+        """Case matters inside string literals, never outside them."""
+        db = Database()
+        db.register("t", SCENARIOS["long_string"].table(ROWS, seed=SEED))
+        with self._service(db) as service:
+            service.submit("SELECT * FROM t WHERE s > 'ab' ORDER BY s").result(
+                timeout=60
+            )
+            service.submit("SELECT * FROM t WHERE s > 'AB' ORDER BY s").result(
+                timeout=60
+            )
+            stats = service.stats
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 2
+
+
+class TestPrefixServing:
+    def _warm(self, db, full_sql):
+        service = SortService(
+            db, memory_budget=64 << 20, workers=1, cache_capacity=8
+        )
+        service.submit(full_sql).result(timeout=60)
+        return service
+
+    def test_topn_sliced_from_cached_full(self):
+        db = Database()
+        db.register("t", SCENARIOS["uniform"].table(ROWS, seed=SEED))
+        full_sql = "SELECT * FROM t ORDER BY a, p"
+        with self._warm(db, full_sql) as service:
+            for limit, offset in ((10, 0), (25, 7), (ROWS + 50, 0)):
+                sql = f"{full_sql} LIMIT {limit} OFFSET {offset}"
+                served = service.submit(sql).result(timeout=60)
+                direct = db.execute(sql, propagate_order=False)
+                assert served.equals(direct), (limit, offset)
+            stats = service.stats
+        assert stats.cache_prefix_hits == 3
+
+    def test_prefix_compatible_orderby_served(self):
+        """ORDER BY a is served from the cached ORDER BY a, p result.
+
+        Ties within equal ``a`` follow the cached spec's ``p`` order
+        (documented in :mod:`repro.service.cache`), so the oracle is
+        the cached spec's own slice -- still sorted by ``a``.
+        """
+        db = Database()
+        db.register("t", SCENARIOS["uniform"].table(ROWS, seed=SEED))
+        full_sql = "SELECT * FROM t ORDER BY a, p"
+        with self._warm(db, full_sql) as service:
+            served = service.submit(
+                "SELECT * FROM t ORDER BY a LIMIT 40"
+            ).result(timeout=60)
+            stats = service.stats
+        assert stats.cache_prefix_hits == 1
+        oracle = db.execute(
+            f"{full_sql} LIMIT 40", propagate_order=False
+        )
+        assert served.equals(oracle)
+        assert served.is_sorted_by(SortSpec.of("a"))
+
+    def test_non_prefix_orderby_not_served(self):
+        db = Database()
+        db.register("t", SCENARIOS["uniform"].table(ROWS, seed=SEED))
+        with self._warm(db, "SELECT * FROM t ORDER BY a, p") as service:
+            served = service.submit(
+                "SELECT * FROM t ORDER BY p LIMIT 5"
+            ).result(timeout=60)
+            stats = service.stats
+        assert stats.cache_prefix_hits == 0
+        assert served.equals(
+            db.execute(
+                "SELECT * FROM t ORDER BY p LIMIT 5", propagate_order=False
+            )
+        )
+
+    def test_table_version_bump_invalidates_prefix(self):
+        sc = SCENARIOS["uniform"]
+        db = Database()
+        db.register("t", sc.table(ROWS, seed=SEED))
+        with self._warm(db, "SELECT * FROM t ORDER BY a, p") as service:
+            db.register("t", sc.table(ROWS, seed=SEED + 1))  # new version
+            served = service.submit(
+                "SELECT * FROM t ORDER BY a, p LIMIT 5"
+            ).result(timeout=60)
+            stats = service.stats
+        assert stats.cache_prefix_hits == 0
+        assert served.equals(
+            db.execute(
+                "SELECT * FROM t ORDER BY a, p LIMIT 5",
+                propagate_order=False,
+            )
+        )
